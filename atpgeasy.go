@@ -1,0 +1,207 @@
+// Package atpgeasy is a from-scratch Go reproduction of "Why is ATPG
+// Easy?" (Prasad, Chong, Keutzer, DAC 1999): SAT-based automatic test
+// pattern generation in the Larrabee/TEGUS formulation, the caching-based
+// backtracking solver of the paper's Algorithm 1, and the cut-width
+// machinery that explains why practically encountered ATPG instances are
+// tractable despite the problem's NP-completeness.
+//
+// This package is the facade over the implementation packages:
+//
+//	internal/logic       gate-level Boolean networks and simulation
+//	internal/bench,blif  ISCAS .bench and BLIF netlist I/O
+//	internal/decomp      technology decomposition to ≤k-input AND/OR
+//	internal/cnf         CIRCUIT-SAT encoding (Figure 2)
+//	internal/sat         Simple / Caching (Algorithm 1) / DPLL solvers
+//	internal/atpg        fault lists, the C_ψ^ATPG miter, the engine
+//	internal/faultsim    64-way parallel-pattern fault simulation
+//	internal/hypergraph  cut-width (Definition 4.1)
+//	internal/partition   Fiduccia–Mattheyses bipartitioning
+//	internal/mla         min-cut linear arrangement (exact + recursive)
+//	internal/core        DCSF counts, Theorem 4.1/Lemma 4.2/5.2 machinery
+//	internal/kbounded    Fujiwara's k-bounded class (Section 3.2)
+//	internal/qhorn       Horn/2-SAT/renamable/q-Horn recognition (3.1)
+//	internal/bdd         ROBDDs and the Berman/McMillan bound (Section 6)
+//	internal/gen         circuit generators and benchmark-suite stand-ins
+//	internal/experiments the paper's figures as runnable experiments
+//
+// The quickstart is three calls: build (or load) a circuit, pick a fault,
+// generate a test:
+//
+//	b := atpgeasy.NewBuilder("demo")
+//	x, y := b.Input("x"), b.Input("y")
+//	b.MarkOutput(b.Gate(atpgeasy.And, "g", x, y))
+//	c := b.MustBuild()
+//	res, _ := atpgeasy.GenerateTest(c, atpgeasy.Fault{Net: c.MustLookup("g"), StuckAt: false})
+package atpgeasy
+
+import (
+	"io"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/bench"
+	"atpgeasy/internal/blif"
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/core"
+	"atpgeasy/internal/decomp"
+	"atpgeasy/internal/hypergraph"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/mla"
+	"atpgeasy/internal/sat"
+)
+
+// Core circuit types, re-exported from the implementation packages.
+type (
+	// Circuit is an immutable combinational Boolean network.
+	Circuit = logic.Circuit
+	// Builder constructs circuits incrementally.
+	Builder = logic.Builder
+	// GateType enumerates gate functions.
+	GateType = logic.GateType
+	// Fault is a single stuck-at fault ψ(X, B).
+	Fault = atpg.Fault
+	// TestResult is the outcome of test generation for one fault.
+	TestResult = atpg.Result
+	// Summary aggregates a full-circuit ATPG run.
+	Summary = atpg.Summary
+	// Formula is a CNF formula.
+	Formula = cnf.Formula
+	// Solver decides CNF satisfiability.
+	Solver = sat.Solver
+)
+
+// Gate type constants.
+const (
+	Input  = logic.Input
+	Const0 = logic.Const0
+	Const1 = logic.Const1
+	Buf    = logic.Buf
+	Not    = logic.Not
+	And    = logic.And
+	Or     = logic.Or
+	Nand   = logic.Nand
+	Nor    = logic.Nor
+	Xor    = logic.Xor
+	Xnor   = logic.Xnor
+)
+
+// Per-fault ATPG outcomes.
+const (
+	Detected   = atpg.Detected
+	Untestable = atpg.Untestable
+	Aborted    = atpg.Aborted
+)
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder(name string) *Builder { return logic.NewBuilder(name) }
+
+// ReadBench parses an ISCAS .bench netlist.
+func ReadBench(r io.Reader, name string) (*Circuit, error) { return bench.Read(r, name) }
+
+// WriteBench writes an ISCAS .bench netlist.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// ReadBLIF parses a combinational BLIF model.
+func ReadBLIF(r io.Reader) (*Circuit, error) { return blif.Read(r) }
+
+// WriteBLIF writes a combinational BLIF model.
+func WriteBLIF(w io.Writer, c *Circuit) error { return blif.Write(w, c) }
+
+// Decompose maps the circuit onto ≤k-input AND/OR gates with inversions —
+// the paper's tech_decomp step (k = 3 in all its experiments).
+func Decompose(c *Circuit, k int) (*Circuit, error) { return decomp.Decompose(c, k) }
+
+// AllFaults enumerates both stuck-at faults on every net.
+func AllFaults(c *Circuit) []Fault { return atpg.AllFaults(c) }
+
+// CollapseFaults drops faults structurally equivalent to a fault on their
+// reader's output net.
+func CollapseFaults(c *Circuit, faults []Fault) []Fault { return atpg.Collapse(c, faults) }
+
+// GenerateTest runs SAT-based test generation for one fault with the
+// default (DPLL) solver and verifies any produced vector by simulation.
+func GenerateTest(c *Circuit, f Fault) (TestResult, error) {
+	eng := &atpg.Engine{VerifyTests: true}
+	return eng.TestFault(c, f)
+}
+
+// RunATPG generates tests for every collapsed stuck-at fault, dropping
+// faults covered by earlier vectors via fault simulation (the classic
+// TEGUS flow).
+func RunATPG(c *Circuit) (*Summary, error) {
+	eng := &atpg.Engine{VerifyTests: true}
+	return eng.Run(c, atpg.RunOptions{Collapse: true, DropDetected: true})
+}
+
+// VerifyTest checks by simulation that the vector detects the fault.
+func VerifyTest(c *Circuit, f Fault, vec []bool) bool { return atpg.VerifyTest(c, f, vec) }
+
+// EncodeATPG builds the ATPG-SAT formula CIRCUIT-SAT(C_ψ^ATPG) for a
+// fault: the instance class whose tractability the paper explains.
+func EncodeATPG(c *Circuit, f Fault) (*Formula, error) {
+	m, err := atpg.NewMiter(c, f)
+	if err != nil {
+		return nil, err
+	}
+	return m.Encode()
+}
+
+// EncodeCircuitSAT builds the CIRCUIT-SAT formula f(C) of Section 2.
+func EncodeCircuitSAT(c *Circuit) (*Formula, error) { return cnf.FromCircuit(c, nil) }
+
+// NewDPLL returns the production conflict-driven solver (the TEGUS role).
+func NewDPLL() Solver { return &sat.DPLL{} }
+
+// NewCaching returns the paper's Algorithm 1 — caching-based backtracking
+// under the given static variable ordering (nil = index order).
+func NewCaching(order []int) Solver { return &sat.Caching{Order: order} }
+
+// NewSimple returns plain backtracking under the given static ordering.
+func NewSimple(order []int) Solver { return &sat.Simple{Order: order} }
+
+// EstimateCutWidth estimates the minimum cut-width of the circuit
+// (Definition 4.1) by min-cut linear arrangement and returns the witness
+// node ordering. The ordering doubles as a variable ordering for the
+// caching solver on f(C), realizing the Theorem 4.1 bound.
+func EstimateCutWidth(c *Circuit) (int, []int) {
+	return mla.EstimateCutWidth(hypergraph.FromCircuit(c), mla.Options{})
+}
+
+// FaultWidth is one Figure 8 datapoint: the size and estimated cut-width
+// of the subcircuit C_ψ^sub relevant to a fault.
+type FaultWidth = core.FaultWidth
+
+// WidthProfile computes a FaultWidth point for every fault — the data
+// behind the paper's Figure 8.
+func WidthProfile(c *Circuit, faults []Fault) ([]FaultWidth, error) {
+	return core.WidthProfile(c, faults, mla.Options{})
+}
+
+// Classification is the empirical log-bounded-width verdict of Definition
+// 5.1: the fitted growth curves (best first) and whether the logarithmic
+// family wins.
+type Classification = core.Classification
+
+// ClassifyWidthGrowth fits linear/logarithmic/power curves to a width
+// profile and reports whether the circuit family looks log-bounded-width
+// (and hence provably easy for ATPG, per Lemma 5.1).
+func ClassifyWidthGrowth(points []FaultWidth) (Classification, error) {
+	return core.ClassifyWidthGrowth(points)
+}
+
+// Theorem41Bound is the paper's running-time bound n·2^(2·k_fo·W) for
+// Algorithm 1 on a CIRCUIT-SAT formula.
+func Theorem41Bound(n, kfo, width int) float64 { return core.Theorem41Bound(n, kfo, width) }
+
+// PolyATPGResult is the outcome of the provably width-bounded ATPG
+// procedure.
+type PolyATPGResult = core.PolyATPGResult
+
+// GenerateTestBounded runs the paper's tractability argument as an
+// algorithm (Lemma 5.1): MLA-order the circuit, derive the 2W+2 miter
+// ordering of Lemma 4.2, and decide the instance with the caching-based
+// backtracking solver. The result reports the widths and the Theorem 4.1
+// node guarantee alongside the verdict — slower than GenerateTest's DPLL,
+// but with a provable bound on log-bounded-width circuits.
+func GenerateTestBounded(c *Circuit, f Fault) (*PolyATPGResult, error) {
+	return core.PolyATPG(c, f, mla.Options{})
+}

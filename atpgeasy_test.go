@@ -1,0 +1,139 @@
+package atpgeasy
+
+import (
+	"strings"
+	"testing"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	b := NewBuilder("demo")
+	x := b.Input("x")
+	y := b.Input("y")
+	b.MarkOutput(b.Gate(And, "g", x, y))
+	c := b.MustBuild()
+	res, err := GenerateTest(c, Fault{Net: c.MustLookup("g"), StuckAt: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Detected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !VerifyTest(c, res.Fault, res.Vector) {
+		t.Error("vector does not verify")
+	}
+}
+
+func TestFacadeRunATPG(t *testing.T) {
+	c := gen.RippleAdder(4)
+	sum, err := RunATPG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Coverage() != 1 {
+		t.Errorf("coverage = %v", sum.Coverage())
+	}
+	if sum.Aborted != 0 {
+		t.Errorf("aborted = %d", sum.Aborted)
+	}
+}
+
+func TestFacadeSolversAgree(t *testing.T) {
+	c := logic.Figure4a()
+	f, err := EncodeATPG(c, Fault{Net: c.MustLookup("f"), StuckAt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDPLL().Solve(f)
+	s := NewSimple(nil).Solve(f)
+	k := NewCaching(nil).Solve(f)
+	if d.Status != s.Status || s.Status != k.Status {
+		t.Errorf("solver disagreement: %v %v %v", d.Status, s.Status, k.Status)
+	}
+}
+
+func TestFacadeWidthPipeline(t *testing.T) {
+	c := gen.RippleAdder(8)
+	w, order := EstimateCutWidth(c)
+	if w <= 0 || len(order) != c.NumNodes() {
+		t.Fatalf("w=%d len(order)=%d", w, len(order))
+	}
+	faults := CollapseFaults(c, AllFaults(c))
+	points, err := WidthProfile(c, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ClassifyWidthGrowth(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Curves) == 0 {
+		t.Error("no fitted curves")
+	}
+	if Theorem41Bound(10, 1, 2) != 160 {
+		t.Error("Theorem41Bound re-export broken")
+	}
+}
+
+func TestFacadeIORoundTrip(t *testing.T) {
+	c := gen.Comparator(3)
+	var benchOut, blifOut strings.Builder
+	if err := WriteBench(&benchOut, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBLIF(&blifOut, c); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ReadBench(strings.NewReader(benchOut.String()), "cmp3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ReadBLIF(strings.NewReader(blifOut.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decompose(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 64; pat++ {
+		in := make([]bool, 6)
+		for i := range in {
+			in[i] = pat>>uint(i)&1 == 1
+		}
+		want := c.SimulateOutputs(in)
+		for name, got := range map[string][]bool{
+			"bench":  cb.SimulateOutputs(in),
+			"blif":   cl.SimulateOutputs(in),
+			"decomp": m.SimulateOutputs(in),
+		} {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: pattern %06b output %d differs", name, pat, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFacadeGenerateTestBounded(t *testing.T) {
+	c := logic.Figure4a()
+	res, err := GenerateTestBounded(c, Fault{Net: c.MustLookup("f"), StuckAt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Detected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !VerifyTest(c, Fault{Net: c.MustLookup("f"), StuckAt: true}, res.Vector) {
+		t.Error("vector does not verify")
+	}
+	if res.MiterWidth > 2*res.CircuitWidth+2 {
+		t.Errorf("miter width %d breaks the Lemma 4.2 bound for W=%d", res.MiterWidth, res.CircuitWidth)
+	}
+	if float64(res.Nodes) > 4*res.NodeBound {
+		t.Errorf("nodes %d exceed 4× the Theorem 4.1 bound %g", res.Nodes, res.NodeBound)
+	}
+}

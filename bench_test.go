@@ -1,0 +1,271 @@
+package atpgeasy
+
+// One testing.B benchmark per reproduced table/figure of "Why is ATPG
+// Easy?" plus the ablation benches DESIGN.md calls out. Benchmarks run the
+// quick-scale experiment configurations; `cmd/experiments` runs the
+// full-scale versions. Regenerate everything with:
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"testing"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/experiments"
+	"atpgeasy/internal/faultsim"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/hypergraph"
+	"atpgeasy/internal/mla"
+	"atpgeasy/internal/partition"
+	"atpgeasy/internal/sat"
+)
+
+func benchCfg(seed int64) experiments.Config {
+	return experiments.Config{Quick: true, Seed: seed}
+}
+
+// BenchmarkFigure1ATPG regenerates Figure 1: per-fault SAT solving over
+// the benchmark suites, time vs. instance size.
+func BenchmarkFigure1ATPG(b *testing.B) {
+	cfg := benchCfg(1)
+	cfg.MaxFaultsPerCircuit = 20
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FracUnder10ms < 0.9 {
+			b.Fatalf("fast fraction %.2f below the paper's 0.9", res.FracUnder10ms)
+		}
+	}
+}
+
+// BenchmarkFigure8MCNC regenerates Figure 8(a): per-fault cut-width of
+// C_ψ^sub over the MCNC91-like suite.
+func BenchmarkFigure8MCNC(b *testing.B) {
+	cfg := benchCfg(2)
+	cfg.MaxFaultsPerCircuit = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(cfg, experiments.SuiteMCNC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8ISCAS regenerates Figure 8(b) on the ISCAS85-like suite.
+func BenchmarkFigure8ISCAS(b *testing.B) {
+	cfg := benchCfg(3)
+	cfg.MaxFaultsPerCircuit = 8
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(cfg, experiments.SuiteISCAS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratedCutwidth regenerates the Section 5.2.3 generated-
+// circuit width study.
+func BenchmarkGeneratedCutwidth(b *testing.B) {
+	cfg := benchCfg(4)
+	cfg.MaxFaultsPerCircuit = 4
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GeneratedStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkedExample regenerates Figures 4–7 (the Section 4 worked
+// example).
+func BenchmarkWorkedExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WorkedExample(benchCfg(5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQHornStudy regenerates the Section 3.1 class-membership table.
+func BenchmarkQHornStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.QHornStudy(benchCfg(6)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAvgTimeStudy regenerates the Section 3.3 parameterization.
+func BenchmarkAvgTimeStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AvgTimeStudy(benchCfg(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBDDStudy regenerates the Section 6 bound comparison.
+func BenchmarkBDDStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BDDStudy(benchCfg(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCachingVsSimple is the DESIGN.md ablation: the sub-formula
+// cache against plain backtracking on the same instances and ordering.
+func BenchmarkCachingVsSimple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CachingAblation(benchCfg(9)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrderingAblation isolates ordering quality: the caching solver
+// on one CIRCUIT-SAT instance under the MLA ordering vs. a topological
+// ordering.
+func BenchmarkOrderingAblation(b *testing.B) {
+	c := gen.CellularArray1D(8)
+	f, err := cnf.FromCircuit(c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := hypergraph.FromCircuit(c)
+	_, mlaOrder := mla.EstimateCutWidth(g, mla.Options{})
+	topo := append([]int(nil), c.TopoOrder()...)
+	b.Run("mla-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s := (&sat.Caching{Order: mlaOrder}).Solve(f); s.Status == sat.Unknown {
+				b.Fatal("aborted")
+			}
+		}
+	})
+	b.Run("topo-order", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s := (&sat.Caching{Order: topo}).Solve(f); s.Status == sat.Unknown {
+				b.Fatal("aborted")
+			}
+		}
+	})
+}
+
+// BenchmarkFMRestarts measures the partitioner's quality/time knob that
+// backs every cut-width estimate.
+func BenchmarkFMRestarts(b *testing.B) {
+	c := gen.Random(gen.RandomParams{Inputs: 40, Gates: 1200, Seed: 17})
+	g := hypergraph.FromCircuit(c)
+	for _, restarts := range []int{1, 4, 8} {
+		restarts := restarts
+		b.Run(map[int]string{1: "restarts-1", 4: "restarts-4", 8: "restarts-8"}[restarts], func(b *testing.B) {
+			cut := 0
+			for i := 0; i < b.N; i++ {
+				r := partition.Bipartition(g, partition.Options{Restarts: restarts, Seed: int64(i)})
+				cut = r.Cut
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+}
+
+// BenchmarkFaultCollapsing measures the instance-count reduction of the
+// collapsing + fault-dropping flow on the Figure 1 workload.
+func BenchmarkFaultCollapsing(b *testing.B) {
+	c := gen.ALU(8)
+	eng := &atpg.Engine{}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(c, atpg.RunOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("collapse+drop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(c, atpg.RunOptions{Collapse: true, DropDetected: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDPLLSolve is a micro-benchmark of the production solver on one
+// mid-size ATPG-SAT instance.
+func BenchmarkDPLLSolve(b *testing.B) {
+	c := gen.ArrayMultiplier(6)
+	faults := atpg.Collapse(c, atpg.AllFaults(c))
+	m, err := atpg.NewMiter(c, faults[len(faults)/2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := m.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := (&sat.DPLL{}).Solve(f); s.Status == sat.Unknown {
+			b.Fatal("aborted")
+		}
+	}
+}
+
+// BenchmarkFaultSim is a micro-benchmark of the 64-way parallel fault
+// simulator.
+func BenchmarkFaultSim(b *testing.B) {
+	c := gen.CarryLookaheadAdder(32)
+	vecs := make([][]bool, 64)
+	for p := range vecs {
+		vecs[p] = make([]bool, len(c.Inputs))
+		for i := range vecs[p] {
+			vecs[p][i] = (p+i)%3 == 0
+		}
+	}
+	words, err := faultsim.PackPatterns(c, vecs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := faultsim.NewSimulator(c, words, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.AllFaults(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := faults[i%len(faults)]
+		sim.Detects(f.Net, f.StuckAt)
+	}
+}
+
+// BenchmarkMLA is a micro-benchmark of the width estimator on a mid-size
+// circuit.
+func BenchmarkMLA(b *testing.B) {
+	c := gen.Random(gen.RandomParams{Inputs: 30, Gates: 600, Seed: 23})
+	g := hypergraph.FromCircuit(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mla.EstimateCutWidth(g, mla.Options{Partition: partition.Options{Seed: int64(i), Restarts: 2}})
+	}
+}
+
+// BenchmarkSimulate64 measures the bit-parallel simulator against the
+// scalar one (64 patterns per call vs. 1).
+func BenchmarkSimulate64(b *testing.B) {
+	c := gen.ArrayMultiplier(8)
+	words := make([]uint64, len(c.Inputs))
+	for i := range words {
+		words[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	scalar := make([]bool, len(c.Inputs))
+	b.Run("parallel64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Simulate64(words)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Simulate(scalar)
+		}
+	})
+}

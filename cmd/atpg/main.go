@@ -1,0 +1,222 @@
+// Command atpg is the TEGUS-style SAT-based test pattern generator: it
+// reads a combinational netlist (.bench or BLIF) or builds a generated
+// circuit, runs ATPG over every (optionally collapsed) stuck-at fault, and
+// reports coverage, test vectors and per-instance SAT statistics.
+//
+// Usage:
+//
+//	atpg -bench FILE | -blif FILE | -gen NAME
+//	     [-collapse] [-drop] [-solver dpll|caching|simple]
+//	     [-decompose] [-vectors] [-dimacs DIR] [-v]
+//
+// Generated circuit names (NAME): ripple<N>, cla<N>, mult<N>, alu<N>,
+// parity<N>, dec<N>, mux<SEL>, cmp<N>, cell1d<N>, tree<K>x<D>,
+// rand<GATES>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/bench"
+	"atpgeasy/internal/blif"
+	"atpgeasy/internal/decomp"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/sat"
+)
+
+func main() {
+	benchFile := flag.String("bench", "", "read an ISCAS .bench netlist")
+	blifFile := flag.String("blif", "", "read a BLIF model")
+	genName := flag.String("gen", "", "build a generated circuit (see -h)")
+	collapse := flag.Bool("collapse", true, "apply structural fault collapsing")
+	drop := flag.Bool("drop", true, "drop faults detected by earlier vectors (fault simulation)")
+	solver := flag.String("solver", "dpll", "SAT engine: dpll, caching or simple")
+	decompose := flag.Bool("decompose", true, "tech-decompose to ≤3-input AND/OR first (as TEGUS requires)")
+	vectors := flag.Bool("vectors", false, "print the generated test vectors")
+	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
+	verbose := flag.Bool("v", false, "print per-fault results")
+	flag.Parse()
+
+	c, err := loadCircuit(*benchFile, *blifFile, *genName)
+	if err != nil {
+		fail(err)
+	}
+	if *decompose {
+		if c, err = decomp.Decompose(c, 3); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("circuit: %s (depth %d, max fanout %d)\n", c, c.Depth(), c.MaxFanout())
+
+	eng := &atpg.Engine{VerifyTests: true}
+	switch *solver {
+	case "dpll":
+		eng.Solver = &sat.DPLL{}
+	case "caching":
+		eng.Solver = &sat.Caching{MaxNodes: 50_000_000}
+	case "simple":
+		eng.Solver = &sat.Simple{MaxNodes: 50_000_000}
+	default:
+		fail(fmt.Errorf("unknown solver %q", *solver))
+	}
+	if *dimacsDir != "" {
+		if err := dumpDIMACS(c, *dimacsDir, *collapse); err != nil {
+			fail(err)
+		}
+	}
+	sum, err := eng.Run(c, atpg.RunOptions{Collapse: *collapse, DropDetected: *drop})
+	if err != nil {
+		fail(err)
+	}
+	if *verbose {
+		for _, r := range sum.Results {
+			fmt.Printf("  %-20s %-11s %6d vars %8d clauses %10v\n",
+				r.Fault.Name(c), r.Status, r.Vars, r.Clauses, r.Elapsed)
+		}
+	}
+	fmt.Printf("faults: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
+		sum.Total, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
+	fmt.Printf("fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v\n",
+		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed)
+	if *vectors {
+		names := c.Names(c.Inputs)
+		fmt.Println("test vectors (inputs:", strings.Join(names, ","), "):")
+		for _, v := range sum.Vectors {
+			bits := make([]byte, len(v))
+			for i, b := range v {
+				bits[i] = '0'
+				if b {
+					bits[i] = '1'
+				}
+			}
+			fmt.Printf("  %s\n", bits)
+		}
+	}
+}
+
+func loadCircuit(benchFile, blifFile, genName string) (*logic.Circuit, error) {
+	switch {
+	case benchFile != "":
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return bench.Read(f, strings.TrimSuffix(benchFile, ".bench"))
+	case blifFile != "":
+		f, err := os.Open(blifFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return blif.Read(f)
+	case genName != "":
+		return generate(genName)
+	default:
+		return nil, fmt.Errorf("one of -bench, -blif or -gen is required")
+	}
+}
+
+// generate builds a named generator circuit, e.g. "ripple16" or "tree3x4".
+func generate(name string) (*logic.Circuit, error) {
+	num := func(prefix string) (int, bool) {
+		if !strings.HasPrefix(name, prefix) {
+			return 0, false
+		}
+		n, err := strconv.Atoi(name[len(prefix):])
+		return n, err == nil && n > 0
+	}
+	if n, ok := num("ripple"); ok {
+		return gen.RippleAdder(n), nil
+	}
+	if n, ok := num("cla"); ok {
+		return gen.CarryLookaheadAdder(n), nil
+	}
+	if n, ok := num("mult"); ok {
+		return gen.ArrayMultiplier(n), nil
+	}
+	if n, ok := num("alu"); ok {
+		return gen.ALU(n), nil
+	}
+	if n, ok := num("parity"); ok {
+		return gen.ParityTree(n), nil
+	}
+	if n, ok := num("dec"); ok {
+		return gen.Decoder(n), nil
+	}
+	if n, ok := num("mux"); ok {
+		return gen.MuxTree(n), nil
+	}
+	if n, ok := num("cmp"); ok {
+		return gen.Comparator(n), nil
+	}
+	if n, ok := num("cell1d"); ok {
+		return gen.CellularArray1D(n), nil
+	}
+	if n, ok := num("rand"); ok {
+		return gen.Random(gen.RandomParams{Inputs: 8 + n/20, Gates: n, Seed: 1}), nil
+	}
+	if strings.HasPrefix(name, "tree") {
+		parts := strings.SplitN(name[4:], "x", 2)
+		if len(parts) == 2 {
+			k, err1 := strconv.Atoi(parts[0])
+			d, err2 := strconv.Atoi(parts[1])
+			if err1 == nil && err2 == nil && k >= 2 && d >= 1 {
+				return gen.KaryTree(k, d), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown generator %q", name)
+}
+
+// dumpDIMACS writes one DIMACS CNF file per (collapsed) fault — the raw
+// ATPG-SAT instances, for use with external SAT solvers.
+func dumpDIMACS(c *logic.Circuit, dir string, collapse bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	faults := atpg.AllFaults(c)
+	if collapse {
+		faults = atpg.Collapse(c, faults)
+	}
+	n := 0
+	for _, f := range faults {
+		m, err := atpg.NewMiter(c, f)
+		if err == atpg.ErrUnobservable {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		formula, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(f.Name(c), "/", "_sa")
+		out, err := os.Create(fmt.Sprintf("%s/%s.cnf", dir, name))
+		if err != nil {
+			return err
+		}
+		err = formula.WriteDIMACS(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		n++
+	}
+	fmt.Printf("wrote %d DIMACS instances to %s\n", n, dir)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atpgeasy/internal/bench"
+)
+
+func TestGenerate(t *testing.T) {
+	cases := map[string]struct {
+		inputs, outputs int
+	}{
+		"ripple4": {9, 5},
+		"cla8":    {17, 9},
+		"mult3":   {6, 6},
+		"alu2":    {7, 3},
+		"parity8": {8, 1},
+		"dec3":    {3, 8},
+		"mux2":    {6, 1},
+		"cmp4":    {8, 3},
+		"cell1d5": {11, 6},
+		"tree2x3": {8, 1},
+		"rand50":  {10, 0}, // outputs derived
+	}
+	for name, want := range cases {
+		c, err := generate(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(c.Inputs) != want.inputs {
+			t.Errorf("%s: %d inputs, want %d", name, len(c.Inputs), want.inputs)
+		}
+		if want.outputs > 0 && len(c.Outputs) != want.outputs {
+			t.Errorf("%s: %d outputs, want %d", name, len(c.Outputs), want.outputs)
+		}
+	}
+	for _, bad := range []string{"", "nope", "ripple", "tree2", "treeAxB", "mult0"} {
+		if _, err := generate(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestLoadCircuit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bench")
+	c, err := generate("ripple4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Write(f, c); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := loadCircuit(path, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Inputs) != len(c.Inputs) {
+		t.Error("interface changed through file round trip")
+	}
+	if _, err := loadCircuit("", "", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadCircuit("/nonexistent.bench", "", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command circgen generates parameterized combinational circuits (the
+// circ/gen role of Section 5.2.3 of "Why is ATPG Easy?") and writes them
+// as .bench or BLIF netlists.
+//
+// Usage:
+//
+//	circgen -gates N [-inputs N] [-outputs N] [-locality F] [-seed N]
+//	        [-format bench|blif] [-o FILE] [-decompose]
+//
+// or a structured family:
+//
+//	circgen -family ripple|cla|mult|alu|parity|decoder|mux|cmp|cell1d|cell2d|tree -n N [-m M] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"atpgeasy/internal/bench"
+	"atpgeasy/internal/blif"
+	"atpgeasy/internal/decomp"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+func main() {
+	gates := flag.Int("gates", 0, "random circuit: gate count")
+	inputs := flag.Int("inputs", 0, "random circuit: primary inputs (default derived)")
+	outputs := flag.Int("outputs", 0, "random circuit: primary outputs (default derived)")
+	locality := flag.Float64("locality", 2.0, "random circuit: reconvergence locality (window ≈ locality·log2 n)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	family := flag.String("family", "", "structured family: ripple, cla, mult, alu, parity, decoder, mux, cmp, cell1d, cell2d, tree")
+	n := flag.Int("n", 8, "family size parameter")
+	m := flag.Int("m", 0, "family second parameter (cell2d columns, tree depth)")
+	format := flag.String("format", "bench", "output format: bench or blif")
+	out := flag.String("o", "", "output file (default stdout)")
+	doDecomp := flag.Bool("decompose", false, "tech-decompose to ≤3-input AND/OR before writing")
+	flag.Parse()
+
+	var c *logic.Circuit
+	switch {
+	case *family != "":
+		var err error
+		if c, err = buildFamily(*family, *n, *m); err != nil {
+			fail(err)
+		}
+	case *gates > 0:
+		in := *inputs
+		if in == 0 {
+			in = 8 + *gates/20
+		}
+		c = gen.Random(gen.RandomParams{
+			Inputs: in, Gates: *gates, Outputs: *outputs,
+			Locality: *locality, Seed: *seed,
+		})
+	default:
+		fail(fmt.Errorf("either -gates or -family is required"))
+	}
+
+	if *doDecomp {
+		var err error
+		if c, err = decomp.Decompose(c, 3); err != nil {
+			fail(err)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "bench":
+		err = bench.Write(w, c)
+	case "blif":
+		err = blif.Write(w, c)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "circgen: wrote %s\n", c)
+}
+
+func buildFamily(family string, n, m int) (*logic.Circuit, error) {
+	switch family {
+	case "ripple":
+		return gen.RippleAdder(n), nil
+	case "cla":
+		return gen.CarryLookaheadAdder(n), nil
+	case "mult":
+		return gen.ArrayMultiplier(n), nil
+	case "alu":
+		return gen.ALU(n), nil
+	case "parity":
+		return gen.ParityTree(n), nil
+	case "decoder":
+		return gen.Decoder(n), nil
+	case "mux":
+		return gen.MuxTree(n), nil
+	case "cmp":
+		return gen.Comparator(n), nil
+	case "cell1d":
+		return gen.CellularArray1D(n), nil
+	case "cell2d":
+		if m <= 0 {
+			m = n
+		}
+		return gen.CellularArray2D(n, m), nil
+	case "tree":
+		if m <= 0 {
+			m = 3
+		}
+		return gen.KaryTree(n, m), nil
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "circgen:", err)
+	os.Exit(1)
+}

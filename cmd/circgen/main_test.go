@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestBuildFamily(t *testing.T) {
+	for _, name := range []string{"ripple", "cla", "mult", "alu", "parity", "decoder", "mux", "cmp", "cell1d"} {
+		c, err := buildFamily(name, 4, 0)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if c, err := buildFamily("cell2d", 3, 4); err != nil || c.NumGates() == 0 {
+		t.Errorf("cell2d: %v", err)
+	}
+	if c, err := buildFamily("tree", 2, 3); err != nil || len(c.Inputs) != 8 {
+		t.Errorf("tree: %v", err)
+	}
+	// tree with default depth
+	if _, err := buildFamily("tree", 2, 0); err != nil {
+		t.Errorf("tree default: %v", err)
+	}
+	if _, err := buildFamily("bogus", 4, 0); err == nil {
+		t.Error("bogus family accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates the evaluation of "Why is ATPG Easy?"
+// (DAC 1999): every figure of the paper plus the ablation studies listed
+// in DESIGN.md. Results print as text tables/ASCII plots; -csv also dumps
+// the raw scatter data.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|fig8a|fig8b|gen|worked|qhorn|avgtime|bdd|ablation|collapse]
+//	            [-quick] [-seed N] [-faults N] [-csv DIR] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"atpgeasy/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig1, fig8a, fig8b, gen, worked, qhorn, avgtime, bdd, ablation, collapse")
+	quick := flag.Bool("quick", false, "run the reduced (seconds-scale) workloads")
+	seed := flag.Int64("seed", 1999, "random seed for sampling and generation")
+	faults := flag.Int("faults", 0, "max faults sampled per circuit (0 = experiment default)")
+	csvDir := flag.String("csv", "", "directory to write raw CSV data into")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Quick:               *quick,
+		Seed:                *seed,
+		MaxFaultsPerCircuit: *faults,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if err := dispatch(os.Stdout, cfg, *run, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+func dispatch(out io.Writer, cfg experiments.Config, run, csvDir string) error {
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	all := wanted["all"]
+	did := false
+
+	emit := func(name string, r experiments.Renderer, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := r.Render(out); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if cw, ok := r.(csvWriter); ok {
+				f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := cw.WriteCSV(f); err != nil {
+					return err
+				}
+			}
+		}
+		did = true
+		return nil
+	}
+
+	if all || wanted["worked"] {
+		r, err := experiments.WorkedExample(cfg)
+		if err := emit("worked", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["fig1"] {
+		r, err := experiments.Figure1(cfg)
+		if err := emit("fig1", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["fig8a"] {
+		r, err := experiments.Figure8(cfg, experiments.SuiteMCNC)
+		if err := emit("fig8a", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["fig8b"] {
+		r, err := experiments.Figure8(cfg, experiments.SuiteISCAS)
+		if err := emit("fig8b", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["gen"] {
+		r, err := experiments.GeneratedStudy(cfg)
+		if err := emit("gen523", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["qhorn"] {
+		r, err := experiments.QHornStudy(cfg)
+		if err := emit("qhorn", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["avgtime"] {
+		r, err := experiments.AvgTimeStudy(cfg)
+		if err := emit("avgtime", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["bdd"] {
+		r, err := experiments.BDDStudy(cfg)
+		if err := emit("bdd", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["ablation"] {
+		r, err := experiments.CachingAblation(cfg)
+		if err := emit("ablation", r, err); err != nil {
+			return err
+		}
+	}
+	if all || wanted["collapse"] {
+		r, err := experiments.CollapsingAblation(cfg)
+		if err := emit("collapse", r, err); err != nil {
+			return err
+		}
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+	return nil
+}

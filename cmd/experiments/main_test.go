@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"atpgeasy/internal/experiments"
+)
+
+func TestDispatchSingle(t *testing.T) {
+	cfg := experiments.Config{Quick: true, Seed: 3}
+	var sb strings.Builder
+	if err := dispatch(&sb, cfg, "worked", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Formula 4.1") {
+		t.Error("worked output incomplete")
+	}
+}
+
+func TestDispatchList(t *testing.T) {
+	cfg := experiments.Config{Quick: true, Seed: 3}
+	var sb strings.Builder
+	if err := dispatch(&sb, cfg, "worked,qhorn", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Formula 4.1") || !strings.Contains(out, "q-horn") {
+		t.Error("combined output incomplete")
+	}
+}
+
+func TestDispatchCSV(t *testing.T) {
+	cfg := experiments.Config{Quick: true, Seed: 3, MaxFaultsPerCircuit: 4}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := dispatch(&sb, cfg, "fig8b", dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := dispatch(&sb, experiments.Config{Quick: true}, "bogus", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Sequential test generation — the paper's stated future-work direction
+// ("sequential circuit netlists") via time-frame expansion: a 4-bit
+// LFSR-style state machine is unrolled frame by frame, a stuck-at fault
+// is injected into every frame, and SAT over the unrolled miter finds the
+// shortest detecting input sequence from the reset state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atpgeasy"
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/seq"
+)
+
+func main() {
+	s := buildLFSR()
+	fmt.Printf("machine: %s (%d PI, %d PO, %d FFs)\n", s.Comb, s.NumPI, s.NumPO, s.NumFF)
+
+	// Seed the LFSR with 0001: the all-zeros state is the classic LFSR
+	// dead state (zero feedback forever), from which most faults are
+	// genuinely undetectable.
+	reset := []bool{true, false, false, false}
+	faults := atpgeasy.CollapseFaults(s.Comb, atpgeasy.AllFaults(s.Comb))
+	detected, aborted := 0, 0
+	longest := 0
+	for _, f := range faults {
+		res, err := seq.TestFault(s, f, 6, reset, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch res.Status {
+		case atpg.Detected:
+			detected++
+			if res.Frames > longest {
+				longest = res.Frames
+				fmt.Printf("  %-12s needs a %d-cycle sequence: %s\n",
+					f.Name(s.Comb), res.Frames, renderSeq(res.Inputs))
+			}
+		default:
+			aborted++
+		}
+	}
+	fmt.Printf("faults: %d  detected: %d  not detected within 6 frames: %d\n",
+		len(faults), detected, aborted)
+	fmt.Printf("longest required sequence: %d cycles\n", longest)
+}
+
+// buildLFSR builds a 4-bit linear feedback shift register with an enable
+// input and a single serial output tapping the last stage.
+func buildLFSR() *seq.Circuit {
+	b := atpgeasy.NewBuilder("lfsr4")
+	en := b.Input("en")
+	st := make([]int, 4)
+	for i := range st {
+		st[i] = b.Input(fmt.Sprintf("s%d", i))
+	}
+	fb := b.Gate(atpgeasy.Xor, "fb", st[2], st[3]) // taps at stages 3,4
+	// Serial output observes only the last stage.
+	out := b.GateN(atpgeasy.Buf, "serial", []int{st[3]}, nil)
+	b.MarkOutput(out)
+	// Next state: shift when enabled, hold otherwise (2:1 mux per bit).
+	hold := func(i int, shifted int) int {
+		h := b.GateN(atpgeasy.And, fmt.Sprintf("h%d", i), []int{en, st[i]}, []bool{true, false})
+		sft := b.Gate(atpgeasy.And, fmt.Sprintf("e%d", i), en, shifted)
+		return b.Gate(atpgeasy.Or, fmt.Sprintf("n%d", i), h, sft)
+	}
+	b.MarkOutput(hold(0, fb))
+	for i := 1; i < 4; i++ {
+		b.MarkOutput(hold(i, st[i-1]))
+	}
+	s, err := seq.New(b.MustBuild(), 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func renderSeq(inputs [][]bool) string {
+	out := make([]byte, len(inputs))
+	for i, in := range inputs {
+		out[i] = '0'
+		if in[0] {
+			out[i] = '1'
+		}
+	}
+	return "en=" + string(out)
+}

@@ -1,0 +1,144 @@
+// Verification flow: SAT-based combinational equivalence checking — one
+// of the ATPG-technique applications the paper's introduction motivates
+// (Brand's verification-by-ATPG). Two implementations of the same
+// function are joined in a miter; the output is provably 0 iff they are
+// equivalent, decided with the library's SAT solvers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atpgeasy"
+	"atpgeasy/internal/gen"
+)
+
+func main() {
+	// Reference: an 8-bit ripple-carry adder. Revised: the same function
+	// after technology decomposition (a "synthesized" version) — and a
+	// deliberately buggy mutant.
+	golden := gen.RippleAdder(8)
+	synthesized, err := atpgeasy.Decompose(golden, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("golden:     ", golden)
+	fmt.Println("synthesized:", synthesized)
+
+	eq, cex, err := equivalent(golden, synthesized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden ≡ synthesized: %v\n", eq)
+
+	buggy := buggyAdder()
+	eq, cex, err = equivalent(golden, buggy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("golden ≡ buggy mutant: %v\n", eq)
+	if !eq {
+		fmt.Printf("counterexample inputs: %v\n", cex)
+		g := golden.SimulateOutputs(cex)
+		b := buggy.SimulateOutputs(cex)
+		fmt.Printf("  golden outputs: %v\n  buggy outputs:  %v\n", g, b)
+	}
+}
+
+// equivalent builds the pairwise-XOR miter of two circuits with identical
+// interfaces and decides CIRCUIT-SAT on it: SAT means inequivalent and
+// the model is a counterexample.
+func equivalent(a, b *atpgeasy.Circuit) (bool, []bool, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false, nil, fmt.Errorf("interface mismatch")
+	}
+	bb := atpgeasy.NewBuilder("miter")
+	ins := make([]int, len(a.Inputs))
+	for i, id := range a.Inputs {
+		ins[i] = bb.Input(a.Node(id).Name)
+	}
+	aOut := instantiate(bb, a, "A_", ins)
+	bOut := instantiate(bb, b, "B_", ins)
+	for i := range aOut {
+		bb.MarkOutput(bb.Gate(atpgeasy.Xor, fmt.Sprintf("diff%d", i), aOut[i], bOut[i]))
+	}
+	miter := bb.MustBuild()
+	formula, err := atpgeasy.EncodeCircuitSAT(miter)
+	if err != nil {
+		return false, nil, err
+	}
+	sol := atpgeasy.NewDPLL().Solve(formula)
+	switch sol.Status.String() {
+	case "UNSAT":
+		return true, nil, nil
+	case "SAT":
+		cex := make([]bool, len(ins))
+		for i, id := range ins {
+			cex[i] = sol.Model[id]
+		}
+		return false, cex, nil
+	default:
+		return false, nil, fmt.Errorf("solver aborted")
+	}
+}
+
+// instantiate copies circuit c into the builder with renamed internal
+// nets, wiring its primary inputs to the given nets; it returns the nets
+// carrying c's outputs.
+func instantiate(bb *atpgeasy.Builder, c *atpgeasy.Circuit, prefix string, ins []int) []int {
+	mapped := make([]int, c.NumNodes())
+	for i, id := range c.Inputs {
+		mapped[id] = ins[i]
+	}
+	for _, id := range c.TopoOrder() {
+		n := c.Node(id)
+		switch n.Type {
+		case atpgeasy.Input:
+			// already wired
+		case atpgeasy.Const0:
+			mapped[id] = bb.Const(prefix+n.Name, false)
+		case atpgeasy.Const1:
+			mapped[id] = bb.Const(prefix+n.Name, true)
+		default:
+			fanin := make([]int, len(n.Fanin))
+			for i, f := range n.Fanin {
+				fanin[i] = mapped[f]
+			}
+			mapped[id] = bb.GateN(n.Type, prefix+n.Name, fanin, n.Neg)
+		}
+	}
+	outs := make([]int, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = mapped[o]
+	}
+	return outs
+}
+
+// buggyAdder is an 8-bit ripple adder with the carry into bit 5 swapped
+// for the propagate signal — a realistic wiring bug.
+func buggyAdder() *atpgeasy.Circuit {
+	b := atpgeasy.NewBuilder("buggy8")
+	as := make([]int, 8)
+	bs := make([]int, 8)
+	for i := range as {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := range bs {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < 8; i++ {
+		axb := b.Gate(atpgeasy.Xor, fmt.Sprintf("fa%d_axb", i), as[i], bs[i])
+		cin := carry
+		if i == 5 {
+			cin = axb // the bug
+		}
+		sum := b.Gate(atpgeasy.Xor, fmt.Sprintf("fa%d_s", i), axb, cin)
+		t1 := b.Gate(atpgeasy.And, fmt.Sprintf("fa%d_t1", i), as[i], bs[i])
+		t2 := b.Gate(atpgeasy.And, fmt.Sprintf("fa%d_t2", i), axb, cin)
+		carry = b.Gate(atpgeasy.Or, fmt.Sprintf("fa%d_c", i), t1, t2)
+		b.MarkOutput(sum)
+	}
+	b.MarkOutput(carry)
+	return b.MustBuild()
+}

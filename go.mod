@@ -1,0 +1,3 @@
+module atpgeasy
+
+go 1.22

@@ -1,0 +1,217 @@
+package atpg
+
+import (
+	"fmt"
+	"time"
+
+	"atpgeasy/internal/faultsim"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/sat"
+)
+
+// Status classifies the outcome of test generation for one fault.
+type Status int8
+
+// Per-fault outcomes.
+const (
+	Detected   Status = iota // a test vector was found and verified
+	Untestable               // the ATPG-SAT instance is unsatisfiable
+	Aborted                  // resource limit hit before a decision
+)
+
+// String returns "detected", "untestable" or "aborted".
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	default:
+		return "aborted"
+	}
+}
+
+// Result is the outcome of test generation for one fault.
+type Result struct {
+	Fault  Fault
+	Status Status
+	// Vector is the test over the parent circuit's primary inputs (valid
+	// when Status is Detected).
+	Vector []bool
+	// Vars and Clauses are the ATPG-SAT instance size — the x-axis of
+	// Figure 1 of the paper.
+	Vars    int
+	Clauses int
+	// Elapsed is the SAT-solving wall time, Figure 1's y-axis.
+	Elapsed time.Duration
+	// SolverStats carries the solver's search counters.
+	SolverStats sat.Stats
+}
+
+// Engine generates tests fault by fault. The zero value uses the DPLL
+// solver without limits.
+type Engine struct {
+	// Solver decides the ATPG-SAT instances; nil means a fresh DPLL per
+	// engine.
+	Solver sat.Solver
+	// VerifyTests re-simulates every generated vector against the fault
+	// and reports an internal error if it fails (a cross-check of the
+	// whole encode/solve/extract pipeline).
+	VerifyTests bool
+}
+
+func (e *Engine) solver() sat.Solver {
+	if e.Solver != nil {
+		return e.Solver
+	}
+	return &sat.DPLL{}
+}
+
+// TestFault runs SAT-based test generation for one fault.
+func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
+	res := Result{Fault: f}
+	m, err := NewMiter(c, f)
+	if err == ErrUnobservable {
+		res.Status = Untestable
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	formula, err := m.Encode()
+	if err != nil {
+		return res, err
+	}
+	res.Vars = formula.NumVars
+	res.Clauses = formula.NumClauses()
+	start := time.Now()
+	sol := e.solver().Solve(formula)
+	res.Elapsed = time.Since(start)
+	res.SolverStats = sol.Stats
+	switch sol.Status {
+	case sat.Sat:
+		res.Status = Detected
+		res.Vector = m.ExtractTest(c, sol.Model)
+		if e.VerifyTests && !VerifyTest(c, f, res.Vector) {
+			return res, fmt.Errorf("atpg: generated vector fails to detect %s (pipeline bug)", f.Name(c))
+		}
+	case sat.Unsat:
+		res.Status = Untestable
+	default:
+		res.Status = Aborted
+	}
+	return res, nil
+}
+
+// Summary aggregates a full-circuit ATPG run.
+type Summary struct {
+	Circuit    string
+	Total      int
+	Detected   int
+	Untestable int
+	Aborted    int
+	// DroppedByFaultSim counts faults covered by earlier vectors and
+	// skipped without invoking the solver.
+	DroppedByFaultSim int
+	// Vectors is the generated (compacted) test set.
+	Vectors [][]bool
+	// Results holds the per-fault SAT outcomes for the faults that reached
+	// the solver, in processing order — the data series of Figure 1.
+	Results []Result
+	// Elapsed is total SAT time.
+	Elapsed time.Duration
+}
+
+// Coverage returns detected/(total-untestable): fault coverage over
+// testable faults.
+func (s Summary) Coverage() float64 {
+	testable := s.Total - s.Untestable
+	if testable == 0 {
+		return 1
+	}
+	return float64(s.Detected+s.DroppedByFaultSim) / float64(testable)
+}
+
+// RunOptions control a full-circuit run.
+type RunOptions struct {
+	// Collapse applies structural fault collapsing before generation.
+	Collapse bool
+	// DropDetected fault-simulates each new vector against the remaining
+	// faults and skips the covered ones (classic TEGUS flow).
+	DropDetected bool
+}
+
+// Run generates tests for every stuck-at fault of the circuit.
+func (e *Engine) Run(c *logic.Circuit, opt RunOptions) (*Summary, error) {
+	faults := AllFaults(c)
+	if opt.Collapse {
+		faults = Collapse(c, faults)
+	}
+	return e.RunFaults(c, faults, opt)
+}
+
+// RunFaults generates tests for the given fault list.
+func (e *Engine) RunFaults(c *logic.Circuit, faults []Fault, opt RunOptions) (*Summary, error) {
+	sum := &Summary{Circuit: c.Name, Total: len(faults)}
+	dropped := make([]bool, len(faults))
+	// pending vectors not yet batch-simulated against the remaining list.
+	var pending [][]bool
+	flushPending := func(from int) error {
+		if !opt.DropDetected || len(pending) == 0 {
+			return nil
+		}
+		words, err := faultsim.PackPatterns(c, pending)
+		if err != nil {
+			return err
+		}
+		sim, err := faultsim.NewSimulator(c, words, len(pending))
+		if err != nil {
+			return err
+		}
+		for j := from; j < len(faults); j++ {
+			if dropped[j] {
+				continue
+			}
+			if sim.Detects(faults[j].Net, faults[j].StuckAt) != 0 {
+				dropped[j] = true
+				sum.DroppedByFaultSim++
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	for i, f := range faults {
+		if dropped[i] {
+			continue
+		}
+		res, err := e.TestFault(c, f)
+		if err != nil {
+			return nil, err
+		}
+		sum.Results = append(sum.Results, res)
+		sum.Elapsed += res.Elapsed
+		switch res.Status {
+		case Detected:
+			sum.Detected++
+			sum.Vectors = append(sum.Vectors, res.Vector)
+			if opt.DropDetected {
+				pending = append(pending, res.Vector)
+				// Flush well below the 64-pattern word width: dropping
+				// early saves solver calls on the remaining fault list.
+				if len(pending) == 16 {
+					if err := flushPending(i + 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case Untestable:
+			sum.Untestable++
+		case Aborted:
+			sum.Aborted++
+		}
+	}
+	if err := flushPending(len(faults)); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

@@ -1,0 +1,415 @@
+// Package bdd implements reduced ordered binary decision diagrams and the
+// circuit-width BDD size bounds discussed in Section 6 of "Why is ATPG
+// Easy?". The paper contrasts its cut-width result — single-exponential in
+// an undirected width — with the Berman/McMillan bound n·2^(w_f·2^(w_r)),
+// exponential in the forward width and double-exponential in the reverse
+// width of a directed linear arrangement. This package provides a small
+// ROBDD engine (unique table, apply cache), circuit-to-BDD construction
+// under a given input order, and the forward/reverse width measurement.
+package bdd
+
+import (
+	"fmt"
+	"math"
+
+	"atpgeasy/internal/logic"
+)
+
+// Ref is a BDD node reference. Constants are False (0) and True (1).
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use a sentinel max level
+	lo, hi Ref
+}
+
+const termLevel = int32(1 << 30)
+
+// Manager owns BDD nodes for a fixed variable count. Variable levels are
+// their index order: level 0 is tested first.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	cache  map[[3]int32]Ref
+	nVars  int
+}
+
+// New returns a manager for n variables.
+func New(n int) *Manager {
+	m := &Manager{
+		unique: make(map[node]Ref),
+		cache:  make(map[[3]int32]Ref),
+		nVars:  n,
+	}
+	m.nodes = append(m.nodes, node{termLevel, False, False}, node{termLevel, True, True})
+	return m
+}
+
+// NumNodes returns the total nodes allocated (including the two
+// terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level, lo, hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// Op codes for apply.
+type op int32
+
+const (
+	opAnd op = iota
+	opOr
+	opXor
+)
+
+func (o op) eval(a, b bool) bool {
+	switch o {
+	case opAnd:
+		return a && b
+	case opOr:
+		return a || b
+	default:
+		return a != b
+	}
+}
+
+func (m *Manager) apply(o op, a, b Ref) Ref {
+	if a <= True && b <= True {
+		if o.eval(a == True, b == True) {
+			return True
+		}
+		return False
+	}
+	// Cheap identities.
+	switch o {
+	case opAnd:
+		if a == False || b == False {
+			return False
+		}
+		if a == True {
+			return b
+		}
+		if b == True {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == True || b == True {
+			return True
+		}
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == False {
+			return b
+		}
+		if b == False {
+			return a
+		}
+		if a == b {
+			return False
+		}
+	}
+	if o != opAnd && o != opOr && o != opXor {
+		panic("bdd: unknown op")
+	}
+	// Normalize operand order for the commutative cache.
+	if a > b {
+		a, b = b, a
+	}
+	key := [3]int32{int32(o), int32(a), int32(b)}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	level := na.level
+	if nb.level < level {
+		level = nb.level
+	}
+	alo, ahi := a, a
+	if na.level == level {
+		alo, ahi = na.lo, na.hi
+	}
+	blo, bhi := b, b
+	if nb.level == level {
+		blo, bhi = nb.lo, nb.hi
+	}
+	r := m.mk(level, m.apply(o, alo, blo), m.apply(o, ahi, bhi))
+	m.cache[key] = r
+	return r
+}
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Ref) Ref { return m.apply(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Ref) Ref { return m.apply(opOr, a, b) }
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b Ref) Ref { return m.apply(opXor, a, b) }
+
+// Not returns ¬a.
+func (m *Manager) Not(a Ref) Ref { return m.apply(opXor, a, True) }
+
+// Eval evaluates the function at a complete input assignment.
+func (m *Manager) Eval(r Ref, assign []bool) bool {
+	for r > True {
+		n := m.nodes[r]
+		if assign[n.level] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// Size returns the number of distinct nodes reachable from the given
+// roots, excluding terminals — the BDD size measure of the bounds.
+func (m *Manager) Size(roots ...Ref) int {
+	seen := make(map[Ref]bool)
+	var visit func(r Ref)
+	visit = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		visit(m.nodes[r].lo)
+		visit(m.nodes[r].hi)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return len(seen)
+}
+
+// SatCount returns the number of satisfying assignments of r over the
+// manager's variables.
+func (m *Manager) SatCount(r Ref) float64 {
+	level := func(r Ref) int32 {
+		if r <= True {
+			return int32(m.nVars)
+		}
+		return m.nodes[r].level
+	}
+	memo := make(map[Ref]float64)
+	// count(r) = satisfying assignments over variables level(r)..nVars-1.
+	var count func(r Ref) float64
+	count = func(r Ref) float64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		v := count(n.lo)*math.Pow(2, float64(level(n.lo)-n.level-1)) +
+			count(n.hi)*math.Pow(2, float64(level(n.hi)-n.level-1))
+		memo[r] = v
+		return v
+	}
+	return count(r) * math.Pow(2, float64(level(r)))
+}
+
+// FromCircuit builds BDDs for every primary output of the circuit, with
+// BDD variable i corresponding to c.Inputs[i] (i.e. the circuit's input
+// declaration order is the BDD variable order). inputOrder optionally
+// permutes that correspondence: inputOrder[i] is the index into c.Inputs
+// placed at BDD level i; nil means identity.
+func FromCircuit(m *Manager, c *logic.Circuit, inputOrder []int) ([]Ref, error) {
+	if m.nVars < len(c.Inputs) {
+		return nil, fmt.Errorf("bdd: manager has %d variables for %d inputs", m.nVars, len(c.Inputs))
+	}
+	levelOf := make(map[int]int, len(c.Inputs)) // input node ID → BDD level
+	if inputOrder == nil {
+		for i, in := range c.Inputs {
+			levelOf[in] = i
+		}
+	} else {
+		if len(inputOrder) != len(c.Inputs) {
+			return nil, fmt.Errorf("bdd: input order covers %d of %d inputs", len(inputOrder), len(c.Inputs))
+		}
+		for lvl, idx := range inputOrder {
+			if idx < 0 || idx >= len(c.Inputs) {
+				return nil, fmt.Errorf("bdd: input order entry %d out of range", idx)
+			}
+			levelOf[c.Inputs[idx]] = lvl
+		}
+		if len(levelOf) != len(c.Inputs) {
+			return nil, fmt.Errorf("bdd: input order is not a permutation")
+		}
+	}
+	val := make([]Ref, c.NumNodes())
+	for _, id := range c.TopoOrder() {
+		n := &c.Nodes[id]
+		switch n.Type {
+		case logic.Input:
+			val[id] = m.Var(levelOf[id])
+		case logic.Const0:
+			val[id] = False
+		case logic.Const1:
+			val[id] = True
+		default:
+			ins := make([]Ref, len(n.Fanin))
+			for i, f := range n.Fanin {
+				ins[i] = val[f]
+				if n.Negated(i) {
+					ins[i] = m.Not(ins[i])
+				}
+			}
+			r, err := m.gate(n.Type, ins)
+			if err != nil {
+				return nil, fmt.Errorf("gate %q: %w", n.Name, err)
+			}
+			val[id] = r
+		}
+	}
+	outs := make([]Ref, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = val[o]
+	}
+	return outs, nil
+}
+
+func (m *Manager) gate(t logic.GateType, ins []Ref) (Ref, error) {
+	switch t {
+	case logic.Buf:
+		return ins[0], nil
+	case logic.Not:
+		return m.Not(ins[0]), nil
+	case logic.And, logic.Nand:
+		r := True
+		for _, in := range ins {
+			r = m.And(r, in)
+		}
+		if t == logic.Nand {
+			r = m.Not(r)
+		}
+		return r, nil
+	case logic.Or, logic.Nor:
+		r := False
+		for _, in := range ins {
+			r = m.Or(r, in)
+		}
+		if t == logic.Nor {
+			r = m.Not(r)
+		}
+		return r, nil
+	case logic.Xor, logic.Xnor:
+		r := False
+		for _, in := range ins {
+			r = m.Xor(r, in)
+		}
+		if t == logic.Xnor {
+			r = m.Not(r)
+		}
+		return r, nil
+	default:
+		return False, fmt.Errorf("bdd: unsupported gate type %s", t)
+	}
+}
+
+// ForwardReverseWidth measures the directed widths of a linear arrangement
+// of the circuit elements, as used by the Berman/McMillan BDD bounds: at
+// each cut of the ordering, a net runs forward when its driver is placed
+// and some reader is not, and reverse when some reader is placed but the
+// driver is not. The returned values are the maxima over all cuts.
+func ForwardReverseWidth(c *logic.Circuit, order []int) (wf, wr int, err error) {
+	n := c.NumNodes()
+	if len(order) != n {
+		return 0, 0, fmt.Errorf("bdd: ordering covers %d of %d nodes", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return 0, 0, fmt.Errorf("bdd: ordering is not a permutation")
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	fDiff := make([]int, n+1)
+	rDiff := make([]int, n+1)
+	for id := range c.Nodes {
+		if len(c.Nodes[id].Fanout) == 0 {
+			continue
+		}
+		dp := pos[id]
+		minR, maxR := n, -1
+		for _, rd := range c.Nodes[id].Fanout {
+			if pos[rd] < minR {
+				minR = pos[rd]
+			}
+			if pos[rd] > maxR {
+				maxR = pos[rd]
+			}
+		}
+		// Forward span: cuts with driver placed, last reader not yet.
+		if dp < maxR {
+			fDiff[dp+1]++
+			fDiff[maxR+1]--
+		}
+		// Reverse span: cuts with first reader placed, driver not yet.
+		if minR < dp {
+			rDiff[minR+1]++
+			rDiff[dp+1]--
+		}
+	}
+	cf, cr := 0, 0
+	for i := 1; i < n; i++ {
+		cf += fDiff[i]
+		cr += rDiff[i]
+		if cf > wf {
+			wf = cf
+		}
+		if cr > wr {
+			wr = cr
+		}
+	}
+	return wf, wr, nil
+}
+
+// McMillanBound is the BDD size bound n·2^(w_f·2^(w_r)) for a
+// single-output circuit with n inputs under a linear arrangement with
+// forward width wf and reverse width wr. It saturates at +Inf for large
+// widths.
+func McMillanBound(nInputs, wf, wr int) float64 {
+	return float64(nInputs) * math.Pow(2, float64(wf)*math.Pow(2, float64(wr)))
+}

@@ -1,0 +1,304 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New(2)
+	x, y := m.Var(0), m.Var(1)
+	and := m.And(x, y)
+	or := m.Or(x, y)
+	xor := m.Xor(x, y)
+	nx := m.Not(x)
+	for pat := 0; pat < 4; pat++ {
+		a := []bool{pat&1 == 1, pat&2 == 2}
+		if m.Eval(and, a) != (a[0] && a[1]) {
+			t.Errorf("and %v", a)
+		}
+		if m.Eval(or, a) != (a[0] || a[1]) {
+			t.Errorf("or %v", a)
+		}
+		if m.Eval(xor, a) != (a[0] != a[1]) {
+			t.Errorf("xor %v", a)
+		}
+		if m.Eval(nx, a) != !a[0] {
+			t.Errorf("not %v", a)
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	// (x∧y)∨z built two ways must be the identical Ref.
+	a := m.Or(m.And(x, y), z)
+	b := m.Or(z, m.And(y, x))
+	if a != b {
+		t.Error("equivalent functions got different refs")
+	}
+	// Tautology collapses to True.
+	if m.Or(x, m.Not(x)) != True {
+		t.Error("x ∨ ¬x != True")
+	}
+	if m.And(x, m.Not(x)) != False {
+		t.Error("x ∧ ¬x != False")
+	}
+	if m.Xor(x, x) != False {
+		t.Error("x ⊕ x != False")
+	}
+}
+
+func TestVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2).Var(5)
+}
+
+func TestSize(t *testing.T) {
+	m := New(3)
+	x := m.Var(0)
+	if m.Size(x) != 1 {
+		t.Errorf("Size(var) = %d", m.Size(x))
+	}
+	if m.Size(True) != 0 || m.Size(False) != 0 {
+		t.Error("terminal sizes nonzero")
+	}
+	// Parity of 3 variables: 2 nodes per level = 5 nodes (1 at top).
+	p := m.Xor(m.Xor(m.Var(0), m.Var(1)), m.Var(2))
+	if got := m.Size(p); got != 5 {
+		t.Errorf("parity3 size = %d, want 5", got)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	x, y := m.Var(0), m.Var(1)
+	if got := m.SatCount(m.And(x, y)); got != 2 { // z free
+		t.Errorf("SatCount(x∧y) = %g, want 2", got)
+	}
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("SatCount(True) = %g", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %g", got)
+	}
+	if got := m.SatCount(m.Var(2)); got != 4 {
+		t.Errorf("SatCount(z) = %g", got)
+	}
+}
+
+// TestFromCircuitMatchesSimulation: BDD evaluation equals circuit
+// simulation for random circuits, and SatCount equals the enumerated
+// on-set size.
+func TestFromCircuitMatchesSimulation(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 20)
+		m := New(len(c.Inputs))
+		outs, err := FromCircuit(m, c, nil)
+		if err != nil {
+			return false
+		}
+		nin := len(c.Inputs)
+		onSet := 0
+		for pat := 0; pat < 1<<uint(nin); pat++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = pat>>uint(i)&1 == 1
+			}
+			sim := c.SimulateOutputs(in)
+			for i := range outs {
+				if m.Eval(outs[i], in) != sim[i] {
+					return false
+				}
+			}
+			if sim[0] {
+				onSet++
+			}
+		}
+		return math.Abs(m.SatCount(outs[0])-float64(onSet)) < 0.5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromCircuitInputOrder(t *testing.T) {
+	// A 2-level mux has order-sensitive BDD size; both orders must still
+	// compute the right function.
+	c := gen.MuxTree(2)
+	m1 := New(len(c.Inputs))
+	outs1, err := FromCircuit(m1, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{5, 4, 3, 2, 1, 0}
+	m2 := New(len(c.Inputs))
+	outs2, err := FromCircuit(m2, c, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 64; pat++ {
+		in := make([]bool, 6)
+		for i := range in {
+			in[i] = pat>>uint(i)&1 == 1
+		}
+		want := c.SimulateOutputs(in)[0]
+		if m1.Eval(outs1[0], in) != want {
+			t.Fatalf("pattern %06b wrong under identity order", pat)
+		}
+		// Eval assignments are indexed by BDD level: level ℓ carries
+		// circuit input perm[ℓ].
+		permuted := make([]bool, len(in))
+		for lvl, idx := range perm {
+			permuted[lvl] = in[idx]
+		}
+		if m2.Eval(outs2[0], permuted) != want {
+			t.Fatalf("pattern %06b wrong under permuted order", pat)
+		}
+	}
+}
+
+func TestFromCircuitOrderErrors(t *testing.T) {
+	c := gen.MuxTree(2)
+	m := New(len(c.Inputs))
+	if _, err := FromCircuit(m, c, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := FromCircuit(m, c, []int{0, 1, 2, 3, 4, 9}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+	if _, err := FromCircuit(m, c, []int{0, 0, 1, 2, 3, 4}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	small := New(2)
+	if _, err := FromCircuit(small, c, nil); err == nil {
+		t.Error("undersized manager accepted")
+	}
+}
+
+// TestParityBDDLinear: parity has a linear-size BDD under any order.
+func TestParityBDDLinear(t *testing.T) {
+	c := gen.ParityTree(16)
+	m := New(16)
+	outs, err := FromCircuit(m, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := m.Size(outs[0])
+	if size != 2*16-1 {
+		t.Errorf("parity16 BDD size = %d, want 31", size)
+	}
+}
+
+func TestForwardReverseWidth(t *testing.T) {
+	c := logic.Figure4a()
+	// Topological order: all wires forward, none reverse.
+	topo := append([]int(nil), c.TopoOrder()...)
+	wf, wr, err := ForwardReverseWidth(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr != 0 {
+		t.Errorf("topological order has reverse width %d", wr)
+	}
+	if wf < 1 {
+		t.Errorf("forward width = %d", wf)
+	}
+	// Reversed order: all wires reverse.
+	rev := make([]int, len(topo))
+	for i, v := range topo {
+		rev[len(topo)-1-i] = v
+	}
+	wf2, wr2, err := ForwardReverseWidth(c, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf2 != 0 {
+		t.Errorf("reversed order has forward width %d", wf2)
+	}
+	if wr2 < 1 {
+		t.Errorf("reverse width = %d", wr2)
+	}
+}
+
+func TestForwardReverseWidthErrors(t *testing.T) {
+	c := logic.Figure4a()
+	if _, _, err := ForwardReverseWidth(c, []int{0}); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := append([]int(nil), c.TopoOrder()...)
+	bad[0] = bad[1]
+	if _, _, err := ForwardReverseWidth(c, bad); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}
+
+// TestMcMillanBoundHolds: the bound must dominate the actual BDD size for
+// single-output circuits under the corresponding input order.
+func TestMcMillanBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 15)
+		// Use a topological order (wr = 0) so the bound is n·2^wf.
+		topo := append([]int(nil), c.TopoOrder()...)
+		wf, wr, err := ForwardReverseWidth(c, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(len(c.Inputs))
+		outs, err := FromCircuit(m, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := McMillanBound(len(c.Inputs), wf, wr)
+		if size := float64(m.Size(outs[0])); size > bound {
+			t.Errorf("trial %d: BDD size %g exceeds McMillan bound %g (wf=%d wr=%d)",
+				trial, size, bound, wf, wr)
+		}
+	}
+}
+
+func TestMcMillanBoundFormula(t *testing.T) {
+	if got := McMillanBound(4, 2, 1); got != 4*16 {
+		t.Errorf("McMillanBound(4,2,1) = %g, want 64", got)
+	}
+	if got := McMillanBound(2, 1, 0); got != 4 {
+		t.Errorf("McMillanBound(2,1,0) = %g", got)
+	}
+}
+
+func randomCircuit(rng *rand.Rand, n int) *logic.Circuit {
+	b := logic.NewBuilder("rand")
+	nin := 3 + rng.Intn(4)
+	for i := 0; i < nin; i++ {
+		b.Input("in" + string(rune('a'+i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not}
+	for i := 0; i < n; i++ {
+		gt := types[rng.Intn(len(types))]
+		arity := 1
+		if gt != logic.Not {
+			arity = 1 + rng.Intn(3)
+		}
+		fanin := make([]int, arity)
+		neg := make([]bool, arity)
+		for j := range fanin {
+			fanin[j] = rng.Intn(b.NumNodes())
+			neg[j] = rng.Intn(4) == 0
+		}
+		b.GateN(gt, "g"+string(rune('A'+i%26))+string(rune('0'+i/26)), fanin, neg)
+	}
+	b.MarkOutput(b.NumNodes() - 1)
+	return b.MustBuild()
+}

@@ -1,0 +1,242 @@
+// Package bench reads and writes the ISCAS .bench netlist format — the
+// distribution format of the ISCAS85 combinational benchmark suite used in
+// the paper's experiments. Only combinational primitives are supported
+// (INPUT, OUTPUT, AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF); DFF and
+// other sequential elements are rejected.
+//
+// The .bench format has no input-inversion bubbles, so the writer
+// materializes any inversion flags as explicit NOT gates.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"atpgeasy/internal/logic"
+)
+
+var gateByName = map[string]logic.GateType{
+	"AND":  logic.And,
+	"OR":   logic.Or,
+	"NAND": logic.Nand,
+	"NOR":  logic.Nor,
+	"XOR":  logic.Xor,
+	"XNOR": logic.Xnor,
+	"NOT":  logic.Not,
+	"BUF":  logic.Buf,
+	"BUFF": logic.Buf,
+}
+
+var nameByGate = map[logic.GateType]string{
+	logic.And:  "AND",
+	logic.Or:   "OR",
+	logic.Nand: "NAND",
+	logic.Nor:  "NOR",
+	logic.Xor:  "XOR",
+	logic.Xnor: "XNOR",
+	logic.Not:  "NOT",
+	logic.Buf:  "BUFF",
+}
+
+// Read parses a .bench netlist.
+func Read(r io.Reader, name string) (*logic.Circuit, error) {
+	type gateLine struct {
+		out, fn string
+		ins     []string
+		lineNo  int
+	}
+	var gates []gateLine
+	var inputs, outputs []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") || strings.HasPrefix(strings.ToUpper(line), "INPUT ("):
+			arg, err := parens(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") || strings.HasPrefix(strings.ToUpper(line), "OUTPUT ("):
+			arg, err := parens(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close_ := strings.LastIndex(rhs, ")")
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("bench: line %d: malformed gate %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var ins []string
+			for _, tok := range strings.Split(rhs[open+1:close_], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok != "" {
+					ins = append(ins, tok)
+				}
+			}
+			gates = append(gates, gateLine{out, fn, ins, lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := logic.NewBuilder(name)
+	ids := map[string]int{}
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("bench: duplicate input %q", in)
+		}
+		ids[in] = b.Input(in)
+	}
+	// Gates may be declared in any order: topologically sort by
+	// repeatedly emitting ready gates.
+	pending := append([]gateLine(nil), gates...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []gateLine
+		for _, g := range pending {
+			ready := true
+			for _, in := range g.ins {
+				if _, ok := ids[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			gt, ok := gateByName[g.fn]
+			if !ok {
+				return nil, fmt.Errorf("bench: line %d: unsupported gate type %q (sequential netlists are not supported)", g.lineNo, g.fn)
+			}
+			if _, dup := ids[g.out]; dup {
+				return nil, fmt.Errorf("bench: line %d: net %q driven twice", g.lineNo, g.out)
+			}
+			fanin := make([]int, len(g.ins))
+			for i, in := range g.ins {
+				fanin[i] = ids[in]
+			}
+			ids[g.out] = b.Gate(gt, g.out, fanin...)
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("bench: undriven nets or combinational cycle involving %q", next[0].out)
+		}
+		pending = next
+	}
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("bench: output %q is not driven", out)
+		}
+		b.MarkOutput(id)
+	}
+	return b.Build()
+}
+
+func parens(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close_ := strings.LastIndex(line, ")")
+	if open < 0 || close_ < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close_])
+	if arg == "" {
+		return "", fmt.Errorf("empty declaration %q", line)
+	}
+	return arg, nil
+}
+
+// Write emits the circuit as a .bench netlist. Inversion bubbles are
+// materialized as NOT gates named <net>#not (deduplicated); constant
+// drivers become self-feeding... constants are not representable in
+// .bench, so they are rejected.
+func Write(w io.Writer, c *logic.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s — %d gates, %d inputs, %d outputs\n", c.Name, c.NumGates(), len(c.Inputs), len(c.Outputs))
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[in].Name)
+	}
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[out].Name)
+	}
+	notEmitted := map[int]string{}
+	notName := func(id int) string {
+		if n, ok := notEmitted[id]; ok {
+			return n
+		}
+		n := c.Nodes[id].Name + "#not"
+		notEmitted[id] = n
+		fmt.Fprintf(bw, "%s = NOT(%s)\n", n, c.Nodes[id].Name)
+		return n
+	}
+	// Emit in topological order so inverters appear before use — the
+	// reader resorts anyway, but this keeps the file human-readable.
+	for _, id := range c.TopoOrder() {
+		n := &c.Nodes[id]
+		switch n.Type {
+		case logic.Input:
+			continue
+		case logic.Const0, logic.Const1:
+			return fmt.Errorf("bench: constant driver %q not representable in .bench", n.Name)
+		}
+		args := make([]string, len(n.Fanin))
+		for i, f := range n.Fanin {
+			if n.Negated(i) {
+				args[i] = notName(f)
+			} else {
+				args[i] = c.Nodes[f].Name
+			}
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, nameByGate[n.Type], strings.Join(args, ", "))
+	}
+	return bw.Flush()
+}
+
+// sortedNames is a test helper-ish utility: the sorted node names of a
+// circuit, useful for comparing interfaces after round trips.
+func sortedNames(c *logic.Circuit, ids []int) []string {
+	out := c.Names(ids)
+	sort.Strings(out)
+	return out
+}
+
+// SameInterface reports whether two circuits have the same input and
+// output name sets (order-insensitive).
+func SameInterface(a, b *logic.Circuit) bool {
+	ai, bi := sortedNames(a, a.Inputs), sortedNames(b, b.Inputs)
+	ao, bo := sortedNames(a, a.Outputs), sortedNames(b, b.Outputs)
+	if len(ai) != len(bi) || len(ao) != len(bo) {
+		return false
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return false
+		}
+	}
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return false
+		}
+	}
+	return true
+}

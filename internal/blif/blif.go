@@ -1,0 +1,351 @@
+// Package blif reads and writes a combinational subset of the Berkeley
+// Logic Interchange Format (BLIF) — the MCNC91 benchmark distribution
+// format and the native format of SIS, whose tech_decomp output the paper
+// consumes. Supported constructs: .model, .inputs, .outputs, .names with
+// single-output SOP covers, and .end. Latches, subcircuits and multiple
+// models are rejected.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"atpgeasy/internal/logic"
+)
+
+// namesBlock is one parsed .names construct.
+type namesBlock struct {
+	ins    []string
+	out    string
+	rows   []string // input parts of the cover rows
+	phase  byte     // '1' or '0': the common output phase
+	lineNo int
+}
+
+// Read parses a BLIF model into a circuit.
+func Read(r io.Reader) (*logic.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var model string
+	var inputs, outputs []string
+	var blocks []*namesBlock
+	var cur *namesBlock
+	lineNo := 0
+	ended := false
+	// Handle "\" line continuations.
+	var pendingLine string
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			part := strings.TrimSpace(sc.Text())
+			if strings.HasSuffix(part, "\\") {
+				pendingLine += strings.TrimSuffix(part, "\\") + " "
+				continue
+			}
+			line := pendingLine + part
+			pendingLine = ""
+			return line, true
+		}
+		return "", false
+	}
+	for {
+		line, ok := readLine()
+		if !ok {
+			break
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ended {
+			return nil, fmt.Errorf("blif: line %d: content after .end", lineNo)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if model != "" {
+				return nil, fmt.Errorf("blif: line %d: multiple .model constructs", lineNo)
+			}
+			if len(fields) > 1 {
+				model = fields[1]
+			} else {
+				model = "blif"
+			}
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+			cur = nil
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+			cur = nil
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+			}
+			cur = &namesBlock{
+				ins:    fields[1 : len(fields)-1],
+				out:    fields[len(fields)-1],
+				lineNo: lineNo,
+			}
+			blocks = append(blocks, cur)
+		case ".end":
+			ended = true
+			cur = nil
+		case ".latch", ".subckt", ".gate", ".mlatch", ".exdc":
+			return nil, fmt.Errorf("blif: line %d: %s not supported (combinational single-model subset)", lineNo, fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("blif: line %d: unknown construct %s", lineNo, fields[0])
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
+			}
+			var inPart, outPart string
+			if len(cur.ins) == 0 {
+				if len(fields) != 1 {
+					return nil, fmt.Errorf("blif: line %d: constant cover row must be a single output value", lineNo)
+				}
+				inPart, outPart = "", fields[0]
+			} else {
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("blif: line %d: cover row needs input part and output value", lineNo)
+				}
+				inPart, outPart = fields[0], fields[1]
+				if len(inPart) != len(cur.ins) {
+					return nil, fmt.Errorf("blif: line %d: cover row width %d for %d inputs", lineNo, len(inPart), len(cur.ins))
+				}
+				for _, ch := range inPart {
+					if ch != '0' && ch != '1' && ch != '-' {
+						return nil, fmt.Errorf("blif: line %d: bad cover character %q", lineNo, ch)
+					}
+				}
+			}
+			if outPart != "0" && outPart != "1" {
+				return nil, fmt.Errorf("blif: line %d: output value must be 0 or 1", lineNo)
+			}
+			if cur.phase == 0 {
+				cur.phase = outPart[0]
+			} else if cur.phase != outPart[0] {
+				return nil, fmt.Errorf("blif: line %d: mixed output phases in one .names", lineNo)
+			}
+			cur.rows = append(cur.rows, inPart)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if model == "" {
+		return nil, fmt.Errorf("blif: missing .model")
+	}
+
+	b := logic.NewBuilder(model)
+	ids := map[string]int{}
+	for _, in := range inputs {
+		if _, dup := ids[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		ids[in] = b.Input(in)
+	}
+	// Topologically emit the .names blocks.
+	pending := append([]*namesBlock(nil), blocks...)
+	for len(pending) > 0 {
+		progressed := false
+		var next []*namesBlock
+		for _, nb := range pending {
+			ready := true
+			for _, in := range nb.ins {
+				if _, ok := ids[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, nb)
+				continue
+			}
+			if _, dup := ids[nb.out]; dup {
+				return nil, fmt.Errorf("blif: line %d: net %q driven twice", nb.lineNo, nb.out)
+			}
+			id, err := emitNames(b, nb, ids)
+			if err != nil {
+				return nil, err
+			}
+			ids[nb.out] = id
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("blif: undriven nets or cycle involving %q", next[0].out)
+		}
+		pending = next
+	}
+	for _, out := range outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q is not driven", out)
+		}
+		b.MarkOutput(id)
+	}
+	return b.Build()
+}
+
+// emitNames builds the gate network for one SOP cover and returns the net
+// carrying the block's function, named nb.out.
+func emitNames(b *logic.Builder, nb *namesBlock, ids map[string]int) (int, error) {
+	fanin := make([]int, len(nb.ins))
+	for i, in := range nb.ins {
+		fanin[i] = ids[in]
+	}
+	// Constant blocks.
+	if len(nb.ins) == 0 {
+		// No rows, or rows of "0": constant 0; a "1" row: constant 1.
+		return b.Const(nb.out, nb.phase == '1' && len(nb.rows) > 0), nil
+	}
+	if len(nb.rows) == 0 {
+		return b.Const(nb.out, false), nil
+	}
+	onPhase := nb.phase == '1'
+	// Build one product term per row.
+	aux := 0
+	fresh := func() string {
+		aux++
+		return fmt.Sprintf("%s$blif%d", nb.out, aux)
+	}
+	var terms []int
+	var termNeg []bool
+	for _, row := range nb.rows {
+		var lits []int
+		var negs []bool
+		for i, ch := range row {
+			if ch == '-' {
+				continue
+			}
+			lits = append(lits, fanin[i])
+			negs = append(negs, ch == '0')
+		}
+		switch len(lits) {
+		case 0:
+			// Row of all don't-cares: function is constant onPhase.
+			return b.Const(nb.out, onPhase), nil
+		case 1:
+			terms = append(terms, lits[0])
+			termNeg = append(termNeg, negs[0])
+		default:
+			terms = append(terms, b.GateN(logic.And, fresh(), lits, negs))
+			termNeg = append(termNeg, false)
+		}
+	}
+	var root int
+	switch {
+	case len(terms) == 1 && onPhase:
+		root = b.GateN(logic.Buf, nb.out, terms[:1], termNeg[:1])
+	case len(terms) == 1:
+		root = b.GateN(logic.Buf, nb.out, terms[:1], []bool{!termNeg[0]})
+	case onPhase:
+		root = b.GateN(logic.Or, nb.out, terms, termNeg)
+	default:
+		// Complemented cover: ¬(t1 ∨ … ∨ tk) = NOR.
+		root = b.GateN(logic.Nor, nb.out, terms, termNeg)
+	}
+	return root, nil
+}
+
+// Write emits the circuit as a BLIF model. Each gate becomes one .names
+// block; XOR/XNOR covers enumerate the 2^(k-1) parity rows (gate fanin is
+// expected to be small — run decomp first for wide parity gates).
+func Write(w io.Writer, c *logic.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", c.Name)
+	fmt.Fprint(bw, ".inputs")
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, " %s", c.Nodes[in].Name)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, " %s", c.Nodes[out].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range c.TopoOrder() {
+		n := &c.Nodes[id]
+		if n.Type == logic.Input {
+			continue
+		}
+		if err := writeNames(bw, c, n); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeNames(bw *bufio.Writer, c *logic.Circuit, n *logic.Node) error {
+	fmt.Fprint(bw, ".names")
+	for _, f := range n.Fanin {
+		fmt.Fprintf(bw, " %s", c.Nodes[f].Name)
+	}
+	fmt.Fprintf(bw, " %s\n", n.Name)
+	k := len(n.Fanin)
+	lit := func(i int, on bool) byte {
+		// Cover character selecting the input value that makes input i
+		// "active" (true at the gate after the bubble) when on.
+		if on != n.Negated(i) {
+			return '1'
+		}
+		return '0'
+	}
+	switch n.Type {
+	case logic.Const0:
+		// Empty cover: constant 0.
+	case logic.Const1:
+		fmt.Fprintln(bw, "1")
+	case logic.Buf:
+		fmt.Fprintf(bw, "%c 1\n", lit(0, true))
+	case logic.Not:
+		fmt.Fprintf(bw, "%c 1\n", lit(0, false))
+	case logic.And, logic.Nand:
+		row := make([]byte, k)
+		for i := range row {
+			row[i] = lit(i, true)
+		}
+		if n.Type == logic.And {
+			fmt.Fprintf(bw, "%s 1\n", row)
+		} else {
+			fmt.Fprintf(bw, "%s 0\n", row)
+		}
+	case logic.Or, logic.Nor:
+		out := byte('1')
+		if n.Type == logic.Nor {
+			out = '0'
+		}
+		for i := 0; i < k; i++ {
+			row := make([]byte, k)
+			for j := range row {
+				row[j] = '-'
+			}
+			row[i] = lit(i, true)
+			fmt.Fprintf(bw, "%s %c\n", row, out)
+		}
+	case logic.Xor, logic.Xnor:
+		if k > 16 {
+			return fmt.Errorf("blif: %d-input parity gate %q too wide to enumerate", k, n.Name)
+		}
+		want := n.Type == logic.Xor
+		for pat := 0; pat < 1<<uint(k); pat++ {
+			parity := false
+			row := make([]byte, k)
+			for i := 0; i < k; i++ {
+				on := pat>>uint(i)&1 == 1
+				if on {
+					parity = !parity
+				}
+				row[i] = lit(i, on)
+			}
+			if parity == want {
+				fmt.Fprintf(bw, "%s 1\n", row)
+			}
+		}
+	default:
+		return fmt.Errorf("blif: unsupported gate type %s", n.Type)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package blif
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+const sample = `
+# a small model
+.model demo
+.inputs a b c
+.outputs f g k one
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+# complemented cover: g = ~(a + ~b)
+.names a b g
+1- 0
+-0 0
+.names one
+1
+.names a b \
+ c k
+11- 1
+--1 1
+.end
+`
+
+func TestReadSample(t *testing.T) {
+	c, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" {
+		t.Errorf("model = %q", c.Name)
+	}
+	if len(c.Inputs) != 3 || len(c.Outputs) != 4 {
+		t.Fatalf("interface: %d/%d", len(c.Inputs), len(c.Outputs))
+	}
+	for pat := 0; pat < 8; pat++ {
+		a, b, cc := pat&1 == 1, pat&2 == 2, pat&4 == 4
+		out := c.SimulateOutputs([]bool{a, b, cc})
+		f := (a && b) || cc
+		g := !(a || !b)
+		k := (a && b) || cc
+		if out[0] != f || out[1] != g || out[2] != k || out[3] != true {
+			t.Errorf("pat %03b: got %v, want [%v %v %v true]", pat, out, f, g, k)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no model":      ".inputs a\n.outputs a\n.end\n",
+		"latch":         ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n",
+		"subckt":        ".model m\n.subckt foo\n.end\n",
+		"two models":    ".model m\n.model n\n.end\n",
+		"row outside":   ".model m\n.inputs a\n11 1\n.end\n",
+		"bad char":      ".model m\n.inputs a\n.outputs f\n.names a f\nx 1\n.end\n",
+		"width":         ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n",
+		"mixed phase":   ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n",
+		"undriven":      ".model m\n.inputs a\n.outputs f\n.end\n",
+		"after end":     ".model m\n.inputs a\n.outputs a\n.end\n.names a b\n",
+		"double driven": ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n",
+		"cycle":         ".model m\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n",
+		"bad out value": ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n",
+		"unknown dot":   ".model m\n.wibble\n.end\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestConstantsAndDontCares(t *testing.T) {
+	src := `.model k
+.inputs a
+.outputs zero tauto
+.names zero
+.names a tauto
+- 1
+.end
+`
+	c, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.SimulateOutputs([]bool{true})
+	if out[0] != false || out[1] != true {
+		t.Errorf("constants: %v", out)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	circuits := []*logic.Circuit{
+		gen.RippleAdder(4),
+		gen.ALU(3),
+		logic.Figure4a(),
+		gen.ParityTree(6),
+	}
+	for _, orig := range circuits {
+		var sb strings.Builder
+		if err := Write(&sb, orig); err != nil {
+			t.Fatalf("%s: Write: %v", orig.Name, err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: Read: %v\n%s", orig.Name, err, sb.String())
+		}
+		if len(back.Inputs) != len(orig.Inputs) || len(back.Outputs) != len(orig.Outputs) {
+			t.Fatalf("%s: interface changed", orig.Name)
+		}
+		rng := rand.New(rand.NewSource(8))
+		for trial := 0; trial < 60; trial++ {
+			in := make([]bool, len(orig.Inputs))
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			a := orig.SimulateOutputs(in)
+			b := back.SimulateOutputs(in)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s trial %d: output %d differs", orig.Name, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripWithGateVariety(t *testing.T) {
+	b := logic.NewBuilder("variety")
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	one := b.Const("one", true)
+	zero := b.Const("zero", false)
+	nand := b.Gate(logic.Nand, "nand3", x, y, z)
+	nor := b.GateN(logic.Nor, "nor2", []int{x, y}, []bool{true, false})
+	xnor := b.Gate(logic.Xnor, "xnor3", x, y, z)
+	not := b.Gate(logic.Not, "inv", x)
+	buf := b.GateN(logic.Buf, "buf", []int{y}, []bool{true})
+	mix := b.Gate(logic.And, "mix", nand, nor, one)
+	mix2 := b.Gate(logic.Or, "mix2", xnor, not, buf, zero)
+	b.MarkOutput(mix)
+	b.MarkOutput(mix2)
+	c := b.MustBuild()
+
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, sb.String())
+	}
+	for pat := 0; pat < 8; pat++ {
+		in := []bool{pat&1 == 1, pat&2 == 2, pat&4 == 4}
+		a := c.SimulateOutputs(in)
+		bo := back.SimulateOutputs(in)
+		for i := range a {
+			if a[i] != bo[i] {
+				t.Fatalf("pat %03b output %d differs\n%s", pat, i, sb.String())
+			}
+		}
+	}
+}
+
+func TestWriteRejectsWideParity(t *testing.T) {
+	b := logic.NewBuilder("wide")
+	var ins []int
+	for i := 0; i < 17; i++ {
+		ins = append(ins, b.Input("x"+string(rune('a'+i))))
+	}
+	b.MarkOutput(b.Gate(logic.Xor, "p", ins...))
+	c := b.MustBuild()
+	var sb strings.Builder
+	if err := Write(&sb, c); err == nil {
+		t.Error("17-input XOR accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS writes the formula in standard DIMACS CNF format (variables
+// are 1-based in the file).
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			v := l.Var() + 1
+			if l.IsNeg() {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(bw, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS CNF file. Comment lines ("c ...") are skipped;
+// the problem line is validated against the clauses read.
+func ReadDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var f *Formula
+	declaredClauses := -1
+	var cur Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line %q", lineNo, line)
+			}
+			f = NewFormula(nv)
+			declaredClauses = nc
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("dimacs: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad token %q", lineNo, tok)
+			}
+			if v == 0 {
+				f.AddClause(cur...)
+				cur = nil
+				continue
+			}
+			neg := v < 0
+			if neg {
+				v = -v
+			}
+			if v > f.NumVars {
+				return nil, fmt.Errorf("dimacs: line %d: variable %d exceeds declared %d", lineNo, v, f.NumVars)
+			}
+			cur = append(cur, NewLit(v-1, neg))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("dimacs: no problem line")
+	}
+	if len(cur) > 0 {
+		f.AddClause(cur...)
+	}
+	if declaredClauses >= 0 && len(f.Clauses) != declaredClauses {
+		return nil, fmt.Errorf("dimacs: declared %d clauses, read %d", declaredClauses, len(f.Clauses))
+	}
+	return f, nil
+}

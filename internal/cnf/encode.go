@@ -1,0 +1,161 @@
+package cnf
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/logic"
+)
+
+// maxXorFanin bounds the fanin of XOR/XNOR gates we encode directly; a
+// k-input parity gate needs 2^k clauses when the formula must keep one
+// variable per net. Technology decomposition (package decomp) keeps real
+// netlists well under this.
+const maxXorFanin = 8
+
+// GateClauses returns the consistency clauses for one gate, following
+// Figure 2 of the paper. The gate's output variable is out; in[i] is the
+// literal feeding gate input i (already carrying any input inversion).
+//
+//	AND z:  (l_i + ~z) for each i is wrong way round — the clause set is
+//	        (~z + l_i) for each input i, plus (z + ~l_1 + ... + ~l_k).
+//	OR  z:  (z + ~l_i) for each i, plus (~z + l_1 + ... + l_k).
+//
+// NAND/NOR are AND/OR with the output literal complemented; BUF/NOT are the
+// two-clause equivalence; XOR/XNOR enumerate the parity-violating rows.
+func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
+	z := NewLit(out, false)
+	nz := z.Not()
+	switch t {
+	case logic.Buf, logic.Not:
+		l := in[0]
+		if t == logic.Not {
+			l = l.Not()
+		}
+		return []Clause{{nz, l}, {z, l.Not()}}, nil
+	case logic.And, logic.Nand:
+		if t == logic.Nand {
+			z, nz = nz, z
+		}
+		clauses := make([]Clause, 0, len(in)+1)
+		long := make(Clause, 0, len(in)+1)
+		for _, l := range in {
+			clauses = append(clauses, Clause{nz, l})
+			long = append(long, l.Not())
+		}
+		long = append(long, z)
+		return append(clauses, long), nil
+	case logic.Or, logic.Nor:
+		if t == logic.Nor {
+			z, nz = nz, z
+		}
+		clauses := make([]Clause, 0, len(in)+1)
+		long := make(Clause, 0, len(in)+1)
+		for _, l := range in {
+			clauses = append(clauses, Clause{z, l.Not()})
+			long = append(long, l)
+		}
+		long = append(long, nz)
+		return append(clauses, long), nil
+	case logic.Xor, logic.Xnor:
+		k := len(in)
+		if k > maxXorFanin {
+			return nil, fmt.Errorf("cnf: %d-input %s gate exceeds direct-encoding limit %d (run decomp first)", k, t, maxXorFanin)
+		}
+		want := t == logic.Xor
+		var clauses []Clause
+		// For every input combination, the row's clause forbids the wrong
+		// output value: if parity(row) == want-parity the output must be 1.
+		for row := 0; row < 1<<uint(k); row++ {
+			parity := false
+			cl := make(Clause, 0, k+1)
+			for i := 0; i < k; i++ {
+				bit := row>>uint(i)&1 == 1
+				if bit {
+					parity = !parity
+				}
+				// Literal that is false exactly on this row.
+				lit := in[i]
+				if bit {
+					lit = lit.Not()
+				}
+				cl = append(cl, lit)
+			}
+			outVal := parity == want
+			if outVal {
+				cl = append(cl, z)
+			} else {
+				cl = append(cl, nz)
+			}
+			clauses = append(clauses, cl)
+		}
+		return clauses, nil
+	default:
+		return nil, fmt.Errorf("cnf: no clause encoding for %s", t)
+	}
+}
+
+// FromCircuit builds the CIRCUIT-SAT formula f(C) of Section 2: one
+// variable per net (variable index = node ID), Figure 2 clauses for each
+// gate, unit clauses for constant drivers, and one clause asserting that at
+// least one primary output is 1.
+//
+// ForcedNets optionally asserts nets to fixed values (unit clauses) — used
+// by the ATPG encoding to activate the fault site. Passing nil forces
+// nothing.
+func FromCircuit(c *logic.Circuit, forced map[int]bool) (*Formula, error) {
+	f := NewFormula(c.NumNodes())
+	f.VarNames = make([]string, c.NumNodes())
+	for i := range c.Nodes {
+		f.VarNames[i] = c.Nodes[i].Name
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if _, isForced := forced[id]; isForced {
+			continue // the forced value replaces the gate function
+		}
+		switch n.Type {
+		case logic.Input:
+			// free variable, no clauses
+		case logic.Const0:
+			f.AddClause(NewLit(id, true))
+		case logic.Const1:
+			f.AddClause(NewLit(id, false))
+		default:
+			in := make([]Lit, len(n.Fanin))
+			for i, fi := range n.Fanin {
+				in[i] = NewLit(fi, n.Negated(i))
+			}
+			clauses, err := GateClauses(n.Type, id, in)
+			if err != nil {
+				return nil, fmt.Errorf("gate %q: %w", n.Name, err)
+			}
+			f.Clauses = append(f.Clauses, clauses...)
+		}
+	}
+	for id, v := range forced {
+		f.AddClause(NewLit(id, !v))
+	}
+	if len(c.Outputs) > 0 {
+		out := make(Clause, len(c.Outputs))
+		for i, o := range c.Outputs {
+			out[i] = NewLit(o, false)
+		}
+		f.AddClause(out...)
+	}
+	return f, nil
+}
+
+// FromCircuitConsistency builds only the gate-consistency clauses (no
+// output-asserting clause): the characteristic function of the circuit's
+// legal net-value combinations. Useful for counting distinct consistent
+// sub-formulas and for equivalence checking harnesses.
+func FromCircuitConsistency(c *logic.Circuit) (*Formula, error) {
+	f, err := FromCircuit(c, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Outputs) > 0 {
+		f.Clauses = f.Clauses[:len(f.Clauses)-1]
+	}
+	return f, nil
+}

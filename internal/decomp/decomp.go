@@ -1,0 +1,195 @@
+// Package decomp implements technology decomposition: mapping a Boolean
+// network onto AND and OR gates with at most k inputs, allowing input
+// inversions — the contract of SIS's tech_decomp procedure, which the
+// paper applies (with k = 3) to every benchmark before measuring cut-width
+// or running ATPG (Section 5.2.2). NAND/NOR are rewritten by De Morgan's
+// laws; XOR/XNOR expand into their two-level AND/OR form over a balanced
+// 2-input XOR tree.
+package decomp
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/logic"
+)
+
+// lit is an internal signal with an optional inversion.
+type lit struct {
+	id  int
+	neg bool
+}
+
+// decomposer carries the output builder and naming state.
+type decomposer struct {
+	b    *logic.Builder
+	k    int
+	next int
+}
+
+func (d *decomposer) fresh(base string) string {
+	d.next++
+	return fmt.Sprintf("%s$%d", base, d.next)
+}
+
+// Decompose maps the circuit onto ≤k-input AND/OR gates (plus BUF for
+// fanin-1 cases), allowing inversions, preserving the circuit function,
+// the primary input order and the primary output order. k must be ≥ 2.
+func Decompose(c *logic.Circuit, k int) (*logic.Circuit, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("decomp: k must be ≥ 2, got %d", k)
+	}
+	d := &decomposer{b: logic.NewBuilder(c.Name + "_map"), k: k}
+	// mapped[id] is the literal in the new circuit equal to net id.
+	mapped := make([]lit, c.NumNodes())
+	for _, id := range c.TopoOrder() {
+		n := &c.Nodes[id]
+		ins := make([]lit, len(n.Fanin))
+		for i, f := range n.Fanin {
+			ins[i] = mapped[f]
+			if n.Negated(i) {
+				ins[i].neg = !ins[i].neg
+			}
+		}
+		switch n.Type {
+		case logic.Input:
+			mapped[id] = lit{d.b.Input(n.Name), false}
+		case logic.Const0:
+			mapped[id] = lit{d.b.Const(n.Name, false), false}
+		case logic.Const1:
+			mapped[id] = lit{d.b.Const(n.Name, true), false}
+		case logic.Buf:
+			mapped[id] = d.emitBuf(n.Name, ins[0])
+		case logic.Not:
+			mapped[id] = d.emitBuf(n.Name, lit{ins[0].id, !ins[0].neg})
+		case logic.And:
+			mapped[id] = d.emitTree(logic.And, n.Name, ins, false)
+		case logic.Nand:
+			// ¬AND(x…) = OR(¬x…).
+			mapped[id] = d.emitTree(logic.Or, n.Name, negAll(ins), false)
+		case logic.Or:
+			mapped[id] = d.emitTree(logic.Or, n.Name, ins, false)
+		case logic.Nor:
+			mapped[id] = d.emitTree(logic.And, n.Name, negAll(ins), false)
+		case logic.Xor:
+			mapped[id] = d.emitXorTree(n.Name, ins, false)
+		case logic.Xnor:
+			mapped[id] = d.emitXorTree(n.Name, ins, true)
+		default:
+			return nil, fmt.Errorf("decomp: unsupported gate type %s", n.Type)
+		}
+	}
+	for _, o := range c.Outputs {
+		m := mapped[o]
+		if m.neg {
+			// Outputs must be plain nets: materialize the inversion.
+			m = lit{d.b.GateN(logic.Buf, d.fresh(c.Nodes[o].Name+"_inv"), []int{m.id}, []bool{true}), false}
+		}
+		d.b.MarkOutput(m.id)
+	}
+	out, err := d.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func negAll(ins []lit) []lit {
+	out := make([]lit, len(ins))
+	for i, l := range ins {
+		out[i] = lit{l.id, !l.neg}
+	}
+	return out
+}
+
+// emitBuf creates a named buffer for the literal (keeping the original net
+// name alive in the mapped circuit).
+func (d *decomposer) emitBuf(name string, in lit) lit {
+	return lit{d.b.GateN(logic.Buf, d.uniqueName(name), []int{in.id}, []bool{in.neg}), false}
+}
+
+// uniqueName keeps the original name when free, otherwise suffixes it.
+func (d *decomposer) uniqueName(name string) string {
+	if _, taken := d.b.Lookup(name); !taken {
+		return name
+	}
+	return d.fresh(name)
+}
+
+// emitTree builds a balanced tree of ≤k-input gates of type t over the
+// literals; the root carries the original net name. outNeg requests the
+// complement of the tree function (folded into a final buffer when needed).
+func (d *decomposer) emitTree(t logic.GateType, name string, ins []lit, outNeg bool) lit {
+	cur := append([]lit(nil), ins...)
+	for len(cur) > d.k {
+		var next []lit
+		for i := 0; i < len(cur); i += d.k {
+			hi := i + d.k
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			if hi-i == 1 {
+				next = append(next, cur[i])
+				continue
+			}
+			next = append(next, d.gate(t, d.fresh(name), cur[i:hi]))
+		}
+		cur = next
+	}
+	var root lit
+	if len(cur) == 1 {
+		root = d.emitBuf(name, cur[0])
+	} else {
+		root = d.gate(t, d.uniqueName(name), cur)
+	}
+	root.neg = root.neg != outNeg
+	return root
+}
+
+func (d *decomposer) gate(t logic.GateType, name string, ins []lit) lit {
+	ids := make([]int, len(ins))
+	negs := make([]bool, len(ins))
+	for i, l := range ins {
+		ids[i] = l.id
+		negs[i] = l.neg
+	}
+	return lit{d.b.GateN(t, name, ids, negs), false}
+}
+
+// emitXorTree reduces a multi-input XOR/XNOR to a balanced tree of 2-input
+// parity cells, each expanded to AND/OR form: x⊕y = (x∧¬y) ∨ (¬x∧y).
+// XNOR is realized as a final output inversion folded into the root name.
+func (d *decomposer) emitXorTree(name string, ins []lit, xnor bool) lit {
+	cur := append([]lit(nil), ins...)
+	for len(cur) > 1 {
+		var next []lit
+		for i := 0; i+1 < len(cur); i += 2 {
+			last := len(cur) <= 2
+			cellName := d.fresh(name)
+			if last {
+				cellName = d.uniqueName(name)
+			}
+			next = append(next, d.xorCell(cellName, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	root := cur[0]
+	if len(ins) == 1 {
+		// Degenerate 1-input parity: the literal itself (named buffer).
+		root = d.emitBuf(d.uniqueName(name), root)
+	}
+	root.neg = root.neg != xnor
+	if root.neg {
+		root = lit{d.b.GateN(logic.Buf, d.fresh(name+"_n"), []int{root.id}, []bool{true}), false}
+	}
+	return root
+}
+
+// xorCell builds x⊕y = (x∧¬y)∨(¬x∧y) with the OR carrying the name.
+func (d *decomposer) xorCell(name string, x, y lit) lit {
+	a := d.gate(logic.And, d.fresh(name), []lit{x, {y.id, !y.neg}})
+	b := d.gate(logic.And, d.fresh(name), []lit{{x.id, !x.neg}, y})
+	return d.gate(logic.Or, name, []lit{a, b})
+}

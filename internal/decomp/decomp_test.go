@@ -1,0 +1,227 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+// equivalent checks functional equivalence of two circuits with identical
+// input/output interfaces, on random vectors.
+func equivalent(t *testing.T, a, b *logic.Circuit, trials int, seed int64) {
+	t.Helper()
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("interface mismatch: %d/%d in, %d/%d out",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		in := make([]bool, len(a.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		ao := a.SimulateOutputs(in)
+		bo := b.SimulateOutputs(in)
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("trial %d output %d: %v vs %v", trial, i, ao[i], bo[i])
+			}
+		}
+	}
+}
+
+// checkMapped verifies the decomposition contract: only AND/OR/BUF gates,
+// fanin ≤ k.
+func checkMapped(t *testing.T, c *logic.Circuit, k int) {
+	t.Helper()
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case logic.Input, logic.Const0, logic.Const1, logic.And, logic.Or, logic.Buf:
+		default:
+			t.Fatalf("gate %q has unmapped type %s", n.Name, n.Type)
+		}
+		if len(n.Fanin) > k {
+			t.Fatalf("gate %q has fanin %d > %d", n.Name, len(n.Fanin), k)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeFigure4a(t *testing.T) {
+	c := logic.Figure4a()
+	m, err := Decompose(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMapped(t, m, 3)
+	equivalent(t, c, m, 32, 1)
+	// fig4a is already 2-input AND/OR: the mapped circuit keeps one gate
+	// per original gate.
+	if m.NumGates() != c.NumGates() {
+		t.Errorf("gate count changed: %d → %d", c.NumGates(), m.NumGates())
+	}
+}
+
+func TestDecomposeWideGates(t *testing.T) {
+	b := logic.NewBuilder("wide")
+	var ins []int
+	for i := 0; i < 10; i++ {
+		ins = append(ins, b.Input("x"+string(rune('a'+i))))
+	}
+	and := b.Gate(logic.And, "A", ins...)
+	nand := b.Gate(logic.Nand, "N", ins...)
+	or := b.Gate(logic.Or, "O", ins[:7]...)
+	nor := b.Gate(logic.Nor, "R", ins[:5]...)
+	b.MarkOutput(and)
+	b.MarkOutput(nand)
+	b.MarkOutput(or)
+	b.MarkOutput(nor)
+	c := b.MustBuild()
+	for _, k := range []int{2, 3, 4} {
+		m, err := Decompose(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMapped(t, m, k)
+		equivalent(t, c, m, 200, int64(k))
+	}
+}
+
+func TestDecomposeXorXnor(t *testing.T) {
+	b := logic.NewBuilder("parity")
+	var ins []int
+	for i := 0; i < 5; i++ {
+		ins = append(ins, b.Input("x"+string(rune('a'+i))))
+	}
+	x := b.Gate(logic.Xor, "X", ins...)
+	xn := b.Gate(logic.Xnor, "XN", ins[:3]...)
+	x1 := b.Gate(logic.Xor, "X1", ins[0]) // degenerate 1-input parity
+	b.MarkOutput(x)
+	b.MarkOutput(xn)
+	b.MarkOutput(x1)
+	c := b.MustBuild()
+	m, err := Decompose(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMapped(t, m, 3)
+	equivalent(t, c, m, 64, 3)
+}
+
+func TestDecomposeNotBufConst(t *testing.T) {
+	b := logic.NewBuilder("nb")
+	x := b.Input("x")
+	one := b.Const("one", true)
+	n := b.Gate(logic.Not, "n", x)
+	bf := b.GateN(logic.Buf, "bf", []int{n}, []bool{true}) // ¬¬x = x
+	a := b.Gate(logic.And, "a", bf, one)
+	b.MarkOutput(a)
+	b.MarkOutput(n)
+	c := b.MustBuild()
+	m, err := Decompose(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMapped(t, m, 3)
+	equivalent(t, c, m, 8, 5)
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	c := logic.Figure4a()
+	if _, err := Decompose(c, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+// TestDecomposeRandomProperty: decomposition preserves function for random
+// circuits with every gate type and random inversions.
+func TestDecomposeRandomProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 25)
+		m, err := Decompose(c, 3)
+		if err != nil {
+			return false
+		}
+		for i := range m.Nodes {
+			switch m.Nodes[i].Type {
+			case logic.Input, logic.Const0, logic.Const1, logic.And, logic.Or, logic.Buf:
+			default:
+				return false
+			}
+			if len(m.Nodes[i].Fanin) > 3 {
+				return false
+			}
+		}
+		// Exhaustive equivalence (few inputs).
+		nin := len(c.Inputs)
+		for pat := 0; pat < 1<<uint(nin); pat++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = pat>>uint(i)&1 == 1
+			}
+			ao := c.SimulateOutputs(in)
+			bo := m.SimulateOutputs(in)
+			for i := range ao {
+				if ao[i] != bo[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeSuiteCircuits(t *testing.T) {
+	for _, nc := range []struct {
+		name string
+		c    *logic.Circuit
+	}{
+		{"ripple8", gen.RippleAdder(8)},
+		{"mult4", gen.ArrayMultiplier(4)},
+		{"dec4", gen.Decoder(4)},
+		{"parity16", gen.ParityTree(16)},
+	} {
+		m, err := Decompose(nc.c, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", nc.name, err)
+		}
+		checkMapped(t, m, 3)
+		equivalent(t, nc.c, m, 100, 9)
+	}
+}
+
+func randomCircuit(rng *rand.Rand, n int) *logic.Circuit {
+	b := logic.NewBuilder("rand")
+	nin := 3 + rng.Intn(3)
+	for i := 0; i < nin; i++ {
+		b.Input("in" + string(rune('a'+i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	for i := 0; i < n; i++ {
+		gt := types[rng.Intn(len(types))]
+		arity := 1
+		if gt != logic.Not && gt != logic.Buf {
+			arity = 1 + rng.Intn(5)
+		}
+		fanin := make([]int, arity)
+		neg := make([]bool, arity)
+		for j := range fanin {
+			fanin[j] = rng.Intn(b.NumNodes())
+			neg[j] = rng.Intn(3) == 0
+		}
+		b.GateN(gt, "g"+string(rune('A'+i%26))+string(rune('0'+i/26)), fanin, neg)
+	}
+	b.MarkOutput(b.NumNodes() - 1)
+	b.MarkOutput(b.NumNodes() - 2)
+	return b.MustBuild()
+}

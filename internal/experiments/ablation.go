@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/hypergraph"
+	"atpgeasy/internal/mla"
+	"atpgeasy/internal/partition"
+	"atpgeasy/internal/sat"
+)
+
+// AblationRow compares solver effort on one CIRCUIT-SAT instance under
+// the design choices DESIGN.md calls out: the sub-formula cache and the
+// quality of the static variable ordering.
+type AblationRow struct {
+	Circuit string
+	Vars    int
+	Width   int // cut-width of the MLA ordering
+
+	CachingNodesMLA  int64 // Algorithm 1 under the MLA ordering
+	SimpleNodesMLA   int64 // no cache, same ordering
+	CachingNodesTopo int64 // Algorithm 1 under a plain topological ordering
+	CachingAborted   bool
+	SimpleAborted    bool
+}
+
+// AblationResult is the caching/ordering ablation study.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// CachingAblation measures how much of the paper's mechanism each piece
+// buys: the sub-formula cache (caching vs. simple backtracking) and the
+// low-cut-width ordering (MLA vs. topological) on CIRCUIT-SAT instances
+// from structured circuits.
+func CachingAblation(cfg Config) (*AblationResult, error) {
+	circuits := []gen.NamedCircuit{
+		{Role: "parity12", C: gen.ParityTree(12)},
+		{Role: "ripple5", C: gen.RippleAdder(5)},
+		{Role: "tree2d4", C: gen.KaryTree(2, 4)},
+		{Role: "cell1d6", C: gen.CellularArray1D(6)},
+		{Role: "mux8", C: gen.MuxTree(3)},
+	}
+	if cfg.Quick {
+		circuits = circuits[:3]
+	}
+	const limit = 2_000_000
+	res := &AblationResult{}
+	for _, nc := range circuits {
+		// Make each instance a decision problem that exercises search:
+		// CIRCUIT-SAT on the ATPG miter of the first collapsed fault.
+		faults := atpg.Collapse(nc.C, atpg.AllFaults(nc.C))
+		m, err := atpg.NewMiter(nc.C, faults[len(faults)/2])
+		if err != nil {
+			return nil, err
+		}
+		f, err := m.Encode()
+		if err != nil {
+			return nil, err
+		}
+		g := hypergraph.FromCircuit(m.Circuit)
+		w, order := mla.EstimateCutWidth(g, mla.Options{Partition: partition.Options{Seed: cfg.Seed}})
+		topo := m.Circuit.TopoOrder()
+
+		cachingMLA := (&sat.Caching{Order: order, MaxNodes: limit}).Solve(f)
+		simpleMLA := (&sat.Simple{Order: order, MaxNodes: limit}).Solve(f)
+		cachingTopo := (&sat.Caching{Order: append([]int(nil), topo...), MaxNodes: limit}).Solve(f)
+		res.Rows = append(res.Rows, AblationRow{
+			Circuit:          nc.Role,
+			Vars:             f.NumVars,
+			Width:            w,
+			CachingNodesMLA:  cachingMLA.Stats.Nodes,
+			SimpleNodesMLA:   simpleMLA.Stats.Nodes,
+			CachingNodesTopo: cachingTopo.Stats.Nodes,
+			CachingAborted:   cachingMLA.Status == sat.Unknown,
+			SimpleAborted:    simpleMLA.Status == sat.Unknown,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render(w io.Writer) error {
+	hr(w, "Ablation — sub-formula cache and ordering quality (backtracking nodes)")
+	fmt.Fprintf(w, "%-10s %6s %6s %14s %14s %16s\n",
+		"circuit", "vars", "width", "caching(MLA)", "simple(MLA)", "caching(topo)")
+	for _, row := range r.Rows {
+		mark := func(n int64, ab bool) string {
+			if ab {
+				return fmt.Sprintf(">%d", n-1)
+			}
+			return fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(w, "%-10s %6d %6d %14s %14s %16d\n",
+			row.Circuit, row.Vars, row.Width,
+			mark(row.CachingNodesMLA, row.CachingAborted),
+			mark(row.SimpleNodesMLA, row.SimpleAborted),
+			row.CachingNodesTopo)
+	}
+	fmt.Fprintln(w, "the cache is what turns the cut-width bound into a runtime bound; a bad ordering")
+	fmt.Fprintln(w, "inflates the distinct-sub-formula count even with the cache (Theorem 4.1).")
+	return nil
+}
+
+// CollapsingRow compares the ATPG workload with and without fault
+// collapsing and vector compaction.
+type CollapsingRow struct {
+	Circuit       string
+	TotalFaults   int
+	AfterCollapse int
+	SolverCalls   int
+	Dropped       int
+	Vectors       int
+}
+
+// CollapsingResult is the fault-collapsing/compaction ablation.
+type CollapsingResult struct {
+	Rows []CollapsingRow
+}
+
+// CollapsingAblation measures the instance-count reduction from
+// structural fault collapsing plus fault-simulation-based dropping in the
+// Figure 1 workload.
+func CollapsingAblation(cfg Config) (*CollapsingResult, error) {
+	circuits := []gen.NamedCircuit{
+		{Role: "ripple8", C: gen.RippleAdder(8)},
+		{Role: "alu4", C: gen.ALU(4)},
+		{Role: "parity16", C: gen.ParityTree(16)},
+	}
+	if !cfg.Quick {
+		circuits = append(circuits,
+			gen.NamedCircuit{Role: "mult4", C: gen.ArrayMultiplier(4)},
+			gen.NamedCircuit{Role: "cla16", C: gen.CarryLookaheadAdder(16)},
+		)
+	}
+	res := &CollapsingResult{}
+	eng := &atpg.Engine{VerifyTests: true}
+	for _, nc := range circuits {
+		all := atpg.AllFaults(nc.C)
+		collapsed := atpg.Collapse(nc.C, all)
+		sum, err := eng.RunFaults(nc.C, collapsed, atpg.RunOptions{DropDetected: true})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CollapsingRow{
+			Circuit:       nc.Role,
+			TotalFaults:   len(all),
+			AfterCollapse: len(collapsed),
+			SolverCalls:   len(sum.Results),
+			Dropped:       sum.DroppedByFaultSim,
+			Vectors:       len(sum.Vectors),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the collapsing table.
+func (r *CollapsingResult) Render(w io.Writer) error {
+	hr(w, "Ablation — fault collapsing and fault-simulation dropping")
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %9s\n",
+		"circuit", "faults", "collapsed", "solver calls", "dropped", "vectors")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %10d %12d %12d %10d %9d\n",
+			row.Circuit, row.TotalFaults, row.AfterCollapse, row.SolverCalls, row.Dropped, row.Vectors)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/qhorn"
+)
+
+// ClassRow is the class membership of one ATPG-SAT instance.
+type ClassRow struct {
+	Circuit   string
+	Fault     string
+	Vars      int
+	Horn      bool
+	TwoCNF    bool
+	Renamable bool
+	QHorn     qhorn.QHornResult
+}
+
+// QHornStudyResult reproduces the Section 3.1 argument: ATPG-SAT
+// instances of even simple practical circuits fall outside every known
+// polynomial SAT class (Horn, 2-SAT, renamable Horn, q-Horn).
+type QHornStudyResult struct {
+	Rows []ClassRow
+	// AllOutside reports that no instance landed in any easy class.
+	AllOutside bool
+}
+
+// QHornStudy classifies ATPG-SAT instances from a family of small
+// circuits against the polynomial SAT classes.
+func QHornStudy(cfg Config) (*QHornStudyResult, error) {
+	circuits := []gen.NamedCircuit{
+		{Role: "fig4a", C: logic.Figure4a()},
+		{Role: "ripple2", C: gen.RippleAdder(2)},
+		{Role: "mux4", C: gen.MuxTree(2)},
+		{Role: "cmp3", C: gen.Comparator(3)},
+		{Role: "dec2", C: gen.Decoder(2)},
+	}
+	res := &QHornStudyResult{AllOutside: true}
+	for i, nc := range circuits {
+		faults := atpg.Collapse(nc.C, atpg.AllFaults(nc.C))
+		faults = sampleFaults(faults, 6, cfg.Seed+int64(i))
+		for _, f := range faults {
+			m, err := atpg.NewMiter(nc.C, f)
+			if err == atpg.ErrUnobservable {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			formula, err := m.Encode()
+			if err != nil {
+				return nil, err
+			}
+			ren, _ := qhorn.RenamableHorn(formula)
+			q, _ := qhorn.IsQHorn(formula, 1<<18)
+			row := ClassRow{
+				Circuit:   nc.Role,
+				Fault:     f.Name(nc.C),
+				Vars:      formula.NumVars,
+				Horn:      qhorn.IsHorn(formula),
+				TwoCNF:    qhorn.Is2CNF(formula),
+				Renamable: ren,
+				QHorn:     q,
+			}
+			if row.Horn || row.TwoCNF || row.Renamable || row.QHorn == qhorn.QHorn {
+				res.AllOutside = false
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: QHornStudy produced no instances")
+	}
+	return res, nil
+}
+
+// Render prints the class-membership table.
+func (r *QHornStudyResult) Render(w io.Writer) error {
+	hr(w, "Section 3.1 — polynomial SAT class membership of ATPG-SAT instances")
+	fmt.Fprintf(w, "%-10s %-14s %6s %6s %6s %10s %12s\n", "circuit", "fault", "vars", "horn", "2-cnf", "renamable", "q-horn")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-14s %6d %6v %6v %10v %12v\n",
+			row.Circuit, row.Fault, row.Vars, row.Horn, row.TwoCNF, row.Renamable, row.QHorn)
+	}
+	fmt.Fprintf(w, "every instance outside all easy classes: %v (paper: ATPG-SAT is not q-Horn in general)\n", r.AllOutside)
+	return nil
+}
+
+// AvgTimeRow is the Purdom–Brown parameterization of one circuit's
+// CIRCUIT-SAT formula.
+type AvgTimeRow struct {
+	Circuit string
+	Params  qhorn.AverageTimeParams
+	InClass bool
+}
+
+// AvgTimeResult reproduces Section 3.3: ATPG-SAT formulas fall in a
+// polynomial-average-time class (bounded clause density and clause
+// length), though that only suggests — not proves — easiness.
+type AvgTimeResult struct {
+	Rows  []AvgTimeRow
+	AllIn bool
+}
+
+// AvgTimeStudy parameterizes the CIRCUIT-SAT formulas of a suite.
+func AvgTimeStudy(cfg Config) (*AvgTimeResult, error) {
+	ncs, err := suite(SuiteMCNC, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &AvgTimeResult{AllIn: true}
+	for _, nc := range ncs {
+		f, err := cnf.FromCircuit(nc.C, nil)
+		if err != nil {
+			return nil, err
+		}
+		p := qhorn.Parameterize(f)
+		in := p.InPolyAverageClass()
+		if !in {
+			res.AllIn = false
+		}
+		res.Rows = append(res.Rows, AvgTimeRow{Circuit: nc.Role, Params: p, InClass: in})
+	}
+	return res, nil
+}
+
+// Render prints the parameterization table.
+func (r *AvgTimeResult) Render(w io.Writer) error {
+	hr(w, "Section 3.3 — Purdom–Brown average-time parameterization")
+	fmt.Fprintf(w, "%-12s %8s %8s %8s %10s %8s\n", "circuit", "vars", "clauses", "avg len", "density", "in class")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %8d %8d %8.2f %10.2f %8v\n",
+			row.Circuit, row.Params.Vars, row.Params.Clauses,
+			row.Params.AvgClauseLen, row.Params.ClauseDensity, row.InClass)
+	}
+	fmt.Fprintf(w, "all formulas in the polynomial-average-time regime: %v\n", r.AllIn)
+	return nil
+}

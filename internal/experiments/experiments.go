@@ -1,0 +1,140 @@
+// Package experiments regenerates every quantitative result of "Why is
+// ATPG Easy?" on the substitute benchmark suites (see DESIGN.md §3 for
+// the substitution rationale):
+//
+//   - Figure 1  — SAT-solver runtime vs. ATPG-SAT instance size over all
+//     collapsed faults of the MCNC91-like and ISCAS85-like suites;
+//   - Figures 4–7 — the Section 4 worked example (Formula 4.1, the
+//     caching-backtracking run, the cut-width of orderings A and A');
+//   - Figure 8(a)/(b) — estimated cut-width of C_ψ^sub vs. subcircuit
+//     size per fault, with linear/logarithmic/power least-squares fits;
+//   - Section 5.2.3 — the same study on parameterized generated circuits;
+//   - Section 3.1/3.3 — polynomial SAT class membership and the
+//     average-time parameterization of ATPG-SAT instances;
+//   - Section 6 — BDD sizes vs. the Berman/McMillan width bound vs. the
+//     cut-width bound;
+//   - the DESIGN.md ablations (caching vs. simple backtracking, ordering
+//     quality, FM restarts, fault collapsing).
+//
+// Every experiment returns a structured result with a Render method that
+// prints the rows/series the paper reports; cmd/experiments drives them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"atpgeasy/internal/decomp"
+	"atpgeasy/internal/gen"
+)
+
+// Config controls experiment scale and reporting.
+type Config struct {
+	// Quick shrinks the workloads to seconds-scale runs (used by tests);
+	// the full runs mirror the paper's instance counts.
+	Quick bool
+	// Seed drives all sampling; experiments are deterministic per seed.
+	Seed int64
+	// MaxFaultsPerCircuit caps the per-circuit fault sample for the
+	// width studies (0 = experiment default).
+	MaxFaultsPerCircuit int
+	// Verbose writers get progress lines; nil disables.
+	Progress io.Writer
+}
+
+func (c Config) progressf(format string, args ...interface{}) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format, args...)
+	}
+}
+
+// Suite names accepted by the suite-driven experiments.
+const (
+	SuiteMCNC  = "mcnc91"
+	SuiteISCAS = "iscas85"
+)
+
+// suite returns the named benchmark suite, already technology-decomposed
+// to ≤3-input AND/OR gates (the paper's tech_decomp step). Quick mode
+// scales the suites down but keeps representatives of every structural
+// family.
+func suite(name string, cfg Config) ([]gen.NamedCircuit, error) {
+	var ncs []gen.NamedCircuit
+	switch name {
+	case SuiteMCNC:
+		if cfg.Quick {
+			ncs = []gen.NamedCircuit{
+				{Role: "ripple8", C: gen.RippleAdder(8)},
+				{Role: "cla8", C: gen.CarryLookaheadAdder(8)},
+				{Role: "mult4", C: gen.ArrayMultiplier(4)},
+				{Role: "dec3", C: gen.Decoder(3)},
+				{Role: "parity16", C: gen.ParityTree(16)},
+				{Role: "mux8", C: gen.MuxTree(3)},
+				{Role: "cmp8", C: gen.Comparator(8)},
+				{Role: "cell1d_8", C: gen.CellularArray1D(8)},
+				{Role: "logic60", C: gen.Random(gen.RandomParams{Name: "logic60", Inputs: 10, Gates: 60, Seed: 1001})},
+				{Role: "logic200", C: gen.Random(gen.RandomParams{Name: "logic200", Inputs: 18, Gates: 200, Seed: 1002})},
+				// Two larger members so the quick run spans enough size
+				// range for the log-vs-linear fit comparison to be
+				// meaningful (the full suite spans 20–3000 gates).
+				{Role: "logic800", C: gen.Random(gen.RandomParams{Name: "logic800", Inputs: 40, Gates: 800, Seed: 1003})},
+				{Role: "logic2000", C: gen.Random(gen.RandomParams{Name: "logic2000", Inputs: 90, Gates: 2000, Seed: 1004})},
+			}
+		} else {
+			ncs = gen.MCNC91Like()
+		}
+	case SuiteISCAS:
+		if cfg.Quick {
+			ncs = []gen.NamedCircuit{
+				{Role: "c432", C: gen.Random(gen.RandomParams{Name: "c432q", Inputs: 20, Gates: 150, Outputs: 7, Seed: 432})},
+				{Role: "c499", C: gen.ParityTree(25)},
+				{Role: "c880", C: gen.ALU(8)},
+			}
+		} else {
+			ncs = gen.ISCAS85Like()
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown suite %q", name)
+	}
+	out := make([]gen.NamedCircuit, len(ncs))
+	for i, nc := range ncs {
+		mapped, err := decomp.Decompose(nc.C, 3)
+		if err != nil {
+			return nil, fmt.Errorf("decompose %s: %w", nc.Role, err)
+		}
+		out[i] = gen.NamedCircuit{Role: nc.Role, C: mapped}
+	}
+	return out, nil
+}
+
+// sampleFaults deterministically samples up to max faults (0 = all).
+func sampleFaults[T any](faults []T, max int, seed int64) []T {
+	if max <= 0 || len(faults) <= max {
+		return faults
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(faults))[:max]
+	sort.Ints(idx)
+	out := make([]T, max)
+	for i, j := range idx {
+		out[i] = faults[j]
+	}
+	return out
+}
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer) error
+}
+
+// hr prints a section rule.
+func hr(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n==== %s ====\n", title)
+}
+
+// circuitLabel renders "role (name: N gates)".
+func circuitLabel(nc gen.NamedCircuit) string {
+	return fmt.Sprintf("%-12s %s", nc.Role, nc.C.String())
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/fit"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 7} }
+
+func TestSuites(t *testing.T) {
+	for _, name := range []string{SuiteMCNC, SuiteISCAS} {
+		ncs, err := suite(name, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ncs) == 0 {
+			t.Fatalf("%s: empty suite", name)
+		}
+		for _, nc := range ncs {
+			// The decomposition contract the paper requires: ≤3-input gates.
+			if got := nc.C.MaxFanin(); got > 3 {
+				t.Errorf("%s/%s: max fanin %d after decomposition", name, nc.Role, got)
+			}
+		}
+	}
+	if _, err := suite("nope", quickCfg()); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+func TestSampleFaults(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6}
+	if got := sampleFaults(xs, 0, 1); len(got) != 6 {
+		t.Errorf("max 0 should keep all, got %d", len(got))
+	}
+	got := sampleFaults(xs, 3, 1)
+	if len(got) != 3 {
+		t.Fatalf("sampled %d", len(got))
+	}
+	again := sampleFaults(xs, 3, 1)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Error("sampling not deterministic")
+		}
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxFaultsPerCircuit = 10
+	res, err := Figure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 50 {
+		t.Fatalf("only %d points", len(res.Points))
+	}
+	if res.Aborted != 0 {
+		t.Errorf("%d aborted instances", res.Aborted)
+	}
+	// The headline claim: the overwhelming majority of instances solve
+	// fast. On modern hardware and quick-mode sizes everything is fast.
+	if res.FracUnder10ms < 0.9 {
+		t.Errorf("only %.0f%% under 10 ms", 100*res.FracUnder10ms)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "instances:", "under 10 ms"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(res.Points)+1 {
+		t.Errorf("CSV has %d lines for %d points", lines, len(res.Points))
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxFaultsPerCircuit = 6
+	res, err := Figure8(cfg, SuiteMCNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 20 {
+		t.Fatalf("only %d points", len(res.Points))
+	}
+	if len(res.Fits) != 3 {
+		t.Fatalf("fits = %d", len(res.Fits))
+	}
+	// The reproduction target: width grows sublinearly — the winning fit
+	// is logarithmic or a small-exponent power curve, never linear.
+	best := res.Fits[0]
+	if best.Kind == fit.Linear {
+		t.Errorf("best fit is linear: %v", res.Fits)
+	}
+	if best.Kind == fit.Power && best.B > 0.8 {
+		t.Errorf("power fit exponent %.2f too large for log-bounded-width", best.B)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "least-squares fits") {
+		t.Error("render incomplete")
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedStudyQuick(t *testing.T) {
+	cfg := quickCfg()
+	res, err := GeneratedStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuits != 8 {
+		t.Errorf("circuits = %d", res.Circuits)
+	}
+	if res.Fits[0].Kind == fit.Linear {
+		t.Errorf("generated circuits: best fit linear")
+	}
+}
+
+func TestWorkedExample(t *testing.T) {
+	res, err := WorkedExample(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WidthA != 3 {
+		t.Errorf("W(C,A) = %d, want 3 (Figure 6)", res.WidthA)
+	}
+	if res.WidthBadB <= res.WidthA {
+		t.Errorf("bad ordering width %d not worse than A's %d", res.WidthBadB, res.WidthA)
+	}
+	if res.WidthMin > 3 || res.WidthMin < 2 {
+		t.Errorf("W_min = %d", res.WidthMin)
+	}
+	if res.MiterWidth > res.MiterBound {
+		t.Errorf("miter width %d exceeds 2W+2 = %d", res.MiterWidth, res.MiterBound)
+	}
+	if res.ATPGStatus != atpg.Detected {
+		t.Errorf("f/1 should be detected, got %v", res.ATPGStatus)
+	}
+	if !strings.Contains(res.Formula, "(i)") {
+		t.Errorf("formula missing output clause: %s", res.Formula)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Formula 4.1") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestQHornStudy(t *testing.T) {
+	res, err := QHornStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllOutside {
+		t.Error("some ATPG-SAT instance fell into an easy class; the Section 3.1 claim should hold on these circuits")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "q-horn") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAvgTimeStudy(t *testing.T) {
+	res, err := AvgTimeStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllIn {
+		t.Error("some CIRCUIT-SAT formula outside the poly-average regime; bounded-fanin netlists should all be inside")
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBDDStudy(t *testing.T) {
+	res, err := BDDStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.verify(); err != nil {
+		t.Error(err)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "McMillan") && !strings.Contains(sb.String(), "2^(wf") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCachingAblation(t *testing.T) {
+	res, err := CachingAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.CachingAborted && !row.SimpleAborted && row.CachingNodesMLA > row.SimpleNodesMLA {
+			t.Errorf("%s: caching (%d) visited more nodes than simple (%d)",
+				row.Circuit, row.CachingNodesMLA, row.SimpleNodesMLA)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapsingAblation(t *testing.T) {
+	res, err := CollapsingAblation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// XOR-only circuits (parity trees) admit no structural collapsing.
+		if row.Circuit != "parity16" && row.AfterCollapse >= row.TotalFaults {
+			t.Errorf("%s: collapsing did not reduce (%d → %d)", row.Circuit, row.TotalFaults, row.AfterCollapse)
+		}
+		if row.SolverCalls > row.AfterCollapse {
+			t.Errorf("%s: more solver calls than faults", row.Circuit)
+		}
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/core"
+	"atpgeasy/internal/fit"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/mla"
+	"atpgeasy/internal/partition"
+	"atpgeasy/internal/stats"
+)
+
+// Figure8Point is one datapoint of Figure 8: per fault ψ, the size of
+// C_ψ^sub and its estimated cut-width.
+type Figure8Point struct {
+	Circuit string
+	Fault   string
+	SubSize int
+	Width   int
+}
+
+// Figure8Result reproduces Figure 8(a)/(b) and the Section 5.2.3
+// generated-circuit study: the cut-width-vs-size scatter with the three
+// least-squares fits; the paper found the logarithmic curve the best fit
+// on every suite.
+type Figure8Result struct {
+	Title    string
+	Circuits int
+	Points   []Figure8Point
+	// Fits are the width-vs-size fits, best (least SSE) first.
+	Fits []fit.Curve
+	// LogBounded reports whether the logarithmic family won.
+	LogBounded bool
+	// Bins summarize the scatter as equal-width size buckets.
+	Bins []stats.Bin
+}
+
+// observableOnly drops faults with no path to a primary output (no
+// ATPG-SAT instance exists for them; Figure 1 likewise skips them).
+func observableOnly(c *logic.Circuit, faults []atpg.Fault) []atpg.Fault {
+	outSet := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		outSet[o] = true
+	}
+	var out []atpg.Fault
+	for _, f := range faults {
+		seen := false
+		for _, id := range c.TransitiveFanout(f.Net) {
+			if outSet[id] {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// mlaOptions returns the width-estimation configuration: fewer FM
+// restarts than the partitioning default keeps the per-fault MLA cheap.
+func mlaOptions(seed int64) mla.Options {
+	return mla.Options{
+		ExactThreshold: 8,
+		Partition:      partition.Options{Restarts: 2, MaxPasses: 8, Seed: seed},
+	}
+}
+
+// Figure8 runs the per-fault cut-width study on a benchmark suite
+// (SuiteMCNC reproduces Figure 8(a), SuiteISCAS Figure 8(b)).
+func Figure8(cfg Config, suiteName string) (*Figure8Result, error) {
+	ncs, err := suite(suiteName, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure8Result{Title: fmt.Sprintf("Figure 8 — cut-width of C_ψ^sub vs. size (%s suite)", suiteName)}
+	res.Circuits = len(ncs)
+	max := cfg.MaxFaultsPerCircuit
+	if max == 0 {
+		if cfg.Quick {
+			max = 12
+		} else {
+			max = 120
+		}
+	}
+	for i, nc := range ncs {
+		faults := atpg.Collapse(nc.C, atpg.AllFaults(nc.C))
+		faults = sampleFaults(faults, max, cfg.Seed+int64(i))
+		cfg.progressf("fig8(%s): %s (%d faults)\n", suiteName, circuitLabel(nc), len(faults))
+		faults = observableOnly(nc.C, faults)
+		points, err := core.WidthProfile(nc.C, faults, mlaOptions(cfg.Seed+int64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nc.Role, err)
+		}
+		for _, p := range points {
+			res.Points = append(res.Points, Figure8Point{
+				Circuit: nc.Role,
+				Fault:   p.Fault.Name(nc.C),
+				SubSize: p.SubSize,
+				Width:   p.Width,
+			})
+		}
+	}
+	return res, res.finish()
+}
+
+// GeneratedStudy reproduces Section 5.2.3: the cut-width study on
+// parameterized random circuits scaled to sizes beyond the benchmark
+// suites.
+func GeneratedStudy(cfg Config) (*Figure8Result, error) {
+	sizes := []int{100, 300, 900, 2700, 8000, 20000}
+	perSize := 3
+	if cfg.Quick {
+		sizes = []int{60, 250, 1000, 4000}
+		perSize = 2
+	}
+	res := &Figure8Result{Title: "Section 5.2.3 — cut-width of C_ψ^sub vs. size (generated circuits)"}
+	max := cfg.MaxFaultsPerCircuit
+	if max == 0 {
+		if cfg.Quick {
+			max = 8
+		} else {
+			max = 40
+		}
+	}
+	idx := 0
+	for _, size := range sizes {
+		for rep := 0; rep < perSize; rep++ {
+			idx++
+			c := gen.Random(gen.RandomParams{
+				Name:   fmt.Sprintf("gen%d_%d", size, rep),
+				Inputs: 8 + size/25,
+				Gates:  size,
+				Seed:   cfg.Seed + int64(idx*977),
+			})
+			res.Circuits++
+			faults := atpg.Collapse(c, atpg.AllFaults(c))
+			faults = sampleFaults(faults, max, cfg.Seed+int64(idx))
+			faults = observableOnly(c, faults)
+			cfg.progressf("gen523: %s (%d faults)\n", c.String(), len(faults))
+			points, err := core.WidthProfile(c, faults, mlaOptions(cfg.Seed+int64(idx)))
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range points {
+				res.Points = append(res.Points, Figure8Point{
+					Circuit: c.Name,
+					Fault:   p.Fault.Name(c),
+					SubSize: p.SubSize,
+					Width:   p.Width,
+				})
+			}
+		}
+	}
+	return res, res.finish()
+}
+
+func (r *Figure8Result) finish() error {
+	if len(r.Points) < 3 {
+		return fmt.Errorf("experiments: %s produced %d points", r.Title, len(r.Points))
+	}
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = float64(p.SubSize)
+		ys[i] = float64(p.Width)
+	}
+	r.Fits = fit.Best(xs, ys)
+	cl, err := core.ClassifyWidthGrowth(toFaultWidths(r.Points))
+	if err != nil {
+		return err
+	}
+	r.LogBounded = cl.LogBounded
+	r.Bins = stats.BinnedMeans(xs, ys, 10)
+	return nil
+}
+
+func toFaultWidths(points []Figure8Point) []core.FaultWidth {
+	out := make([]core.FaultWidth, len(points))
+	for i, p := range points {
+		out[i] = core.FaultWidth{SubSize: p.SubSize, Width: p.Width}
+	}
+	return out
+}
+
+// Render prints the Figure 8 report.
+func (r *Figure8Result) Render(w io.Writer) error {
+	hr(w, r.Title)
+	fmt.Fprintf(w, "circuits: %d   datapoints: %d\n", r.Circuits, len(r.Points))
+	fmt.Fprintln(w, "least-squares fits (best first; the paper reports the log curve winning):")
+	for _, c := range r.Fits {
+		fmt.Fprintf(w, "  %s\n", c.String())
+	}
+	fmt.Fprintf(w, "log-bounded-width verdict: %v (log best fit, or sublinear power with the linear fit losing)\n", r.LogBounded)
+	fmt.Fprintln(w, "size-binned summary:")
+	fmt.Fprintf(w, "  %12s %8s %10s %8s\n", "size range", "count", "mean width", "max")
+	for _, b := range r.Bins {
+		if b.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %5.0f..%-6.0f %8d %10.2f %8.0f\n", b.XLo, b.XHi, b.Count, b.MeanY, b.MaxY)
+	}
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = float64(p.SubSize)
+		ys[i] = float64(p.Width)
+	}
+	fmt.Fprint(w, stats.Scatter(xs, ys, 72, 14, "cut-width vs. |C_ψ^sub|"))
+	return nil
+}
+
+// WriteCSV emits the raw scatter data.
+func (r *Figure8Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"circuit", "fault", "subsize", "width"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{p.Circuit, p.Fault, strconv.Itoa(p.SubSize), strconv.Itoa(p.Width)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

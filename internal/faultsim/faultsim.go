@@ -1,0 +1,142 @@
+// Package faultsim implements parallel-pattern single-fault simulation:
+// 64 input patterns are evaluated per machine word, the faulty circuit is
+// obtained by forcing the fault net, and a fault is detected by a pattern
+// when any primary output differs from the good response. The ATPG engine
+// uses it to verify generated tests and to drop faults covered by already
+// generated vectors (test-set compaction).
+package faultsim
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/logic"
+)
+
+// PackPatterns packs up to 64 test vectors (each over the circuit's
+// primary inputs) into one word per input: bit p of word i is the value of
+// input i in pattern p.
+func PackPatterns(c *logic.Circuit, vecs [][]bool) ([]uint64, error) {
+	if len(vecs) > 64 {
+		return nil, fmt.Errorf("faultsim: %d patterns exceed word width 64", len(vecs))
+	}
+	words := make([]uint64, len(c.Inputs))
+	for p, v := range vecs {
+		if len(v) != len(c.Inputs) {
+			return nil, fmt.Errorf("faultsim: pattern %d has %d values for %d inputs", p, len(v), len(c.Inputs))
+		}
+		for i, bit := range v {
+			if bit {
+				words[i] |= 1 << uint(p)
+			}
+		}
+	}
+	return words, nil
+}
+
+// Simulator amortizes the good-circuit simulation across many fault
+// queries against the same pattern batch.
+type Simulator struct {
+	c        *logic.Circuit
+	inputs   []uint64
+	nPat     int
+	goodVals []uint64
+	goodOut  []uint64 // per output, good responses
+	scratch  []uint64
+	coneMark []uint32 // epoch-stamped membership in the fault's cone
+	epoch    uint32
+}
+
+// NewSimulator prepares a simulator for the given pattern batch (≤ 64
+// patterns, pre-packed with PackPatterns).
+func NewSimulator(c *logic.Circuit, inputs []uint64, nPatterns int) (*Simulator, error) {
+	if nPatterns < 0 || nPatterns > 64 {
+		return nil, fmt.Errorf("faultsim: nPatterns %d out of range", nPatterns)
+	}
+	if len(inputs) != len(c.Inputs) {
+		return nil, fmt.Errorf("faultsim: %d input words for %d inputs", len(inputs), len(c.Inputs))
+	}
+	s := &Simulator{c: c, inputs: inputs, nPat: nPatterns}
+	s.goodVals = c.Simulate64(inputs)
+	s.goodOut = make([]uint64, len(c.Outputs))
+	for i, o := range c.Outputs {
+		s.goodOut[i] = s.goodVals[o]
+	}
+	s.scratch = make([]uint64, c.NumNodes())
+	s.coneMark = make([]uint32, c.NumNodes())
+	return s, nil
+}
+
+// mask returns the valid-pattern mask.
+func (s *Simulator) mask() uint64 {
+	if s.nPat == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(s.nPat) - 1
+}
+
+// Detects returns the bitmask of patterns that detect the stuck-at fault
+// (net, stuckAt): patterns where at least one primary output of the faulty
+// circuit differs from the good response.
+//
+// The faulty evaluation is restricted to the fault's transitive fanout;
+// all other nets reuse the good values, making a query O(|fanout cone|).
+func (s *Simulator) Detects(net int, stuckAt bool) uint64 {
+	c := s.c
+	vals := s.scratch
+	copy(vals, s.goodVals)
+	if stuckAt {
+		vals[net] = ^uint64(0)
+	} else {
+		vals[net] = 0
+	}
+	if vals[net] == s.goodVals[net] {
+		return 0 // no pattern activates the fault... only if nPat==0
+	}
+	// Re-evaluate only the transitive fanout, in topological (ID) order.
+	s.epoch++
+	s.coneMark[net] = s.epoch
+	var buf [8]uint64
+	for id := net + 1; id < c.NumNodes(); id++ {
+		n := &c.Nodes[id]
+		touched := false
+		for _, fi := range n.Fanin {
+			if s.coneMark[fi] == s.epoch {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		ins := buf[:0]
+		if len(n.Fanin) > len(buf) {
+			ins = make([]uint64, 0, len(n.Fanin))
+		}
+		for i, fi := range n.Fanin {
+			v := vals[fi]
+			if n.Negated(i) {
+				v = ^v
+			}
+			ins = append(ins, v)
+		}
+		vals[id] = logic.Eval64(n.Type, ins)
+		if vals[id] != s.goodVals[id] {
+			s.coneMark[id] = s.epoch
+		}
+	}
+	var det uint64
+	for i, o := range c.Outputs {
+		det |= vals[o] ^ s.goodOut[i]
+	}
+	return det & s.mask()
+}
+
+// Coverage fault-simulates a whole fault list against the pattern batch
+// and returns, for each fault, the detecting-pattern mask.
+func (s *Simulator) Coverage(nets []int, stuckAts []bool) []uint64 {
+	out := make([]uint64, len(nets))
+	for i := range nets {
+		out[i] = s.Detects(nets[i], stuckAts[i])
+	}
+	return out
+}

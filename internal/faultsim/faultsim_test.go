@@ -1,0 +1,160 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"atpgeasy/internal/logic"
+)
+
+func TestPackPatterns(t *testing.T) {
+	c := logic.Figure4a()
+	vecs := [][]bool{
+		{true, false, false, false, false},
+		{false, true, false, false, false},
+	}
+	words, err := PackPatterns(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0b01 {
+		t.Errorf("input a word = %b", words[0])
+	}
+	if words[1] != 0b10 {
+		t.Errorf("input b word = %b", words[1])
+	}
+}
+
+func TestPackPatternsErrors(t *testing.T) {
+	c := logic.Figure4a()
+	if _, err := PackPatterns(c, make([][]bool, 65)); err == nil {
+		t.Error("65 patterns accepted")
+	}
+	if _, err := PackPatterns(c, [][]bool{{true}}); err == nil {
+		t.Error("short pattern accepted")
+	}
+}
+
+func TestNewSimulatorErrors(t *testing.T) {
+	c := logic.Figure4a()
+	if _, err := NewSimulator(c, make([]uint64, 2), 1); err == nil {
+		t.Error("wrong input-word count accepted")
+	}
+	if _, err := NewSimulator(c, make([]uint64, 5), 65); err == nil {
+		t.Error("nPatterns 65 accepted")
+	}
+}
+
+// TestDetectsMatchesScalar cross-checks the event-driven parallel fault
+// simulator against scalar simulation of the forced circuit.
+func TestDetectsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomCircuit(rng, 40)
+	nPat := 17
+	vecs := make([][]bool, nPat)
+	for p := range vecs {
+		vecs[p] = make([]bool, len(c.Inputs))
+		for i := range vecs[p] {
+			vecs[p][i] = rng.Intn(2) == 1
+		}
+	}
+	words, err := PackPatterns(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c, words, nPat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net := 0; net < c.NumNodes(); net++ {
+		for _, sa := range []bool{false, true} {
+			got := sim.Detects(net, sa)
+			var want uint64
+			for p := 0; p < nPat; p++ {
+				good := c.Simulate(vecs[p])
+				faulty := c.SimulateWith(vecs[p], map[int]bool{net: sa})
+				for _, o := range c.Outputs {
+					if good[o] != faulty[o] {
+						want |= 1 << uint(p)
+						break
+					}
+				}
+			}
+			if got != want {
+				t.Fatalf("net %d sa%v: got %b, want %b", net, sa, got, want)
+			}
+		}
+	}
+}
+
+func TestDetectsFigure4a(t *testing.T) {
+	c := logic.Figure4a()
+	// a=1,b=1,c=0,d=0,e=0 → f=1,h=1,g=1,i=1; f/0 flips i. f/1 does not
+	// (already 1).
+	vec := [][]bool{{true, true, false, false, false}}
+	words, _ := PackPatterns(c, vec)
+	sim, err := NewSimulator(c, words, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.MustLookup("f")
+	if sim.Detects(f, false) != 1 {
+		t.Error("f/0 should be detected by the activating vector")
+	}
+	if sim.Detects(f, true) != 0 {
+		t.Error("f/1 must not be detected when f is already 1")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	c := logic.Figure4a()
+	vec := [][]bool{{true, true, false, false, false}}
+	words, _ := PackPatterns(c, vec)
+	sim, _ := NewSimulator(c, words, 1)
+	f, i := c.MustLookup("f"), c.MustLookup("i")
+	masks := sim.Coverage([]int{f, i}, []bool{false, false})
+	if masks[0] != 1 || masks[1] != 1 {
+		t.Errorf("coverage masks = %v", masks)
+	}
+}
+
+func TestZeroPatterns(t *testing.T) {
+	c := logic.Figure4a()
+	words, _ := PackPatterns(c, nil)
+	sim, err := NewSimulator(c, words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Detects(c.MustLookup("f"), false); got != 0 {
+		t.Errorf("no patterns but Detects = %b", got)
+	}
+}
+
+func randomCircuit(rng *rand.Rand, n int) *logic.Circuit {
+	b := logic.NewBuilder("rand")
+	nin := 3 + rng.Intn(4)
+	for i := 0; i < nin; i++ {
+		b.Input("in" + string(rune('a'+i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Not}
+	for i := 0; i < n; i++ {
+		gt := types[rng.Intn(len(types))]
+		arity := 1
+		if gt != logic.Not {
+			arity = 1 + rng.Intn(3)
+		}
+		fanin := make([]int, arity)
+		neg := make([]bool, arity)
+		for j := range fanin {
+			fanin[j] = rng.Intn(b.NumNodes())
+			neg[j] = rng.Intn(4) == 0
+		}
+		b.GateN(gt, "g"+string(rune('A'+i%26))+string(rune('0'+i/26)), fanin, neg)
+	}
+	// Mark a couple of outputs for observability.
+	b.MarkOutput(b.NumNodes() - 1)
+	if b.NumNodes() >= 2 {
+		b.MarkOutput(b.NumNodes() - 2)
+	}
+	return b.MustBuild()
+}

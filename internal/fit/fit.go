@@ -1,0 +1,184 @@
+// Package fit implements the least-squares curve fitting used in Section
+// 5.2.2 of "Why is ATPG Easy?": the cut-width-versus-size scatter data is
+// fitted with linear (y = ax+b), logarithmic (y = a·ln x + b) and power
+// (y = a·x^b) curves, and the best fit — by sum of squared errors on the
+// original scale — is reported. The paper found the logarithmic curve gave
+// the best fit on every benchmark suite.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind identifies a curve family.
+type Kind int8
+
+// The three curve families compared by the paper.
+const (
+	Linear Kind = iota
+	Logarithmic
+	Power
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Logarithmic:
+		return "logarithmic"
+	case Power:
+		return "power"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// Curve is a fitted curve y = f(x).
+type Curve struct {
+	Kind Kind
+	A, B float64
+	// SSE is the sum of squared errors on the original (y) scale.
+	SSE float64
+	// R2 is the coefficient of determination on the original scale.
+	R2 float64
+	N  int
+}
+
+// Eval evaluates the fitted curve at x.
+func (c Curve) Eval(x float64) float64 {
+	switch c.Kind {
+	case Linear:
+		return c.A*x + c.B
+	case Logarithmic:
+		return c.A*math.Log(x) + c.B
+	case Power:
+		return c.A * math.Pow(x, c.B)
+	default:
+		return math.NaN()
+	}
+}
+
+// String renders the curve equation with its fit quality.
+func (c Curve) String() string {
+	var eq string
+	switch c.Kind {
+	case Linear:
+		eq = fmt.Sprintf("y = %.4g·x + %.4g", c.A, c.B)
+	case Logarithmic:
+		eq = fmt.Sprintf("y = %.4g·ln(x) + %.4g", c.A, c.B)
+	case Power:
+		eq = fmt.Sprintf("y = %.4g·x^%.4g", c.A, c.B)
+	}
+	return fmt.Sprintf("%s  (R²=%.4f, n=%d)", eq, c.R2, c.N)
+}
+
+// leastSquares fits y = a·u + b over transformed abscissae u.
+func leastSquares(u, y []float64) (a, b float64, ok bool) {
+	n := float64(len(u))
+	if len(u) < 2 {
+		return 0, 0, false
+	}
+	var su, sy, suu, suy float64
+	for i := range u {
+		su += u[i]
+		sy += y[i]
+		suu += u[i] * u[i]
+		suy += u[i] * y[i]
+	}
+	den := n*suu - su*su
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, false
+	}
+	a = (n*suy - su*sy) / den
+	b = (sy - a*su) / n
+	return a, b, true
+}
+
+func quality(k Kind, a, b float64, xs, ys []float64) Curve {
+	c := Curve{Kind: k, A: a, B: b, N: len(xs)}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssTot float64
+	for i := range xs {
+		e := ys[i] - c.Eval(xs[i])
+		c.SSE += e * e
+		d := ys[i] - mean
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		c.R2 = 1 - c.SSE/ssTot
+	} else {
+		c.R2 = 1
+	}
+	return c
+}
+
+// Fit fits one curve family to the points. Logarithmic and Power require
+// strictly positive x; Power additionally requires strictly positive y.
+func Fit(k Kind, xs, ys []float64) (Curve, error) {
+	if len(xs) != len(ys) {
+		return Curve{}, fmt.Errorf("fit: %d x values, %d y values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Curve{}, fmt.Errorf("fit: need at least 2 points, got %d", len(xs))
+	}
+	switch k {
+	case Linear:
+		a, b, ok := leastSquares(xs, ys)
+		if !ok {
+			return Curve{}, fmt.Errorf("fit: degenerate linear system")
+		}
+		return quality(k, a, b, xs, ys), nil
+	case Logarithmic:
+		u := make([]float64, len(xs))
+		for i, x := range xs {
+			if x <= 0 {
+				return Curve{}, fmt.Errorf("fit: logarithmic fit needs x > 0, got %g", x)
+			}
+			u[i] = math.Log(x)
+		}
+		a, b, ok := leastSquares(u, ys)
+		if !ok {
+			return Curve{}, fmt.Errorf("fit: degenerate logarithmic system")
+		}
+		return quality(k, a, b, xs, ys), nil
+	case Power:
+		u := make([]float64, len(xs))
+		v := make([]float64, len(xs))
+		for i := range xs {
+			if xs[i] <= 0 || ys[i] <= 0 {
+				return Curve{}, fmt.Errorf("fit: power fit needs x,y > 0, got (%g,%g)", xs[i], ys[i])
+			}
+			u[i] = math.Log(xs[i])
+			v[i] = math.Log(ys[i])
+		}
+		// ln y = ln a + b·ln x.
+		bCoef, lnA, ok := leastSquares(u, v)
+		if !ok {
+			return Curve{}, fmt.Errorf("fit: degenerate power system")
+		}
+		return quality(k, math.Exp(lnA), bCoef, xs, ys), nil
+	default:
+		return Curve{}, fmt.Errorf("fit: unknown kind %v", k)
+	}
+}
+
+// Best fits all three families and returns them sorted by SSE ascending
+// (best first). Families that cannot be fitted (domain violations) are
+// omitted.
+func Best(xs, ys []float64) []Curve {
+	var out []Curve
+	for _, k := range []Kind{Linear, Logarithmic, Power} {
+		if c, err := Fit(k, xs, ys); err == nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SSE < out[j].SSE })
+	return out
+}

@@ -1,0 +1,126 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 2
+	}
+	c, err := Fit(Linear, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.A, 3, 1e-9) || !almostEqual(c.B, 2, 1e-9) {
+		t.Errorf("a=%g b=%g", c.A, c.B)
+	}
+	if c.SSE > 1e-12 || !almostEqual(c.R2, 1, 1e-9) {
+		t.Errorf("SSE=%g R2=%g", c.SSE, c.R2)
+	}
+}
+
+func TestLogarithmicExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 100}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5*math.Log(x) - 1
+	}
+	c, err := Fit(Logarithmic, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.A, 5, 1e-9) || !almostEqual(c.B, -1, 1e-9) {
+		t.Errorf("a=%g b=%g", c.A, c.B)
+	}
+}
+
+func TestPowerExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 10, 50}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Pow(x, 0.7)
+	}
+	c, err := Fit(Power, xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.A, 2, 1e-6) || !almostEqual(c.B, 0.7, 1e-6) {
+		t.Errorf("a=%g b=%g", c.A, c.B)
+	}
+	if got := c.Eval(4); !almostEqual(got, 2*math.Pow(4, 0.7), 1e-6) {
+		t.Errorf("Eval(4) = %g", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(Linear, []float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Fit(Linear, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit(Logarithmic, []float64{-1, 2}, []float64{1, 2}); err == nil {
+		t.Error("negative x accepted for log fit")
+	}
+	if _, err := Fit(Power, []float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y accepted for power fit")
+	}
+	if _, err := Fit(Linear, []float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+	if _, err := Fit(Kind(99), []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestBestPrefersGeneratingFamily: noisy data generated from each family
+// should be best fitted by that family.
+func TestBestPrefersGeneratingFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 400
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 5 + rng.Float64()*3000
+	}
+	gen := map[Kind]func(x float64) float64{
+		Linear:      func(x float64) float64 { return 0.02*x + 3 },
+		Logarithmic: func(x float64) float64 { return 4*math.Log(x) + 1 },
+		Power:       func(x float64) float64 { return 0.8 * math.Pow(x, 0.45) },
+	}
+	for kind, f := range gen {
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = f(xs[i]) + rng.NormFloat64()*0.3
+			if ys[i] <= 0 {
+				ys[i] = 0.01
+			}
+		}
+		curves := Best(xs, ys)
+		if len(curves) != 3 {
+			t.Fatalf("%v data: %d curves fitted", kind, len(curves))
+		}
+		if curves[0].Kind != kind {
+			t.Errorf("%v data: best fit is %v (SSE %.3g vs %.3g)", kind, curves[0].Kind, curves[0].SSE, curves[1].SSE)
+		}
+	}
+}
+
+func TestKindAndCurveString(t *testing.T) {
+	if Linear.String() != "linear" || Logarithmic.String() != "logarithmic" || Power.String() != "power" {
+		t.Error("Kind names wrong")
+	}
+	c := Curve{Kind: Logarithmic, A: 2, B: 1, R2: 0.99, N: 10}
+	if s := c.String(); len(s) == 0 {
+		t.Error("empty curve string")
+	}
+	if !math.IsNaN((Curve{Kind: Kind(99)}).Eval(1)) {
+		t.Error("unknown kind Eval should be NaN")
+	}
+}

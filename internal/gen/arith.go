@@ -1,0 +1,237 @@
+// Package gen generates the circuit families used throughout the
+// reproduction of "Why is ATPG Easy?":
+//
+//   - the k-bounded examples of Fujiwara cited in Section 3.2 (ripple-carry
+//     adders, decoders, one- and two-dimensional cellular arrays);
+//   - k-ary tree circuits (Lemma 5.2);
+//   - arithmetic and control blocks standing in for the ISCAS85 suite
+//     (parity/ECC for c499/c1355, ALU for c880, array multiplier for
+//     c6288, …);
+//   - parameterized random circuits in the spirit of Hutton et al.'s
+//     circ/gen (Section 5.2.3), with controlled size, fanin, and
+//     reconvergence locality;
+//   - the MCNC91-like and ISCAS85-like benchmark suites used by the
+//     Figure 1 and Figure 8 experiments (see DESIGN.md for the
+//     substitution rationale).
+//
+// All generators produce well-formed logic.Circuit values; gates use at
+// most 3 inputs except XOR trees, which package decomp reduces.
+package gen
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/logic"
+)
+
+// fullAdder appends a full adder to the builder and returns (sum, carry).
+// It uses 2-input gates only: s = a⊕b⊕cin, cout = ab + cin(a⊕b).
+func fullAdder(b *logic.Builder, prefix string, a, x, cin int) (sum, cout int) {
+	axb := b.Gate(logic.Xor, prefix+"_axb", a, x)
+	sum = b.Gate(logic.Xor, prefix+"_s", axb, cin)
+	t1 := b.Gate(logic.And, prefix+"_t1", a, x)
+	t2 := b.Gate(logic.And, prefix+"_t2", axb, cin)
+	cout = b.Gate(logic.Or, prefix+"_c", t1, t2)
+	return sum, cout
+}
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0..a(n-1),
+// b0..b(n-1), cin; outputs s0..s(n-1), cout. It is the canonical
+// k-bounded circuit (blocks = full adders, k = 3).
+func RippleAdder(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("ripple%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < n; i++ {
+		var s int
+		s, carry = fullAdder(b, fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		b.MarkOutput(s)
+	}
+	b.MarkOutput(carry)
+	return b.MustBuild()
+}
+
+// CarryLookaheadAdder builds an n-bit adder with 4-bit lookahead groups
+// chained at the group level — deeper reconvergence than the ripple adder,
+// still locally bounded.
+func CarryLookaheadAdder(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("cla%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for g := 0; g*4 < n; g++ {
+		lo := g * 4
+		hi := lo + 4
+		if hi > n {
+			hi = n
+		}
+		// Per-bit propagate/generate.
+		var ps, gs []int
+		for i := lo; i < hi; i++ {
+			ps = append(ps, b.Gate(logic.Xor, fmt.Sprintf("p%d", i), as[i], bs[i]))
+			gs = append(gs, b.Gate(logic.And, fmt.Sprintf("g%d", i), as[i], bs[i]))
+		}
+		// Carries within the group: c_{i+1} = g_i + p_i·c_i, expanded.
+		cins := []int{carry}
+		for j := range ps {
+			term := b.Gate(logic.And, fmt.Sprintf("pc%d", lo+j), ps[j], cins[j])
+			cins = append(cins, b.Gate(logic.Or, fmt.Sprintf("c%d", lo+j+1), gs[j], term))
+		}
+		for j := range ps {
+			b.MarkOutput(b.Gate(logic.Xor, fmt.Sprintf("s%d", lo+j), ps[j], cins[j]))
+		}
+		carry = cins[len(cins)-1]
+	}
+	b.MarkOutput(carry)
+	return b.MustBuild()
+}
+
+// ArrayMultiplier builds an n×n combinational array multiplier (the role
+// of ISCAS85's C6288). Inputs a0..a(n-1), b0..b(n-1); outputs p0..p(2n-1).
+// Its deep, global reconvergence makes it the stress case for cut-width.
+func ArrayMultiplier(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("mult%dx%d", n, n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products.
+	pp := make([][]int, n)
+	for i := range pp {
+		pp[i] = make([]int, n)
+		for j := range pp[i] {
+			pp[i][j] = b.Gate(logic.And, fmt.Sprintf("pp%d_%d", i, j), as[j], bs[i])
+		}
+	}
+	// Shift-and-add: acc[j] holds the running product bit at position j.
+	acc := append([]int(nil), pp[0]...)
+	for i := 1; i < n; i++ {
+		carry := -1
+		for j := 0; j < n; j++ {
+			pos := i + j
+			existing := -1
+			if pos < len(acc) {
+				existing = acc[pos]
+			}
+			prefix := fmt.Sprintf("r%d_%d", i, j)
+			bits := make([]int, 0, 3)
+			for _, v := range []int{pp[i][j], existing, carry} {
+				if v >= 0 {
+					bits = append(bits, v)
+				}
+			}
+			var sum, cout int
+			switch len(bits) {
+			case 1:
+				sum, cout = bits[0], -1
+			case 2:
+				sum = b.Gate(logic.Xor, prefix+"_s", bits[0], bits[1])
+				cout = b.Gate(logic.And, prefix+"_c", bits[0], bits[1])
+			default:
+				sum, cout = fullAdder(b, prefix, bits[0], bits[1], bits[2])
+			}
+			if pos < len(acc) {
+				acc[pos] = sum
+			} else {
+				acc = append(acc, sum)
+			}
+			carry = cout
+		}
+		if carry >= 0 {
+			acc = append(acc, carry)
+		}
+	}
+	for _, bit := range acc {
+		b.MarkOutput(bit)
+	}
+	return b.MustBuild()
+}
+
+// Comparator builds an n-bit magnitude comparator with outputs lt, eq, gt.
+func Comparator(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("cmp%d", n))
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	// From MSB down: eq chain and gt/lt accumulation.
+	eq := -1
+	gt := -1
+	lt := -1
+	for i := n - 1; i >= 0; i-- {
+		bitEq := b.Gate(logic.Xnor, fmt.Sprintf("eq%d", i), as[i], bs[i])
+		// a_i AND NOT b_i
+		bitGt := b.GateN(logic.And, fmt.Sprintf("gtb%d", i), []int{as[i], bs[i]}, []bool{false, true})
+		bitLt := b.GateN(logic.And, fmt.Sprintf("ltb%d", i), []int{as[i], bs[i]}, []bool{true, false})
+		if eq < 0 {
+			eq, gt, lt = bitEq, bitGt, bitLt
+			continue
+		}
+		gt = b.Gate(logic.Or, fmt.Sprintf("gt%d", i), gt, b.Gate(logic.And, fmt.Sprintf("gta%d", i), eq, bitGt))
+		lt = b.Gate(logic.Or, fmt.Sprintf("lt%d", i), lt, b.Gate(logic.And, fmt.Sprintf("lta%d", i), eq, bitLt))
+		eq = b.Gate(logic.And, fmt.Sprintf("eqa%d", i), eq, bitEq)
+	}
+	b.MarkOutput(lt)
+	b.MarkOutput(eq)
+	b.MarkOutput(gt)
+	return b.MustBuild()
+}
+
+// ALU builds an n-bit, 2-function-select ALU slice chain (add/and/or/xor),
+// standing in for ISCAS85's c880 ALU-and-control class.
+func ALU(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("alu%d", n))
+	s0 := b.Input("s0")
+	s1 := b.Input("s1")
+	as := make([]int, n)
+	bs := make([]int, n)
+	for i := 0; i < n; i++ {
+		as[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = b.Input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.Input("cin")
+	for i := 0; i < n; i++ {
+		andG := b.Gate(logic.And, fmt.Sprintf("and%d", i), as[i], bs[i])
+		orG := b.Gate(logic.Or, fmt.Sprintf("or%d", i), as[i], bs[i])
+		xorG := b.Gate(logic.Xor, fmt.Sprintf("xor%d", i), as[i], bs[i])
+		var sum int
+		sum, carry = fullAdder(b, fmt.Sprintf("fa%d", i), as[i], bs[i], carry)
+		// 4:1 select via 2-level mux with s1,s0: 00=add 01=and 10=or 11=xor.
+		m0 := mux2(b, fmt.Sprintf("m0_%d", i), s0, sum, andG)
+		m1 := mux2(b, fmt.Sprintf("m1_%d", i), s0, orG, xorG)
+		out := mux2(b, fmt.Sprintf("y%d", i), s1, m0, m1)
+		b.MarkOutput(out)
+	}
+	b.MarkOutput(carry)
+	return b.MustBuild()
+}
+
+// mux2 builds y = sel ? hi : lo with 2-input gates.
+func mux2(b *logic.Builder, prefix string, sel, lo, hi int) int {
+	nlo := b.GateN(logic.And, prefix+"_l", []int{sel, lo}, []bool{true, false})
+	nhi := b.Gate(logic.And, prefix+"_h", sel, hi)
+	return b.Gate(logic.Or, prefix+"_o", nlo, nhi)
+}

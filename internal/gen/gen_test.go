@@ -1,0 +1,335 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atpgeasy/internal/logic"
+)
+
+// toBits converts v to n bools, LSB first.
+func toBits(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+func fromBits(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestRippleAdderAdds(t *testing.T) {
+	c := RippleAdder(8)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b uint8, cin bool) bool {
+		in := append(append(toBits(uint64(a), 8), toBits(uint64(b), 8)...), cin)
+		out := c.SimulateOutputs(in)
+		got := fromBits(out) // s0..s7, cout as bit 8
+		want := uint64(a) + uint64(b)
+		if cin {
+			want++
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCarryLookaheadAdderAdds(t *testing.T) {
+	c := CarryLookaheadAdder(10)
+	check := func(a, b uint16, cin bool) bool {
+		a &= 1<<10 - 1
+		b &= 1<<10 - 1
+		in := append(append(toBits(uint64(a), 10), toBits(uint64(b), 10)...), cin)
+		out := c.SimulateOutputs(in)
+		want := uint64(a) + uint64(b)
+		if cin {
+			want++
+		}
+		return fromBits(out) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayMultiplierMultiplies(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		c := ArrayMultiplier(n)
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Outputs) != 2*n {
+			t.Fatalf("mult%d has %d outputs, want %d", n, len(c.Outputs), 2*n)
+		}
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			for b := uint64(0); b < 1<<uint(n); b++ {
+				in := append(toBits(a, n), toBits(b, n)...)
+				got := fromBits(c.SimulateOutputs(in))
+				if got != a*b {
+					t.Fatalf("mult%d: %d×%d = %d, want %d", n, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestComparatorCompares(t *testing.T) {
+	c := Comparator(6)
+	check := func(a, b uint8) bool {
+		a &= 63
+		b &= 63
+		in := append(toBits(uint64(a), 6), toBits(uint64(b), 6)...)
+		out := c.SimulateOutputs(in) // lt, eq, gt
+		return out[0] == (a < b) && out[1] == (a == b) && out[2] == (a > b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestALUFunctions(t *testing.T) {
+	n := 6
+	c := ALU(n)
+	mask := uint64(1<<uint(n) - 1)
+	check := func(a, b uint8, s0, s1, cin bool) bool {
+		av, bv := uint64(a)&mask, uint64(b)&mask
+		in := []bool{s0, s1}
+		in = append(in, toBits(av, n)...)
+		in = append(in, toBits(bv, n)...)
+		in = append(in, cin)
+		out := c.SimulateOutputs(in)
+		y := fromBits(out[:n])
+		var want uint64
+		switch {
+		case !s1 && !s0:
+			want = av + bv
+			if cin {
+				want++
+			}
+			want &= mask
+		case !s1 && s0:
+			want = av & bv
+		case s1 && !s0:
+			want = av | bv
+		default:
+			want = av ^ bv
+		}
+		return y == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKaryTree(t *testing.T) {
+	c := KaryTree(3, 3)
+	if len(c.Inputs) != 27 {
+		t.Errorf("inputs = %d, want 27", len(c.Inputs))
+	}
+	if len(c.Outputs) != 1 {
+		t.Errorf("outputs = %d", len(c.Outputs))
+	}
+	if got := c.MaxFanout(); got > 1 {
+		t.Errorf("tree has fanout %d", got)
+	}
+	// Root is AND of three OR gates of three ANDs of three leaves:
+	// all-ones input must give 1, all-zeros 0.
+	ones := make([]bool, 27)
+	for i := range ones {
+		ones[i] = true
+	}
+	if !c.SimulateOutputs(ones)[0] {
+		t.Error("all-ones should satisfy AND/OR tree")
+	}
+	if c.SimulateOutputs(make([]bool, 27))[0] {
+		t.Error("all-zeros should not")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k=1 should panic")
+		}
+	}()
+	KaryTree(1, 2)
+}
+
+func TestParityTree(t *testing.T) {
+	c := ParityTree(13)
+	check := func(v uint16) bool {
+		in := toBits(uint64(v)&(1<<13-1), 13)
+		want := false
+		for _, b := range in {
+			want = want != b
+		}
+		return c.SimulateOutputs(in)[0] == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	c := Decoder(4)
+	if len(c.Outputs) != 16 {
+		t.Fatalf("outputs = %d", len(c.Outputs))
+	}
+	for addr := 0; addr < 16; addr++ {
+		out := c.SimulateOutputs(toBits(uint64(addr), 4))
+		for row, v := range out {
+			if v != (row == addr) {
+				t.Fatalf("addr %d: output %d = %v", addr, row, v)
+			}
+		}
+	}
+}
+
+func TestMuxTree(t *testing.T) {
+	c := MuxTree(3)
+	check := func(sel uint8, data uint8) bool {
+		s := int(sel) & 7
+		in := toBits(uint64(s), 3)
+		in = append(in, toBits(uint64(data), 8)...)
+		return c.SimulateOutputs(in)[0] == (data>>uint(s)&1 == 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellularArrays(t *testing.T) {
+	c1 := CellularArray1D(10)
+	if err := c1.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Outputs) != 11 {
+		t.Errorf("1d outputs = %d", len(c1.Outputs))
+	}
+	c2 := CellularArray2D(4, 5)
+	if err := c2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Outputs) != 9 {
+		t.Errorf("2d outputs = %d, want rows+cols = 9", len(c2.Outputs))
+	}
+	if got := c2.MaxFanin(); got > 2 {
+		t.Errorf("2d max fanin = %d", got)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	p := RandomParams{Inputs: 10, Gates: 50, Seed: 42}
+	a := Random(p)
+	b := Random(p)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("node counts differ")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		in := make([]bool, len(a.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		ao := a.SimulateOutputs(in)
+		bo := b.SimulateOutputs(in)
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatal("same seed, different function")
+			}
+		}
+	}
+}
+
+func TestRandomWellFormed(t *testing.T) {
+	check := func(seed int64) bool {
+		c := Random(RandomParams{Inputs: 5, Gates: 40, Seed: seed})
+		if err := c.CheckInvariants(); err != nil {
+			return false
+		}
+		if c.MaxFanin() > 3 {
+			return false
+		}
+		// Every non-input node must reach an output (no dead logic).
+		reach := c.TransitiveFanin(c.Outputs...)
+		marked := make(map[int]bool, len(reach))
+		for _, id := range reach {
+			marked[id] = true
+		}
+		for id := range c.Nodes {
+			if c.Nodes[id].Type != logic.Input && !marked[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLocalityAffectsStructure(t *testing.T) {
+	tight := Random(RandomParams{Inputs: 20, Gates: 400, Locality: 1.0, Seed: 5, Name: "tight"})
+	loose := Random(RandomParams{Inputs: 20, Gates: 400, Locality: 20.0, Seed: 5, Name: "loose"})
+	// Loose locality makes longer fanin spans on average.
+	span := func(c *logic.Circuit) float64 {
+		total, cnt := 0, 0
+		for id := range c.Nodes {
+			for _, f := range c.Nodes[id].Fanin {
+				total += id - f
+				cnt++
+			}
+		}
+		return float64(total) / float64(cnt)
+	}
+	if span(loose) <= span(tight) {
+		t.Errorf("locality knob inert: tight span %.1f, loose span %.1f", span(tight), span(loose))
+	}
+}
+
+func TestSuites(t *testing.T) {
+	iscas := ISCAS85Like()
+	if len(iscas) != 9 {
+		t.Errorf("ISCAS85-like suite has %d circuits, want 9 (as run in the paper)", len(iscas))
+	}
+	mcnc := MCNC91Like()
+	if len(mcnc) != 48 {
+		t.Errorf("MCNC91-like suite has %d circuits, want 48 (as run in the paper)", len(mcnc))
+	}
+	for _, nc := range append(iscas, mcnc...) {
+		if err := nc.C.CheckInvariants(); err != nil {
+			t.Errorf("%s (%s): %v", nc.Role, nc.C.Name, err)
+		}
+		if len(nc.C.Outputs) == 0 {
+			t.Errorf("%s: no outputs", nc.Role)
+		}
+	}
+}
+
+func TestXorBlocksParity(t *testing.T) {
+	c := xorBlocks(4, 2)
+	// Block k output = XOR over inputs (i+k)%8 and (i+k+4)%8 for i=0..3 —
+	// i.e. parity of all 8 inputs regardless of k.
+	check := func(v uint8) bool {
+		in := toBits(uint64(v), 8)
+		want := false
+		for _, b := range in {
+			want = want != b
+		}
+		out := c.SimulateOutputs(in)
+		return out[0] == want && out[1] == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"atpgeasy/internal/logic"
+)
+
+// RandomParams parameterize the random circuit generator, in the spirit of
+// the circ/gen tool of Hutton et al. cited in Section 5.2.3: circuits are
+// generated to topologically resemble benchmark circuits, with size,
+// fanin, output count, and reconvergence locality as knobs.
+type RandomParams struct {
+	// Name labels the circuit; empty derives one from the parameters.
+	Name string
+	// Inputs and Gates are the primary input and gate counts.
+	Inputs int
+	Gates  int
+	// Outputs is the primary output count; 0 derives ~√Gates.
+	Outputs int
+	// MaxFanin bounds gate fanin; 0 means 3 (the paper's mapping target).
+	MaxFanin int
+	// Locality controls reconvergence: each gate draws its fanins from a
+	// window of the most recently created ~Locality·log2(size) nets.
+	// Small values give tree-like circuits with logarithmic cut-width;
+	// large values approach unstructured random graphs. 0 means 2.0.
+	Locality float64
+	// InvProb is the probability that a gate input carries an inversion
+	// bubble; 0 means 0.25.
+	InvProb float64
+	// Seed drives the generator; generation is deterministic per seed.
+	Seed int64
+}
+
+func (p RandomParams) withDefaults() RandomParams {
+	if p.Inputs < 1 {
+		p.Inputs = 1
+	}
+	if p.Gates < 1 {
+		p.Gates = 1
+	}
+	if p.Outputs == 0 {
+		p.Outputs = int(math.Sqrt(float64(p.Gates)))
+		if p.Outputs < 1 {
+			p.Outputs = 1
+		}
+	}
+	if p.MaxFanin == 0 {
+		p.MaxFanin = 3
+	}
+	if p.MaxFanin < 2 {
+		p.MaxFanin = 2
+	}
+	if p.Locality == 0 {
+		p.Locality = 2.0
+	}
+	if p.InvProb == 0 {
+		p.InvProb = 0.25
+	}
+	if p.Name == "" {
+		p.Name = fmt.Sprintf("rand_i%d_g%d_s%d", p.Inputs, p.Gates, p.Seed)
+	}
+	return p
+}
+
+// Random generates a parameterized random combinational circuit. Primary
+// inputs are interleaved among the gates, spread over the first 60% of
+// the creation order — real netlists feed inputs into logic throughout,
+// and a block of inputs wired to a block of gates would fabricate a wide
+// band of crossing nets that distorts cut-width measurements. Every input
+// is guaranteed to be consumed and every net reaches at least one primary
+// output (dangling gates are promoted to outputs), so all faults are
+// potentially observable.
+func Random(p RandomParams) *logic.Circuit {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := logic.NewBuilder(p.Name)
+	total := p.Inputs + p.Gates
+	window := int(p.Locality * math.Log2(float64(total)))
+	if window < p.MaxFanin+1 {
+		window = p.MaxFanin + 1
+	}
+	// Creation-order positions holding primary inputs: position 0 is
+	// always an input (gates need drivers); the rest spread evenly.
+	isPI := make([]bool, total)
+	span := total * 6 / 10
+	if span < p.Inputs {
+		span = total
+	}
+	placed := 0
+	for k := 0; k < p.Inputs; k++ {
+		pos := k * span / p.Inputs
+		for pos < total && isPI[pos] {
+			pos++
+		}
+		if pos < total {
+			isPI[pos] = true
+			placed++
+		}
+	}
+	for pos := 0; placed < p.Inputs && pos < total; pos++ {
+		if !isPI[pos] {
+			isPI[pos] = true
+			placed++
+		}
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.And, logic.Or, logic.Xor}
+	piRead := make([]bool, total) // indexed by node ID
+	var pendingPI []int           // unread primary inputs, oldest first
+	nPI, nGate := 0, 0
+	for pos := 0; pos < total; pos++ {
+		if isPI[pos] {
+			pendingPI = append(pendingPI, b.Input(fmt.Sprintf("pi%d", nPI)))
+			nPI++
+			continue
+		}
+		gt := types[rng.Intn(len(types))]
+		arity := 2
+		if p.MaxFanin > 2 && gt != logic.Xor && rng.Intn(2) == 0 {
+			arity = 2 + rng.Intn(p.MaxFanin-1)
+		}
+		cur := b.NumNodes()
+		lo := cur - window
+		if lo < 0 {
+			lo = 0
+		}
+		fanin := make([]int, 0, arity)
+		neg := make([]bool, 0, arity)
+		seen := map[int]bool{}
+		// Consume the oldest still-unread primary input so none floats;
+		// inputs are interleaved, so this edge is short in expectation.
+		if len(pendingPI) > 0 {
+			id := pendingPI[0]
+			pendingPI = pendingPI[1:]
+			piRead[id] = true
+			seen[id] = true
+			fanin = append(fanin, id)
+			neg = append(neg, rng.Float64() < p.InvProb)
+		}
+		for len(fanin) < arity {
+			var pick int
+			if rng.Float64() < 0.15 {
+				// Occasional long-range connection with Pareto distance,
+				// P(d ≥ s) = 1/s (density ∝ 1/d² — Rent-style locality).
+				// Heavier tails would make the expected number of nets
+				// crossing a cut grow polynomially instead of
+				// logarithmically, which real netlists do not exhibit.
+				u := rng.Float64()
+				d := cur
+				if u > 1.0/float64(cur) {
+					d = int(1.0 / u)
+					if d < 1 {
+						d = 1
+					}
+				}
+				pick = cur - d
+			} else {
+				pick = lo + rng.Intn(cur-lo)
+			}
+			if seen[pick] {
+				if len(seen) >= cur {
+					break
+				}
+				continue
+			}
+			seen[pick] = true
+			fanin = append(fanin, pick)
+			neg = append(neg, rng.Float64() < p.InvProb)
+		}
+		if len(fanin) == 1 {
+			b.GateN(logic.Buf, fmt.Sprintf("g%d", nGate), fanin, neg)
+		} else {
+			b.GateN(gt, fmt.Sprintf("g%d", nGate), fanin, neg)
+		}
+		nGate++
+	}
+	// Inputs placed after the last gate (only when inputs ≫ gates) get a
+	// dedicated buffer tap so they are observable.
+	for _, id := range pendingPI {
+		b.GateN(logic.Buf, fmt.Sprintf("tap%d", id), []int{id}, nil)
+	}
+	c0 := b // alias for clarity below
+	// Choose outputs among sink nets first (fanout 0), then random nets.
+	// Build the circuit once to learn fanouts, then re-mark outputs.
+	tmp, err := c0.Build()
+	if err != nil {
+		panic(err)
+	}
+	var sinks, others []int
+	for id := range tmp.Nodes {
+		if tmp.Nodes[id].Type == logic.Input {
+			continue
+		}
+		if len(tmp.Nodes[id].Fanout) == 0 {
+			sinks = append(sinks, id)
+		} else {
+			others = append(others, id)
+		}
+	}
+	// All sinks must be outputs (otherwise their logic is dead); add
+	// random others until the requested output count is met.
+	outs := append([]int(nil), sinks...)
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	for _, id := range others {
+		if len(outs) >= p.Outputs {
+			break
+		}
+		outs = append(outs, id)
+	}
+	if len(outs) == 0 {
+		outs = append(outs, tmp.NumNodes()-1)
+	}
+	b2 := logic.NewBuilder(p.Name)
+	for i := range tmp.Nodes {
+		n := &tmp.Nodes[i]
+		switch n.Type {
+		case logic.Input:
+			b2.Input(n.Name)
+		default:
+			b2.GateN(n.Type, n.Name, n.Fanin, n.Neg)
+		}
+	}
+	for _, o := range outs {
+		b2.MarkOutput(o)
+	}
+	return b2.MustBuild()
+}
+
+// NamedCircuit pairs a circuit with the benchmark-suite slot it stands in
+// for.
+type NamedCircuit struct {
+	Role string // the benchmark circuit this one substitutes, e.g. "c432"
+	C    *logic.Circuit
+}
+
+// ISCAS85Like builds the 9-circuit stand-in for the ISCAS85 suite used in
+// Figure 8(b). The paper ran 9 of the 11 ISCAS85 circuits (C3540 and
+// C6288 excluded); sizes and structural character mirror the originals:
+// ECC/parity for c499/c1355, ALU for c880, adder-heavy c7552, random
+// control logic elsewhere. See DESIGN.md §3 for the substitution argument.
+func ISCAS85Like() []NamedCircuit {
+	return []NamedCircuit{
+		{"c432", Random(RandomParams{Name: "c432like", Inputs: 36, Gates: 200, Outputs: 7, Locality: 2.5, Seed: 432})},
+		{"c499", ParityTree(41)},
+		{"c880", ALU(16)},
+		{"c1355", xorBlocks(8, 5)},
+		{"c1908", Random(RandomParams{Name: "c1908like", Inputs: 33, Gates: 900, Outputs: 25, Locality: 2.5, Seed: 1908})},
+		{"c2670", Random(RandomParams{Name: "c2670like", Inputs: 157, Gates: 1300, Outputs: 64, Locality: 2.2, Seed: 2670})},
+		{"c5315", Random(RandomParams{Name: "c5315like", Inputs: 178, Gates: 2300, Outputs: 123, Locality: 2.2, Seed: 5315})},
+		{"c7552", CarryLookaheadAdder(34)},
+		{"c6288-lite", ArrayMultiplier(6)},
+	}
+}
+
+// xorBlocks builds k parallel parity trees sharing inputs — an ECC-style
+// multi-output circuit (the c1355 role).
+func xorBlocks(width, blocks int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("ecc_%dx%d", width, blocks))
+	in := make([]int, width*2)
+	for i := range in {
+		in[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	for k := 0; k < blocks; k++ {
+		layer := make([]int, 0, width)
+		for i := 0; i < width; i++ {
+			layer = append(layer, b.Gate(logic.Xor, fmt.Sprintf("b%d_l0_%d", k, i), in[(i+k)%len(in)], in[(i+k+width)%len(in)]))
+		}
+		lvl := 1
+		for len(layer) > 1 {
+			var next []int
+			for i := 0; i+1 < len(layer); i += 2 {
+				next = append(next, b.Gate(logic.Xor, fmt.Sprintf("b%d_l%d_%d", k, lvl, i/2), layer[i], layer[i+1]))
+			}
+			if len(layer)%2 == 1 {
+				next = append(next, layer[len(layer)-1])
+			}
+			layer = next
+			lvl++
+		}
+		b.MarkOutput(layer[0])
+	}
+	return b.MustBuild()
+}
+
+// MCNC91Like builds the 48-circuit stand-in for the MCNC91 "logic" suite
+// used in Figure 8(a): a mix of small-to-medium arithmetic, decoders,
+// multiplexers, comparators, cellular arrays and random control logic,
+// spanning roughly 20–3000 gates (t481's degenerate shape is deliberately
+// not reproduced, matching the paper's exclusion).
+func MCNC91Like() []NamedCircuit {
+	var out []NamedCircuit
+	add := func(role string, c *logic.Circuit) {
+		out = append(out, NamedCircuit{Role: role, C: c})
+	}
+	// Arithmetic family.
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		add(fmt.Sprintf("ripple%d", n), RippleAdder(n))
+	}
+	for _, n := range []int{8, 16} {
+		add(fmt.Sprintf("cla%d", n), CarryLookaheadAdder(n))
+	}
+	for _, n := range []int{4, 5} {
+		add(fmt.Sprintf("mult%d", n), ArrayMultiplier(n))
+	}
+	for _, n := range []int{8, 16, 32} {
+		add(fmt.Sprintf("cmp%d", n), Comparator(n))
+	}
+	add("alu4", ALU(4))
+	add("alu8", ALU(8))
+	// Structured family.
+	for _, n := range []int{3, 4, 5, 6} {
+		add(fmt.Sprintf("dec%d", n), Decoder(n))
+	}
+	for _, n := range []int{3, 4, 5, 6} {
+		add(fmt.Sprintf("mux%d", 1<<uint(n)), MuxTree(n))
+	}
+	for _, n := range []int{16, 32, 64, 128} {
+		add(fmt.Sprintf("parity%d", n), ParityTree(n))
+	}
+	add("tree2", KaryTree(2, 6))
+	add("tree3", KaryTree(3, 4))
+	for _, n := range []int{16, 48} {
+		add(fmt.Sprintf("cell1d_%d", n), CellularArray1D(n))
+	}
+	add("cell2d6", CellularArray2D(6, 6))
+	add("cell2d8", CellularArray2D(8, 8))
+	// Random control-logic family (the bulk of MCNC's "logic" circuits).
+	sizes := []int{30, 60, 90, 120, 180, 240, 320, 400, 520, 650, 800, 1000, 1300, 1600, 2000, 2600}
+	for i, g := range sizes {
+		ins := 8 + g/20
+		add(fmt.Sprintf("logic%d", g), Random(RandomParams{
+			Name: fmt.Sprintf("logic%d", g), Inputs: ins, Gates: g,
+			Locality: 2.0 + 0.1*float64(i%4), Seed: int64(1000 + i),
+		}))
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package gen
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/logic"
+)
+
+// KaryTree builds a complete k-ary tree circuit of the given depth:
+// leaves are primary inputs, internal nodes alternate AND/OR levels, and
+// the root is the single primary output. These are the circuits of
+// Lemma 5.2 (a k-ary tree has an ordering of width ≤ (k-1)·log n).
+func KaryTree(k, depth int) *logic.Circuit {
+	if k < 2 {
+		panic("gen: KaryTree needs k ≥ 2")
+	}
+	b := logic.NewBuilder(fmt.Sprintf("tree_k%d_d%d", k, depth))
+	var build func(level, index int) int
+	build = func(level, index int) int {
+		if level == depth {
+			return b.Input(fmt.Sprintf("x%d_%d", level, index))
+		}
+		fanin := make([]int, k)
+		for i := range fanin {
+			fanin[i] = build(level+1, index*k+i)
+		}
+		t := logic.And
+		if level%2 == 1 {
+			t = logic.Or
+		}
+		return b.Gate(t, fmt.Sprintf("n%d_%d", level, index), fanin...)
+	}
+	root := build(0, 0)
+	b.MarkOutput(root)
+	return b.MustBuild()
+}
+
+// ParityTree builds a balanced XOR tree over n inputs with a single
+// parity output — the ECC/parity class (the c499/c1355 role).
+func ParityTree(n int) *logic.Circuit {
+	if n < 2 {
+		panic("gen: ParityTree needs n ≥ 2")
+	}
+	b := logic.NewBuilder(fmt.Sprintf("parity%d", n))
+	layer := make([]int, n)
+	for i := 0; i < n; i++ {
+		layer[i] = b.Input(fmt.Sprintf("x%d", i))
+	}
+	lvl := 0
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 == len(layer) {
+				next = append(next, layer[i])
+				continue
+			}
+			next = append(next, b.Gate(logic.Xor, fmt.Sprintf("p%d_%d", lvl, i/2), layer[i], layer[i+1]))
+		}
+		layer = next
+		lvl++
+	}
+	b.MarkOutput(layer[0])
+	return b.MustBuild()
+}
+
+// Decoder builds an n-to-2^n line decoder: each output is the AND of the
+// n address literals. Fujiwara's k-bounded examples include decoders.
+func Decoder(n int) *logic.Circuit {
+	if n < 1 || n > 16 {
+		panic("gen: Decoder needs 1 ≤ n ≤ 16")
+	}
+	b := logic.NewBuilder(fmt.Sprintf("dec%d", n))
+	addr := make([]int, n)
+	for i := range addr {
+		addr[i] = b.Input(fmt.Sprintf("a%d", i))
+	}
+	for row := 0; row < 1<<uint(n); row++ {
+		neg := make([]bool, n)
+		for i := 0; i < n; i++ {
+			neg[i] = row>>uint(i)&1 == 0
+		}
+		// Build as a balanced tree of ≤3-input ANDs over the literals.
+		cur := make([]int, n)
+		curNeg := make([]bool, n)
+		copy(cur, addr)
+		copy(curNeg, neg)
+		lvl := 0
+		for len(cur) > 1 {
+			var next []int
+			var nextNeg []bool
+			for i := 0; i < len(cur); i += 3 {
+				hi := i + 3
+				if hi > len(cur) {
+					hi = len(cur)
+				}
+				if hi-i == 1 {
+					next = append(next, cur[i])
+					nextNeg = append(nextNeg, curNeg[i])
+					continue
+				}
+				g := b.GateN(logic.And, fmt.Sprintf("o%d_l%d_%d", row, lvl, i/3), cur[i:hi], curNeg[i:hi])
+				next = append(next, g)
+				nextNeg = append(nextNeg, false)
+			}
+			cur, curNeg = next, nextNeg
+			lvl++
+		}
+		out := cur[0]
+		if curNeg[0] {
+			out = b.GateN(logic.Buf, fmt.Sprintf("o%d_buf", row), []int{cur[0]}, []bool{true})
+		}
+		b.MarkOutput(out)
+	}
+	return b.MustBuild()
+}
+
+// MuxTree builds a 2^nSel-to-1 multiplexer from 2:1 mux cells.
+func MuxTree(nSel int) *logic.Circuit {
+	if nSel < 1 || nSel > 12 {
+		panic("gen: MuxTree needs 1 ≤ nSel ≤ 12")
+	}
+	b := logic.NewBuilder(fmt.Sprintf("mux%d", 1<<uint(nSel)))
+	sels := make([]int, nSel)
+	for i := range sels {
+		sels[i] = b.Input(fmt.Sprintf("s%d", i))
+	}
+	layer := make([]int, 1<<uint(nSel))
+	for i := range layer {
+		layer[i] = b.Input(fmt.Sprintf("d%d", i))
+	}
+	for lvl := 0; lvl < nSel; lvl++ {
+		next := make([]int, len(layer)/2)
+		for i := range next {
+			next[i] = mux2(b, fmt.Sprintf("m%d_%d", lvl, i), sels[lvl], layer[2*i], layer[2*i+1])
+		}
+		layer = next
+	}
+	b.MarkOutput(layer[0])
+	return b.MustBuild()
+}
+
+// CellularArray1D builds a one-dimensional cellular array of n identical
+// cells (Fujiwara's k-bounded example): each cell combines a state input
+// from the previous cell with two fresh primary inputs and exposes an
+// observable output.
+func CellularArray1D(n int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("cell1d_%d", n))
+	state := b.Input("seed")
+	for i := 0; i < n; i++ {
+		x := b.Input(fmt.Sprintf("x%d", i))
+		y := b.Input(fmt.Sprintf("y%d", i))
+		t := b.Gate(logic.And, fmt.Sprintf("t%d", i), x, state)
+		obs := b.Gate(logic.Xor, fmt.Sprintf("obs%d", i), t, y)
+		state = b.Gate(logic.Or, fmt.Sprintf("st%d", i), t, y)
+		b.MarkOutput(obs)
+	}
+	b.MarkOutput(state)
+	return b.MustBuild()
+}
+
+// CellularArray2D builds an r×c two-dimensional cellular array: each cell
+// combines signals from its west and north neighbors with a fresh primary
+// input; east/south edges are observable.
+func CellularArray2D(rows, cols int) *logic.Circuit {
+	b := logic.NewBuilder(fmt.Sprintf("cell2d_%dx%d", rows, cols))
+	north := make([]int, cols)
+	for j := range north {
+		north[j] = b.Input(fmt.Sprintf("n%d", j))
+	}
+	for i := 0; i < rows; i++ {
+		west := b.Input(fmt.Sprintf("w%d", i))
+		for j := 0; j < cols; j++ {
+			x := b.Input(fmt.Sprintf("x%d_%d", i, j))
+			t := b.Gate(logic.And, fmt.Sprintf("t%d_%d", i, j), west, north[j])
+			s := b.Gate(logic.Xor, fmt.Sprintf("s%d_%d", i, j), t, x)
+			east := b.Gate(logic.Or, fmt.Sprintf("e%d_%d", i, j), s, x)
+			north[j] = s // flows south
+			west = east
+		}
+		b.MarkOutput(west)
+	}
+	for j := 0; j < cols; j++ {
+		b.MarkOutput(north[j])
+	}
+	return b.MustBuild()
+}

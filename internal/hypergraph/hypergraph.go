@@ -1,0 +1,181 @@
+// Package hypergraph implements the undirected hypergraph view of a
+// Boolean network used in Section 4.2 of "Why is ATPG Easy?": the gates,
+// inputs and outputs are the nodes and the signal nets are the hyperedges.
+// It provides the cut-width of Definition 4.1 — for an ordering h of the
+// vertices, the maximum over positions i of the number of hyperedges with
+// one endpoint ordered ≤ i and another ordered > i.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"atpgeasy/internal/logic"
+)
+
+// Graph is an undirected hypergraph. Each edge is the set of vertices it
+// spans (the paper denotes a hyperedge by its vertex set).
+type Graph struct {
+	NumNodes  int
+	Edges     [][]int
+	NodeNames []string // optional, for diagnostics
+}
+
+// New returns a hypergraph with n nodes and no edges.
+func New(n int) *Graph { return &Graph{NumNodes: n} }
+
+// AddEdge adds a hyperedge spanning the given vertices. Duplicates are
+// removed; edges spanning fewer than two distinct vertices are kept (they
+// can never cross a cut, but keeping them preserves edge indexing for
+// callers). It panics on out-of-range vertices.
+func (g *Graph) AddEdge(vs ...int) {
+	set := append([]int(nil), vs...)
+	sort.Ints(set)
+	out := set[:0]
+	for i, v := range set {
+		if v < 0 || v >= g.NumNodes {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, g.NumNodes))
+		}
+		if i > 0 && v == set[i-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	g.Edges = append(g.Edges, out)
+}
+
+// FromCircuit builds the hypergraph of a circuit: one vertex per node
+// (gate, input or output) and one hyperedge per net, spanning the net's
+// driver and all its readers. Nets with no readers yield singleton edges.
+func FromCircuit(c *logic.Circuit) *Graph {
+	g := New(c.NumNodes())
+	g.NodeNames = make([]string, c.NumNodes())
+	for i := range c.Nodes {
+		g.NodeNames[i] = c.Nodes[i].Name
+	}
+	for i := range c.Nodes {
+		span := make([]int, 0, 1+len(c.Nodes[i].Fanout))
+		span = append(span, i)
+		span = append(span, c.Nodes[i].Fanout...)
+		g.AddEdge(span...)
+	}
+	return g
+}
+
+// Degree returns the number of hyperedges incident to vertex v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, e := range g.Edges {
+		for _, u := range e {
+			if u == v {
+				d++
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Pins returns the total number of (edge, vertex) incidences.
+func (g *Graph) Pins() int {
+	n := 0
+	for _, e := range g.Edges {
+		n += len(e)
+	}
+	return n
+}
+
+// CheckOrdering validates that order is a permutation of all vertices.
+func (g *Graph) CheckOrdering(order []int) error {
+	if len(order) != g.NumNodes {
+		return fmt.Errorf("hypergraph: ordering covers %d of %d vertices", len(order), g.NumNodes)
+	}
+	seen := make([]bool, g.NumNodes)
+	for _, v := range order {
+		if v < 0 || v >= g.NumNodes || seen[v] {
+			return fmt.Errorf("hypergraph: ordering is not a permutation (at %d)", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// CutProfile returns, for each gap i between positions i and i+1 of the
+// ordering (i in 1..n-1, returned at index i-1), the number of hyperedges
+// crossing that gap — edges with one endpoint at position ≤ i and another
+// at position > i.
+func (g *Graph) CutProfile(order []int) ([]int, error) {
+	if err := g.CheckOrdering(order); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i + 1 // 1-based positions, as in Definition 4.1
+	}
+	diff := make([]int, n+2)
+	for _, e := range g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		minP, maxP := n+1, 0
+		for _, v := range e {
+			p := pos[v]
+			if p < minP {
+				minP = p
+			}
+			if p > maxP {
+				maxP = p
+			}
+		}
+		if minP < maxP {
+			// Edge crosses every gap i with minP ≤ i < maxP.
+			diff[minP]++
+			diff[maxP]--
+		}
+	}
+	profile := make([]int, 0, n-1)
+	cur := 0
+	for i := 1; i <= n-1; i++ {
+		cur += diff[i]
+		profile = append(profile, cur)
+	}
+	return profile, nil
+}
+
+// CutWidth returns W(G, h) of Definition 4.1: the maximum cut over all
+// positions of the ordering.
+func (g *Graph) CutWidth(order []int) (int, error) {
+	profile, err := g.CutProfile(order)
+	if err != nil {
+		return 0, err
+	}
+	w := 0
+	for _, c := range profile {
+		if c > w {
+			w = c
+		}
+	}
+	return w, nil
+}
+
+// CutSize returns the size of the cut (S, V\S): the number of hyperedges
+// with at least one endpoint on each side. S is given as a vertex set.
+func (g *Graph) CutSize(inS []bool) int {
+	cut := 0
+	for _, e := range g.Edges {
+		hasIn, hasOut := false, false
+		for _, v := range e {
+			if inS[v] {
+				hasIn = true
+			} else {
+				hasOut = true
+			}
+			if hasIn && hasOut {
+				cut++
+				break
+			}
+		}
+	}
+	return cut
+}

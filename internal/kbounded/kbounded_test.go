@@ -1,0 +1,166 @@
+package kbounded
+
+import (
+	"strings"
+	"testing"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+)
+
+// rippleFullAdderPartition builds the canonical witness partition for a
+// ripple-carry adder: one block per full adder (5 gates, 3 inputs).
+func rippleFullAdderPartition(c *logic.Circuit) Partition {
+	p := Partition{BlockOf: make([]int, c.NumNodes())}
+	blocks := map[string]int{}
+	for id := range c.Nodes {
+		switch c.Nodes[id].Type {
+		case logic.Input, logic.Const0, logic.Const1:
+			p.BlockOf[id] = -1
+			continue
+		}
+		name := c.Nodes[id].Name // fa<i>_<suffix>
+		key := name[:strings.Index(name, "_")]
+		b, ok := blocks[key]
+		if !ok {
+			b = p.NumBlocks
+			blocks[key] = b
+			p.NumBlocks++
+		}
+		p.BlockOf[id] = b
+	}
+	return p
+}
+
+// TestRippleAdderIsKBounded: the paper's canonical k-bounded example, with
+// the full-adder partition as witness (k = 3).
+func TestRippleAdderIsKBounded(t *testing.T) {
+	c := gen.RippleAdder(8)
+	p := rippleFullAdderPartition(c)
+	if p.NumBlocks != 8 {
+		t.Fatalf("blocks = %d, want 8 full adders", p.NumBlocks)
+	}
+	if err := Check(c, p, 3); err != nil {
+		t.Errorf("full-adder partition rejected: %v", err)
+	}
+	// k = 2 is too tight for a full adder (3 inputs).
+	if err := Check(c, p, 2); err == nil {
+		t.Error("k=2 accepted for 3-input blocks")
+	}
+}
+
+func TestPerGateTreeIsKBounded(t *testing.T) {
+	// A tree circuit is k-bounded with every gate its own block.
+	c := gen.KaryTree(3, 3)
+	p := PerGate(c)
+	if err := Check(c, p, 3); err != nil {
+		t.Errorf("tree per-gate partition rejected: %v", err)
+	}
+}
+
+func TestFigure4aPerGate(t *testing.T) {
+	c := logic.Figure4a()
+	if err := Check(c, PerGate(c), 2); err != nil {
+		t.Errorf("fig4a (a tree) per-gate: %v", err)
+	}
+}
+
+// TestMultiplierNotKBoundedPerGate: the array multiplier's global
+// reconvergence defeats the per-gate partition.
+func TestMultiplierNotKBoundedPerGate(t *testing.T) {
+	c := gen.ArrayMultiplier(4)
+	if err := Check(c, PerGate(c), 3); err == nil {
+		t.Error("per-gate partition of a multiplier accepted (expected reconvergent paths)")
+	}
+}
+
+// TestXorPairReconvergence: a diamond a → {x, y} → z must be flagged.
+func TestXorPairReconvergence(t *testing.T) {
+	b := logic.NewBuilder("diamond")
+	a := b.Input("a")
+	c2 := b.Input("c")
+	x := b.Gate(logic.And, "x", a, c2)
+	y := b.Gate(logic.Or, "y", a, c2)
+	z := b.Gate(logic.And, "z", x, y)
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	if err := Check(c, PerGate(c), 3); err == nil {
+		t.Error("diamond accepted as reconvergence-free")
+	}
+	// Merging the whole diamond into one block makes it k-bounded (local
+	// reconvergence is allowed).
+	p := Partition{BlockOf: []int{-1, -1, 0, 0, 0}, NumBlocks: 1}
+	if err := Check(c, p, 2); err != nil {
+		t.Errorf("single-block diamond rejected: %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	c := logic.Figure4a()
+	if err := Check(c, Partition{BlockOf: []int{0}}, 3); err == nil {
+		t.Error("short partition accepted")
+	}
+	bad := PerGate(c)
+	bad.BlockOf[c.Inputs[0]] = 0 // input assigned to a block
+	if err := Check(c, bad, 3); err == nil {
+		t.Error("input in block accepted")
+	}
+	bad2 := PerGate(c)
+	bad2.BlockOf[c.MustLookup("f")] = 99
+	if err := Check(c, bad2, 3); err == nil {
+		t.Error("invalid block id accepted")
+	}
+}
+
+func TestMultiNetPairFlagged(t *testing.T) {
+	// Two nets from block {x,y} to block {z}: x→z and y→z where x,y merged.
+	b := logic.NewBuilder("multi")
+	a := b.Input("a")
+	x := b.Gate(logic.Not, "x", a)
+	y := b.Gate(logic.Not, "y", a)
+	z := b.Gate(logic.And, "z", x, y)
+	b.MarkOutput(z)
+	c := b.MustBuild()
+	p := Partition{BlockOf: []int{-1, 0, 0, 1}, NumBlocks: 2}
+	if err := Check(c, p, 2); err == nil {
+		t.Error("two parallel block nets accepted")
+	}
+}
+
+func TestGreedyOnKBoundedFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *logic.Circuit
+		k    int
+	}{
+		{"tree", gen.KaryTree(2, 5), 2},
+		{"cell1d", gen.CellularArray1D(12), 3},
+		{"parity", gen.ParityTree(16), 2},
+	} {
+		p, ok := Greedy(tc.c, tc.k)
+		if !ok {
+			t.Errorf("%s: greedy failed to certify k-boundedness", tc.name)
+			continue
+		}
+		if err := Check(tc.c, p, tc.k); err != nil {
+			t.Errorf("%s: greedy partition invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestGreedyDoesNotCertifyMultiplier(t *testing.T) {
+	c := gen.ArrayMultiplier(4)
+	if _, ok := Greedy(c, 3); ok {
+		t.Error("greedy certified an array multiplier as 3-bounded")
+	}
+}
+
+func TestBlockInputs(t *testing.T) {
+	c := gen.RippleAdder(2)
+	p := rippleFullAdderPartition(c)
+	for b, n := range BlockInputs(c, p) {
+		if n != 3 {
+			t.Errorf("full adder block %d has %d inputs, want 3", b, n)
+		}
+	}
+}

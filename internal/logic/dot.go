@@ -1,0 +1,46 @@
+package logic
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the circuit in Graphviz DOT format for debugging and
+// documentation. Primary inputs are drawn as triangles, outputs are
+// double-circled.
+func (c *Circuit) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", c.Name); err != nil {
+		return err
+	}
+	outs := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		outs[o] = true
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		shape := "box"
+		if n.Type == Input {
+			shape = "triangle"
+		}
+		peripheries := 1
+		if outs[i] {
+			peripheries = 2
+		}
+		label := n.Name
+		if n.Type != Input {
+			label = fmt.Sprintf("%s\\n%s", n.Name, n.Type)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\", shape=%s, peripheries=%d];\n", i, label, shape, peripheries); err != nil {
+			return err
+		}
+	}
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", f, i); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,45 @@
+package logic
+
+// Figure4a constructs the working example circuit of Figure 4(a) of the
+// paper, reconstructed from Formula 4.1 and the backtracking-tree walkthrough
+// of Section 4.1. Nets a..e are primary inputs; the gates (AND/OR with input
+// inversions, so the circuit has exactly the nine nets a..i) are:
+//
+//	f = AND(b, ¬c)   clauses (b + f̄)(c̄ + f̄)(b̄ + c + f)
+//	g = OR(¬d, ¬e)   clauses (d + g)(e + g)(d̄ + ē + ḡ)
+//	h = AND(a, f)    clauses (a + h̄)(f + h̄)(ā + f̄ + h)
+//	i = AND(h, g)    clauses (h + ī)(g + ī)(h̄ + ḡ + i)
+//
+// plus the output-asserting unit clause (i). The reconstruction is pinned
+// down by the paper's example partial assignment b=0, c=0, f=0, a=0, h=0
+// being consistent and leaving exactly the sub-formula
+// (d+g)(e+g)(d̄+ē+ḡ)(g+ī)(ī)(i), and by the cut {b,c,f,a,h} | {d,e,g,i}
+// being crossed only by the net between h and i (Section 4.2). Under the
+// paper's ordering A = b,c,f,a,h,d,e,g,i the circuit has cut-width 3
+// (Figure 6).
+func Figure4a() *Circuit {
+	bld := NewBuilder("fig4a")
+	a := bld.Input("a")
+	b := bld.Input("b")
+	c := bld.Input("c")
+	d := bld.Input("d")
+	e := bld.Input("e")
+	f := bld.GateN(And, "f", []int{b, c}, []bool{false, true})
+	g := bld.GateN(Or, "g", []int{d, e}, []bool{true, true})
+	h := bld.Gate(And, "h", a, f)
+	i := bld.Gate(And, "i", h, g)
+	bld.MarkOutput(i)
+	return bld.MustBuild()
+}
+
+// Figure4aOrderingA returns the paper's ordering A for the Figure 4(a)
+// circuit — the variable order used for the backtracking tree of Figure 5
+// and the minimum-cut-width ordering of Figure 6 — as node IDs.
+func Figure4aOrderingA(c *Circuit) []int {
+	names := []string{"b", "c", "f", "a", "h", "d", "e", "g", "i"}
+	ids := make([]int, len(names))
+	for k, n := range names {
+		ids[k] = c.MustLookup(n)
+	}
+	return ids
+}

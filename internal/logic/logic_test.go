@@ -1,0 +1,586 @@
+package logic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildHalfAdder(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("half")
+	x := b.Input("x")
+	y := b.Input("y")
+	sum := b.Gate(Xor, "sum", x, y)
+	carry := b.Gate(And, "carry", x, y)
+	b.MarkOutput(sum)
+	b.MarkOutput(carry)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderBasics(t *testing.T) {
+	c := buildHalfAdder(t)
+	if got := c.NumNodes(); got != 4 {
+		t.Errorf("NumNodes = %d, want 4", got)
+	}
+	if got := c.NumGates(); got != 2 {
+		t.Errorf("NumGates = %d, want 2", got)
+	}
+	if len(c.Inputs) != 2 || len(c.Outputs) != 2 {
+		t.Errorf("inputs/outputs = %d/%d, want 2/2", len(c.Inputs), len(c.Outputs))
+	}
+	if id, ok := c.Lookup("sum"); !ok || c.Nodes[id].Type != Xor {
+		t.Errorf("Lookup(sum) = %d,%v", id, ok)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("CheckInvariants: %v", err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(b *Builder)
+	}{
+		{"duplicate name", func(b *Builder) { b.Input("x"); b.Input("x") }},
+		{"not arity", func(b *Builder) { x := b.Input("x"); y := b.Input("y"); b.Gate(Not, "n", x, y) }},
+		{"input with fanin", func(b *Builder) { x := b.Input("x"); b.Gate(Input, "i", x) }},
+		{"and no fanin", func(b *Builder) { b.Gate(And, "a") }},
+		{"undefined fanin", func(b *Builder) { b.Gate(And, "a", 5) }},
+		{"neg length mismatch", func(b *Builder) {
+			x := b.Input("x")
+			y := b.Input("y")
+			b.GateN(And, "a", []int{x, y}, []bool{true})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewBuilder("t"))
+		})
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x")
+	b.MarkOutput(x)
+	b.MarkOutput(x)
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate output: expected error")
+	}
+
+	b2 := NewBuilder("t2")
+	b2.Input("x")
+	b2.MarkOutput(7)
+	if _, err := b2.Build(); err == nil {
+		t.Error("undefined output: expected error")
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if And.String() != "AND" || Xnor.String() != "XNOR" || Input.String() != "INPUT" {
+		t.Errorf("gate type names wrong: %s %s %s", And, Xnor, Input)
+	}
+	if got := GateType(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown type String = %q", got)
+	}
+	if GateType(200).Valid() {
+		t.Error("GateType(200).Valid() = true")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []bool
+		want bool
+	}{
+		{Buf, []bool{true}, true},
+		{Buf, []bool{false}, false},
+		{Not, []bool{true}, false},
+		{Not, []bool{false}, true},
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, false, true}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{true, false}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, true, true}, true},
+		{Xor, []bool{true, true}, false},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+	}
+	for _, tc := range cases {
+		if got := Eval(tc.t, tc.in); got != tc.want {
+			t.Errorf("Eval(%s, %v) = %v, want %v", tc.t, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEvalPanicsOnInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval(Input) should panic")
+		}
+	}()
+	Eval(Input, nil)
+}
+
+// TestEval64MatchesEval is a property test: the bit-parallel evaluator must
+// agree with the scalar one on every bit position.
+func TestEval64MatchesEval(t *testing.T) {
+	types := []GateType{Buf, Not, And, Or, Nand, Nor, Xor, Xnor}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gt := types[rng.Intn(len(types))]
+		arity := 1
+		if gt != Buf && gt != Not {
+			arity = 1 + rng.Intn(4)
+		}
+		words := make([]uint64, arity)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		got := Eval64(gt, words)
+		for bit := 0; bit < 64; bit++ {
+			in := make([]bool, arity)
+			for i := range in {
+				in[i] = words[i]>>uint(bit)&1 == 1
+			}
+			want := Eval(gt, in)
+			if (got>>uint(bit)&1 == 1) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateHalfAdder(t *testing.T) {
+	c := buildHalfAdder(t)
+	for _, tc := range []struct {
+		x, y, sum, carry bool
+	}{
+		{false, false, false, false},
+		{false, true, true, false},
+		{true, false, true, false},
+		{true, true, false, true},
+	} {
+		out := c.SimulateOutputs([]bool{tc.x, tc.y})
+		if out[0] != tc.sum || out[1] != tc.carry {
+			t.Errorf("x=%v y=%v: got sum=%v carry=%v, want %v %v", tc.x, tc.y, out[0], out[1], tc.sum, tc.carry)
+		}
+	}
+}
+
+func TestSimulateConstsAndInversions(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x")
+	one := b.Const("one", true)
+	zero := b.Const("zero", false)
+	// g = AND(¬x, 1): equals ¬x.
+	g := b.GateN(And, "g", []int{x, one}, []bool{true, false})
+	// h = OR(x, ¬0): always 1.
+	h := b.GateN(Or, "h", []int{x, zero}, []bool{false, true})
+	b.MarkOutput(g)
+	b.MarkOutput(h)
+	c := b.MustBuild()
+	for _, xv := range []bool{false, true} {
+		out := c.SimulateOutputs([]bool{xv})
+		if out[0] != !xv {
+			t.Errorf("x=%v: g = %v, want %v", xv, out[0], !xv)
+		}
+		if out[1] != true {
+			t.Errorf("x=%v: h = %v, want true", xv, out[1])
+		}
+	}
+}
+
+func TestSimulatePanicsOnBadWidth(t *testing.T) {
+	c := buildHalfAdder(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong input width")
+		}
+	}()
+	c.Simulate([]bool{true})
+}
+
+// TestSimulate64MatchesSimulate checks the parallel simulator against the
+// scalar simulator on a random circuit over random patterns.
+func TestSimulate64MatchesSimulate(t *testing.T) {
+	c := randomCircuit(t, rand.New(rand.NewSource(7)), 40)
+	rng := rand.New(rand.NewSource(8))
+	words := make([]uint64, len(c.Inputs))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	got := c.Simulate64(words)
+	for bit := 0; bit < 64; bit++ {
+		in := make([]bool, len(c.Inputs))
+		for i := range in {
+			in[i] = words[i]>>uint(bit)&1 == 1
+		}
+		want := c.Simulate(in)
+		for id := range want {
+			if (got[id]>>uint(bit)&1 == 1) != want[id] {
+				t.Fatalf("bit %d node %d: parallel %v, scalar %v", bit, id, got[id]>>uint(bit)&1, want[id])
+			}
+		}
+	}
+}
+
+func TestSimulateWithFault(t *testing.T) {
+	c := Figure4a()
+	f := c.MustLookup("f")
+	i := c.MustLookup("i")
+	// Good circuit: a=1,b=1,c=0,d=0,e=0 → f=1,h=1,g=1,i=1.
+	in := []bool{true, true, false, false, false}
+	good := c.Simulate(in)
+	if !good[i] {
+		t.Fatalf("good circuit output = 0, want 1")
+	}
+	// f stuck-at-0 kills the output under this vector.
+	faulty := c.SimulateWith(in, map[int]bool{f: false})
+	if faulty[i] {
+		t.Errorf("f/0 faulty output = 1, want 0")
+	}
+}
+
+// randomCircuit builds a random well-formed circuit with n gates for
+// property tests.
+func randomCircuit(t *testing.T, rng *rand.Rand, n int) *Circuit {
+	t.Helper()
+	b := NewBuilder("rand")
+	nin := 3 + rng.Intn(5)
+	for i := 0; i < nin; i++ {
+		b.Input("in" + string(rune('a'+i)))
+	}
+	types := []GateType{And, Or, Nand, Nor, Xor, Not, Buf}
+	for i := 0; i < n; i++ {
+		gt := types[rng.Intn(len(types))]
+		arity := 1
+		if gt != Not && gt != Buf {
+			arity = 1 + rng.Intn(3)
+		}
+		fanin := make([]int, arity)
+		neg := make([]bool, arity)
+		for j := range fanin {
+			fanin[j] = rng.Intn(b.NumNodes())
+			neg[j] = rng.Intn(4) == 0
+		}
+		b.GateN(gt, "g"+itoa(i), fanin, neg)
+	}
+	last := b.NumNodes() - 1
+	b.MarkOutput(last)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("random Build: %v", err)
+	}
+	return c
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestTransitiveCones(t *testing.T) {
+	c := Figure4a()
+	a, b := c.MustLookup("a"), c.MustLookup("b")
+	f, g, h, i := c.MustLookup("f"), c.MustLookup("g"), c.MustLookup("h"), c.MustLookup("i")
+
+	fo := c.TransitiveFanout(f)
+	want := []int{f, h, i}
+	if !equalInts(fo, want) {
+		t.Errorf("TransitiveFanout(f) = %v, want %v", fo, want)
+	}
+
+	fi := c.TransitiveFanin(h)
+	if !containsSorted(fi, a) || !containsSorted(fi, b) || !containsSorted(fi, f) || containsSorted(fi, g) {
+		t.Errorf("TransitiveFanin(h) = %v", fi)
+	}
+
+	all := c.TransitiveFanin(i)
+	if len(all) != c.NumNodes() {
+		t.Errorf("TransitiveFanin(i) covers %d nodes, want all %d", len(all), c.NumNodes())
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	c := Figure4a()
+	if got := c.Level(c.MustLookup("a")); got != 0 {
+		t.Errorf("level(a) = %d, want 0", got)
+	}
+	if got := c.Level(c.MustLookup("f")); got != 1 {
+		t.Errorf("level(f) = %d, want 1", got)
+	}
+	if got := c.Level(c.MustLookup("h")); got != 2 {
+		t.Errorf("level(h) = %d, want 2", got)
+	}
+	if got := c.Depth(); got != 3 {
+		t.Errorf("depth = %d, want 3", got)
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	c := Figure4a()
+	s := c.Stats()
+	if s.Gates != 4 || s.Inputs != 5 || s.Outputs != 1 || s.Nodes != 9 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MaxFanin != 2 {
+		t.Errorf("MaxFanin = %d, want 2", s.MaxFanin)
+	}
+	if s.MaxFanout != 1 {
+		t.Errorf("MaxFanout = %d, want 1 (fig4a is a tree)", s.MaxFanout)
+	}
+	if got := c.String(); !strings.Contains(got, "4 gates") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestConeExtraction(t *testing.T) {
+	c := Figure4a()
+	h := c.MustLookup("h")
+	cone, err := c.Cone("hcone", h)
+	if err != nil {
+		t.Fatalf("Cone: %v", err)
+	}
+	// h's cone is a, b, c, f, h.
+	if cone.NumNodes() != 5 {
+		t.Errorf("cone has %d nodes, want 5", cone.NumNodes())
+	}
+	if len(cone.Outputs) != 1 || cone.Nodes[cone.Outputs[0]].Name != "h" {
+		t.Errorf("cone outputs = %v", cone.Names(cone.Outputs))
+	}
+	if err := cone.CheckInvariants(); err != nil {
+		t.Errorf("cone invariants: %v", err)
+	}
+	// The cone must compute the same function as the parent net.
+	for pat := 0; pat < 8; pat++ {
+		av, bv, cv := pat&1 == 1, pat&2 == 2, pat&4 == 4
+		parentVals := c.Simulate([]bool{av, bv, cv, false, false})
+		coneOut := cone.SimulateOutputs([]bool{av, bv, cv})
+		if coneOut[0] != parentVals[h] {
+			t.Errorf("pat %d: cone=%v parent=%v", pat, coneOut[0], parentVals[h])
+		}
+	}
+	// Mapping round-trip.
+	for sid, pid := range cone.ToParent {
+		if cone.FromParent[pid] != sid {
+			t.Errorf("mapping mismatch at sub %d parent %d", sid, pid)
+		}
+	}
+}
+
+func TestInducedCutInputs(t *testing.T) {
+	c := Figure4a()
+	h, i, g := c.MustLookup("h"), c.MustLookup("i"), c.MustLookup("g")
+	// Induce on {h, g, i} with h,g missing their drivers → both become inputs.
+	sub, err := c.Induced("sub", []int{h, g, i})
+	if err != nil {
+		t.Fatalf("Induced: %v", err)
+	}
+	if len(sub.Inputs) != 2 {
+		t.Errorf("induced inputs = %v, want h and g as cut inputs", sub.Names(sub.Inputs))
+	}
+	if len(sub.Outputs) != 1 || sub.Nodes[sub.Outputs[0]].Name != "i" {
+		t.Errorf("induced outputs = %v", sub.Names(sub.Outputs))
+	}
+	// i = AND(h,g) must survive.
+	out := sub.SimulateOutputs([]bool{true, true})
+	if !out[0] {
+		t.Errorf("induced AND(1,1) = %v", out[0])
+	}
+	if err := sub.CheckInvariants(); err != nil {
+		t.Errorf("induced invariants: %v", err)
+	}
+}
+
+func TestInducedErrors(t *testing.T) {
+	c := Figure4a()
+	if _, err := c.Induced("bad", []int{999}); err == nil {
+		t.Error("out-of-range id: expected error")
+	}
+	if _, err := c.Induced("bad", []int{0}, 5); err == nil {
+		t.Error("extra output outside set: expected error")
+	}
+}
+
+func TestCloneEquivalence(t *testing.T) {
+	c := randomCircuit(t, rand.New(rand.NewSource(99)), 60)
+	cl := c.Clone()
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]bool, len(c.Inputs))
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		a := c.SimulateOutputs(in)
+		b := cl.SimulateOutputs(in)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: clone differs at output %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFigure4aFunction(t *testing.T) {
+	c := Figure4a()
+	// Exhaustive: i = AND(AND(a, AND(b,¬c)), OR(¬d,¬e)).
+	for pat := 0; pat < 32; pat++ {
+		in := []bool{pat&1 == 1, pat&2 == 2, pat&4 == 4, pat&8 == 8, pat&16 == 16}
+		a, b, cc, d, e := in[0], in[1], in[2], in[3], in[4]
+		f := b && !cc
+		g := !d || !e
+		h := a && f
+		want := h && g
+		got := c.SimulateOutputs(in)[0]
+		if got != want {
+			t.Errorf("pattern %05b: got %v, want %v", pat, got, want)
+		}
+	}
+}
+
+func TestFigure4aOrderingA(t *testing.T) {
+	c := Figure4a()
+	ord := Figure4aOrderingA(c)
+	if len(ord) != 9 {
+		t.Fatalf("ordering has %d nodes, want 9", len(ord))
+	}
+	seen := map[int]bool{}
+	for _, id := range ord {
+		if seen[id] {
+			t.Fatalf("duplicate node %d in ordering", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	c := Figure4a()
+	var sb strings.Builder
+	if err := c.WriteDOT(&sb); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	s := sb.String()
+	for _, want := range []string{"digraph", "triangle", "peripheries=2", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+// TestRandomCircuitInvariants is a property test over the random circuit
+// generator used throughout the test suite.
+func TestRandomCircuitInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		c := randomCircuit(t, rand.New(rand.NewSource(seed)), 30)
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAccessorHelpers(t *testing.T) {
+	c := Figure4a()
+	i := c.MustLookup("i")
+	if n := c.Node(i); n.Name != "i" || n.Type != And {
+		t.Errorf("Node(i) = %+v", n)
+	}
+	if !c.IsOutput(i) {
+		t.Error("i should be an output")
+	}
+	if c.IsOutput(c.MustLookup("a")) {
+		t.Error("a is not an output")
+	}
+	topo := c.TopoOrder()
+	if len(topo) != c.NumNodes() {
+		t.Errorf("TopoOrder covers %d nodes", len(topo))
+	}
+	names := c.Names([]int{c.MustLookup("a"), i})
+	if len(names) != 2 || names[0] != "a" || names[1] != "i" {
+		t.Errorf("Names = %v", names)
+	}
+	in := c.TransitiveFanin(i)
+	outs := c.OutputsIn(in)
+	if len(outs) != 1 || outs[0] != i {
+		t.Errorf("OutputsIn = %v", outs)
+	}
+	if got := c.OutputsIn([]int{c.MustLookup("a")}); len(got) != 0 {
+		t.Errorf("OutputsIn(a) = %v", got)
+	}
+}
+
+func TestBuilderLookupAndMustLookupPanic(t *testing.T) {
+	b := NewBuilder("t")
+	x := b.Input("x")
+	if got, ok := b.Lookup("x"); !ok || got != x {
+		t.Errorf("Builder.Lookup = %d,%v", got, ok)
+	}
+	if _, ok := b.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	b.MarkOutput(x)
+	c := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on missing name should panic")
+		}
+	}()
+	c.MustLookup("nope")
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("x")
+	b.MarkOutput(9)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on invalid circuit should panic")
+		}
+	}()
+	b.MustBuild()
+}

@@ -1,0 +1,216 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subcircuit is a circuit extracted from a parent together with the ID
+// mapping between the two.
+type Subcircuit struct {
+	*Circuit
+	// ToParent maps a node ID in the subcircuit to the corresponding node
+	// ID in the parent circuit.
+	ToParent []int
+	// FromParent maps a parent node ID to the subcircuit node ID, or -1 if
+	// the parent node is not part of the subcircuit.
+	FromParent []int
+}
+
+// Induced extracts the subcircuit induced by the given parent node IDs.
+// Nodes whose drivers lie outside the set become primary inputs of the
+// subcircuit (cut inputs); outputs are the parent's primary outputs that
+// lie inside the set plus any explicitly listed extraOutputs. ids need not
+// be sorted; duplicates are ignored.
+func (c *Circuit) Induced(name string, ids []int, extraOutputs ...int) (*Subcircuit, error) {
+	in := make([]bool, len(c.Nodes))
+	for _, id := range ids {
+		if id < 0 || id >= len(c.Nodes) {
+			return nil, fmt.Errorf("logic: Induced: node ID %d out of range", id)
+		}
+		in[id] = true
+	}
+	sorted := markedIDs(in)
+
+	b := NewBuilder(name)
+	fromParent := make([]int, len(c.Nodes))
+	for i := range fromParent {
+		fromParent[i] = -1
+	}
+	toParent := make([]int, 0, len(sorted))
+	for _, id := range sorted {
+		n := &c.Nodes[id]
+		var sid int
+		keep := n.Type == Input || n.Type == Const0 || n.Type == Const1
+		if !keep {
+			// A gate all of whose fanins are inside stays a gate; any
+			// missing fanin turns the whole node into a cut input.
+			for _, f := range n.Fanin {
+				if !in[f] {
+					keep = false
+					break
+				}
+				keep = true
+			}
+		}
+		switch {
+		case n.Type == Input:
+			sid = b.Input(n.Name)
+		case n.Type == Const0:
+			sid = b.Const(n.Name, false)
+		case n.Type == Const1:
+			sid = b.Const(n.Name, true)
+		case !keep:
+			sid = b.Input(n.Name)
+		default:
+			fanin := make([]int, len(n.Fanin))
+			for i, f := range n.Fanin {
+				fanin[i] = fromParent[f]
+			}
+			sid = b.GateN(n.Type, n.Name, fanin, n.Neg)
+		}
+		fromParent[id] = sid
+		toParent = append(toParent, id)
+	}
+
+	marked := make(map[int]bool)
+	for _, o := range c.Outputs {
+		if in[o] && !marked[o] {
+			b.MarkOutput(fromParent[o])
+			marked[o] = true
+		}
+	}
+	for _, o := range extraOutputs {
+		if o < 0 || o >= len(c.Nodes) || !in[o] {
+			return nil, fmt.Errorf("logic: Induced: extra output %d not in subcircuit", o)
+		}
+		if !marked[o] {
+			b.MarkOutput(fromParent[o])
+			marked[o] = true
+		}
+	}
+	sc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Subcircuit{Circuit: sc, ToParent: toParent, FromParent: fromParent}, nil
+}
+
+// Cone extracts the transitive fanin cone of the given output nets as a
+// standalone single- or multi-output circuit. The given nets become the
+// outputs of the cone, in the given order (plus no others, even if parent
+// outputs fall inside the cone).
+func (c *Circuit) Cone(name string, outs ...int) (*Subcircuit, error) {
+	ids := c.TransitiveFanin(outs...)
+	in := make([]bool, len(c.Nodes))
+	for _, id := range ids {
+		in[id] = true
+	}
+	b := NewBuilder(name)
+	fromParent := make([]int, len(c.Nodes))
+	for i := range fromParent {
+		fromParent[i] = -1
+	}
+	toParent := make([]int, 0, len(ids))
+	for _, id := range ids {
+		n := &c.Nodes[id]
+		var sid int
+		switch n.Type {
+		case Input:
+			sid = b.Input(n.Name)
+		case Const0:
+			sid = b.Const(n.Name, false)
+		case Const1:
+			sid = b.Const(n.Name, true)
+		default:
+			fanin := make([]int, len(n.Fanin))
+			for i, f := range n.Fanin {
+				fanin[i] = fromParent[f]
+			}
+			sid = b.GateN(n.Type, n.Name, fanin, n.Neg)
+		}
+		fromParent[id] = sid
+		toParent = append(toParent, id)
+	}
+	seen := make(map[int]bool)
+	for _, o := range outs {
+		if !seen[o] {
+			b.MarkOutput(fromParent[o])
+			seen[o] = true
+		}
+	}
+	sc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Subcircuit{Circuit: sc, ToParent: toParent, FromParent: fromParent}, nil
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	b := NewBuilder(c.Name)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			b.Input(n.Name)
+		case Const0:
+			b.Const(n.Name, false)
+		case Const1:
+			b.Const(n.Name, true)
+		default:
+			b.GateN(n.Type, n.Name, n.Fanin, n.Neg)
+		}
+	}
+	for _, o := range c.Outputs {
+		b.MarkOutput(o)
+	}
+	return b.MustBuild()
+}
+
+// CheckInvariants verifies structural invariants that every constructed
+// circuit must satisfy: fanin/fanout consistency, name-table consistency,
+// topological ID ordering, and output validity. It is used by tests and
+// property checks; a non-nil error indicates a bug in a constructor.
+func (c *Circuit) CheckInvariants() error {
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.ID != i {
+			return fmt.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if got, ok := c.byName[n.Name]; !ok || got != i {
+			return fmt.Errorf("name table broken for node %q", n.Name)
+		}
+		for _, f := range n.Fanin {
+			if f >= i {
+				return fmt.Errorf("node %q fanin %d not topologically earlier", n.Name, f)
+			}
+			if !containsInt(c.Nodes[f].Fanout, i) {
+				return fmt.Errorf("fanout list of %q missing reader %q", c.Nodes[f].Name, n.Name)
+			}
+		}
+		for _, fo := range n.Fanout {
+			if !containsInt(c.Nodes[fo].Fanin, i) {
+				return fmt.Errorf("fanin list of %q missing driver %q", c.Nodes[fo].Name, n.Name)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= len(c.Nodes) {
+			return fmt.Errorf("output %d out of range", o)
+		}
+	}
+	if !sort.IntsAreSorted(c.topo) {
+		return fmt.Errorf("topological order not the identity ordering")
+	}
+	return nil
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,418 @@
+// Package mla implements min-cut linear arrangement (MLA) of hypergraphs —
+// the cut-width estimation procedure of Section 5.2.1 of "Why is ATPG
+// Easy?". By definition the minimum cut-width of a circuit is the max-cut
+// value obtained under a min-cut linear arrangement; since MLA is
+// NP-complete, the paper (following Hochbaum [13]) approximates it by
+// recursive min-cut bipartitioning until the partitions are small, then
+// solves each small partition exactly. Package partition supplies the
+// bipartitioner (the hMETIS role).
+//
+// The recursion uses terminal propagation: when a block is split, its
+// connections to the already-placed region on the left and the pending
+// region on the right are represented by two pinned terminal vertices, so
+// the bipartitioner accounts for external wires — without this, widths of
+// large circuits are badly overestimated because every level of the
+// recursion re-cuts the same external nets.
+package mla
+
+import (
+	"fmt"
+	"sort"
+
+	"atpgeasy/internal/hypergraph"
+	"atpgeasy/internal/partition"
+)
+
+// Options configure the arrangement.
+type Options struct {
+	// ExactThreshold is the block size at and below which the exact
+	// subset-DP MLA is used. Zero means 10; values above 18 are clamped to
+	// 18 to bound memory.
+	ExactThreshold int
+	// Partition configures the FM bipartitioner used at each recursion
+	// level.
+	Partition partition.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExactThreshold == 0 {
+		o.ExactThreshold = 10
+	}
+	if o.ExactThreshold > 18 {
+		o.ExactThreshold = 18
+	}
+	return o
+}
+
+// Order computes an approximate min-cut linear arrangement of g and
+// returns the vertex ordering.
+func Order(g *hypergraph.Graph, opt Options) []int {
+	opt = opt.withDefaults()
+	all := make([]int, g.NumNodes)
+	for i := range all {
+		all[i] = i
+	}
+	a := &arranger{
+		g:        g,
+		opt:      opt,
+		status:   make([]uint8, g.NumNodes),
+		incident: make([][]int32, g.NumNodes),
+	}
+	for i := range a.status {
+		a.status[i] = statusBlock
+	}
+	for ei, e := range g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		for _, v := range e {
+			a.incident[v] = append(a.incident[v], int32(ei))
+		}
+	}
+	return a.arrange(all, opt.Partition.Seed)
+}
+
+// EstimateCutWidth computes an approximate minimum cut-width of g: the
+// smaller of the recursive-MLA ordering's width and the identity
+// ordering's width (both are valid upper bounds on the minimum; circuit
+// hypergraphs number vertices topologically, which is itself often a
+// decent arrangement). The returned ordering witnesses the width.
+func EstimateCutWidth(g *hypergraph.Graph, opt Options) (int, []int) {
+	order := Order(g, opt)
+	w, err := g.CutWidth(order)
+	if err != nil {
+		panic(fmt.Sprintf("mla: internal: invalid ordering produced: %v", err))
+	}
+	ident := make([]int, g.NumNodes)
+	for i := range ident {
+		ident[i] = i
+	}
+	wi, _ := g.CutWidth(ident)
+	if wi < w {
+		return wi, ident
+	}
+	return w, order
+}
+
+// Vertex status during the recursion.
+const (
+	statusLeft  uint8 = iota // already placed, left of the current block
+	statusBlock              // inside the block being arranged
+	statusRight              // pending, right of the current block
+)
+
+type arranger struct {
+	g        *hypergraph.Graph
+	opt      Options
+	status   []uint8
+	incident [][]int32
+}
+
+// arrange orders the vertex subset vs (all of which have statusBlock) and
+// marks them statusLeft as they are emitted.
+func (a *arranger) arrange(vs []int, seed int64) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	if len(vs) == 1 {
+		a.status[vs[0]] = statusLeft
+		return []int{vs[0]}
+	}
+	if len(vs) <= a.opt.ExactThreshold {
+		return a.arrangeExact(vs)
+	}
+	sub, toParent, fixed := a.induced(vs)
+	popt := a.opt.Partition
+	popt.Seed = seed
+	res := partition.Multilevel(sub, fixed, popt)
+	var left, right []int
+	for i, v := range toParent {
+		if v < 0 {
+			continue // terminal
+		}
+		if res.Side[i] {
+			right = append(right, v)
+		} else {
+			left = append(left, v)
+		}
+	}
+	// Degenerate split (possible only on pathological graphs): fall back
+	// to an arbitrary balanced split to guarantee progress.
+	if len(left) == 0 || len(right) == 0 {
+		mid := len(vs) / 2
+		left = append([]int(nil), vs[:mid]...)
+		right = append([]int(nil), vs[mid:]...)
+	}
+	for _, v := range right {
+		a.status[v] = statusRight
+	}
+	out := a.arrange(left, seed*2654435761+1)
+	for _, v := range right {
+		a.status[v] = statusBlock
+	}
+	return append(out, a.arrange(right, seed*2654435761+2)...)
+}
+
+// arrangeExact solves a small block with the pinned-ends exact DP, with
+// terminals representing the exterior.
+func (a *arranger) arrangeExact(vs []int) []int {
+	sub, toParent, fixed := a.induced(vs)
+	first, last := -1, -1
+	for i, f := range fixed {
+		switch f {
+		case partition.FixedA:
+			first = i
+		case partition.FixedB:
+			last = i
+		}
+	}
+	local, _, err := exactOrderPinned(sub, first, last)
+	if err != nil {
+		local = make([]int, sub.NumNodes)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	out := make([]int, 0, len(vs))
+	for _, lv := range local {
+		if v := toParent[lv]; v >= 0 {
+			out = append(out, v)
+			a.status[v] = statusLeft
+		}
+	}
+	return out
+}
+
+// induced builds the sub-hypergraph on the block: edges clipped to the
+// block's vertices, extended with a left terminal (pinned to side A /
+// ordered first) when the edge also touches already-placed vertices and a
+// right terminal (side B / last) when it touches pending vertices. It
+// returns the subgraph, the local→parent map (-1 for terminals) and the
+// fixture slice (nil when no terminal was needed).
+func (a *arranger) induced(vs []int) (*hypergraph.Graph, []int, []partition.Fixture) {
+	toLocal := make(map[int]int, len(vs))
+	toParent := make([]int, len(vs), len(vs)+2)
+	for i, v := range vs {
+		toLocal[v] = i
+		toParent[i] = v
+	}
+	leftT, rightT := -1, -1
+	edgeSet := make(map[int32]bool)
+	for _, v := range vs {
+		for _, ei := range a.incident[v] {
+			edgeSet[ei] = true
+		}
+	}
+	// Deterministic edge order: map iteration order would otherwise make
+	// the whole arrangement vary from run to run.
+	edgeIDs := make([]int, 0, len(edgeSet))
+	for ei := range edgeSet {
+		edgeIDs = append(edgeIDs, int(ei))
+	}
+	sort.Ints(edgeIDs)
+	n := len(vs)
+	var clippedEdges [][]int
+	needLeft, needRight := false, false
+	for _, ei := range edgeIDs {
+		e := a.g.Edges[ei]
+		var clipped []int
+		hasLeft, hasRight := false, false
+		for _, v := range e {
+			switch {
+			case a.status[v] == statusLeft:
+				hasLeft = true
+			case a.status[v] == statusRight:
+				hasRight = true
+			default:
+				if lv, ok := toLocal[v]; ok {
+					clipped = append(clipped, lv)
+				} else {
+					// statusBlock vertex outside this block can occur only
+					// for sibling blocks mid-recursion; treat as right.
+					hasRight = true
+				}
+			}
+		}
+		if len(clipped) == 0 {
+			continue
+		}
+		if hasLeft {
+			needLeft = true
+		}
+		if hasRight {
+			needRight = true
+		}
+		if len(clipped) < 2 && !hasLeft && !hasRight {
+			continue
+		}
+		// Record; terminals appended after their ids are known.
+		clippedEdges = append(clippedEdges, clipped)
+		if hasLeft {
+			clippedEdges[len(clippedEdges)-1] = append(clippedEdges[len(clippedEdges)-1], -1) // placeholder L
+		}
+		if hasRight {
+			clippedEdges[len(clippedEdges)-1] = append(clippedEdges[len(clippedEdges)-1], -2) // placeholder R
+		}
+	}
+	if needLeft {
+		leftT = n
+		n++
+		toParent = append(toParent, -1)
+	}
+	if needRight {
+		rightT = n
+		n++
+		toParent = append(toParent, -1)
+	}
+	sub := hypergraph.New(n)
+	for _, e := range clippedEdges {
+		for i, v := range e {
+			switch v {
+			case -1:
+				e[i] = leftT
+			case -2:
+				e[i] = rightT
+			}
+		}
+		if len(e) >= 2 {
+			sub.AddEdge(e...)
+		}
+	}
+	var fixed []partition.Fixture
+	if needLeft || needRight {
+		fixed = make([]partition.Fixture, n)
+		if leftT >= 0 {
+			fixed[leftT] = partition.FixedA
+		}
+		if rightT >= 0 {
+			fixed[rightT] = partition.FixedB
+		}
+	}
+	return sub, toParent, fixed
+}
+
+// DegreeLowerBound returns a cheap valid lower bound on the minimum
+// cut-width: for any vertex of degree d (over edges spanning ≥ 2
+// vertices), every linear arrangement places at least ⌈d/2⌉ of its
+// incident edges across the gap on one side of the vertex. Together with
+// EstimateCutWidth this sandwiches the true minimum.
+func DegreeLowerBound(g *hypergraph.Graph) int {
+	maxDeg := 0
+	deg := make([]int, g.NumNodes)
+	for _, e := range g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		for _, v := range e {
+			deg[v]++
+			if deg[v] > maxDeg {
+				maxDeg = deg[v]
+			}
+		}
+	}
+	return (maxDeg + 1) / 2
+}
+
+// ExactOrder computes a minimum cut-width linear arrangement of g by
+// dynamic programming over vertex subsets: W[S] = max(cut(S), min over
+// v∈S of W[S\{v}]), where cut(S) is the number of hyperedges crossing the
+// (S, V\S) boundary. It is exponential — O(2^n · (n + |E|)) — and limited
+// to n ≤ 22.
+func ExactOrder(g *hypergraph.Graph) ([]int, int, error) {
+	return exactOrderPinned(g, -1, -1)
+}
+
+// exactOrderPinned is ExactOrder with optional pinned endpoints: vertex
+// first (if ≥ 0) must be ordered first and last (if ≥ 0) ordered last.
+func exactOrderPinned(g *hypergraph.Graph, first, last int) ([]int, int, error) {
+	n := g.NumNodes
+	if n > 22 {
+		return nil, 0, fmt.Errorf("mla: ExactOrder limited to 22 vertices, got %d", n)
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	masks := make([]uint32, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		var m uint32
+		for _, v := range e {
+			m |= 1 << uint(v)
+		}
+		masks = append(masks, m)
+	}
+	size := 1 << uint(n)
+	const inf = uint16(0xffff)
+	width := make([]uint16, size)
+	choice := make([]int8, size)
+	full := uint32(size - 1)
+	var firstBit, lastBit uint32
+	if first >= 0 {
+		firstBit = 1 << uint(first)
+	}
+	if last >= 0 {
+		lastBit = 1 << uint(last)
+	}
+	for s := 1; s < size; s++ {
+		set := uint32(s)
+		// Pinning: every non-empty prefix must contain first; last may
+		// only appear in the full set.
+		if firstBit != 0 && set&firstBit == 0 {
+			width[set] = inf
+			choice[set] = -1
+			continue
+		}
+		if lastBit != 0 && set&lastBit != 0 && set != full {
+			width[set] = inf
+			choice[set] = -1
+			continue
+		}
+		cut := uint16(0)
+		for _, m := range masks {
+			if m&set != 0 && m&^set != 0 {
+				cut++
+			}
+		}
+		best := inf
+		var bestV int8 = -1
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if set&bit == 0 {
+				continue
+			}
+			// first may only be the last-placed vertex of the singleton
+			// prefix {first}.
+			if bit == firstBit && set != firstBit {
+				continue
+			}
+			w := width[set&^bit]
+			if w < best {
+				best = w
+				bestV = int8(v)
+			}
+		}
+		if bestV < 0 {
+			width[set] = inf
+			choice[set] = -1
+			continue
+		}
+		if cut > best {
+			best = cut
+		}
+		width[set] = best
+		choice[set] = bestV
+	}
+	if width[full] == inf {
+		return nil, 0, fmt.Errorf("mla: pinning constraints unsatisfiable")
+	}
+	order := make([]int, n)
+	set := full
+	for i := n - 1; i >= 0; i-- {
+		v := choice[set]
+		order[i] = int(v)
+		set &^= 1 << uint(v)
+	}
+	return order, int(width[full]), nil
+}

@@ -1,0 +1,379 @@
+// Package partition implements Fiduccia–Mattheyses min-cut hypergraph
+// bipartitioning with gain buckets, a balance constraint, multiple passes
+// and random restarts. It plays the role of the hMETIS package in the
+// paper's experimental setup (Section 5.2.1): the bipartitioner inside
+// recursive min-cut linear arrangement.
+package partition
+
+import (
+	"math/rand"
+
+	"atpgeasy/internal/hypergraph"
+)
+
+// Options control the partitioner. The zero value is usable: 10% balance
+// slack, 4 restarts, passes until no improvement.
+type Options struct {
+	// Epsilon is the balance slack: each side must keep at least
+	// floor(n*(0.5-Epsilon)) vertices (but at least 1). Zero means 0.10.
+	Epsilon float64
+	// Restarts is the number of random initial partitions tried; the best
+	// result wins. Zero means 4.
+	Restarts int
+	// MaxPasses bounds FM passes per restart. Zero means 16.
+	MaxPasses int
+	// Seed seeds the random initial partitions; the partitioner is fully
+	// deterministic for a fixed seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.10
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 16
+	}
+	return o
+}
+
+// Result is a bipartition: Side[v] is true when v is on side B, and Cut is
+// the number of hyperedges with vertices on both sides.
+type Result struct {
+	Side []bool
+	Cut  int
+}
+
+// Fixture pins a vertex to one side for the whole run; used for terminal
+// propagation in recursive placement (a pinned terminal represents the
+// already-placed or yet-to-be-placed exterior of the current block).
+type Fixture int8
+
+// Fixture values.
+const (
+	Free   Fixture = iota
+	FixedA         // pinned to side A (Side[v] = false)
+	FixedB         // pinned to side B (Side[v] = true)
+)
+
+// Bipartition splits the vertices of g into two balanced halves minimizing
+// the hyperedge cut. Graphs with fewer than two vertices return a trivial
+// partition with cut 0.
+func Bipartition(g *hypergraph.Graph, opt Options) Result {
+	return BipartitionFixed(g, nil, opt)
+}
+
+// BipartitionFixed is Bipartition with pinned vertices: fixed[v] (when the
+// slice is non-nil) pins vertex v to a side. Pinned vertices count toward
+// the balance bound but never move.
+func BipartitionFixed(g *hypergraph.Graph, fixed []Fixture, opt Options) Result {
+	opt = opt.withDefaults()
+	n := g.NumNodes
+	if n < 2 {
+		side := make([]bool, n)
+		for v := range side {
+			side[v] = fixedSide(fixed, v) == FixedB
+		}
+		return Result{Side: side}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	best := Result{Cut: -1}
+	// One deterministic "sequential split" start (second half of the
+	// vertex numbering on side B) plus the random restarts. Circuit
+	// hypergraphs number vertices topologically, so the sequential split
+	// is usually an excellent seed that plain FM cannot reach from a
+	// random start — it substitutes for hMETIS's multilevel coarsening.
+	seq := make([]bool, n)
+	for v := n / 2; v < n; v++ {
+		seq[v] = true
+	}
+	applyFixed(seq, fixed)
+	starts := [][]bool{seq}
+	for r := 0; r < opt.Restarts; r++ {
+		side := randomBalanced(n, rng)
+		applyFixed(side, fixed)
+		starts = append(starts, side)
+	}
+	for _, side := range starts {
+		cut := runFM(g, side, fixed, opt, rng)
+		if best.Cut < 0 || cut < best.Cut {
+			best = Result{Side: append([]bool(nil), side...), Cut: cut}
+		}
+	}
+	return best
+}
+
+func fixedSide(fixed []Fixture, v int) Fixture {
+	if fixed == nil {
+		return Free
+	}
+	return fixed[v]
+}
+
+func applyFixed(side []bool, fixed []Fixture) {
+	for v := range side {
+		switch fixedSide(fixed, v) {
+		case FixedA:
+			side[v] = false
+		case FixedB:
+			side[v] = true
+		}
+	}
+}
+
+// randomBalanced assigns exactly floor(n/2) vertices to side B.
+func randomBalanced(n int, rng *rand.Rand) []bool {
+	side := make([]bool, n)
+	perm := rng.Perm(n)
+	for i := 0; i < n/2; i++ {
+		side[perm[i]] = true
+	}
+	return side
+}
+
+// fmState holds the per-pass working set.
+type fmState struct {
+	g        *hypergraph.Graph
+	side     []bool
+	incident [][]int32 // vertex → incident edge indices (edges with ≥2 distinct vertices)
+	cntA     []int32   // per edge: vertices on side A (false)
+	cntB     []int32   // per edge: vertices on side B (true)
+	gain     []int
+	locked   []bool
+	fixed    []Fixture
+	maxDeg   int
+
+	// Gain buckets: doubly linked lists threaded through next/prev, one
+	// list head per gain value offset by maxDeg.
+	bucket []int32 // gain+maxDeg → first vertex, -1 if empty
+	next   []int32
+	prev   []int32
+	maxPtr int // highest non-empty bucket index hint
+}
+
+func newFMState(g *hypergraph.Graph, side []bool) *fmState {
+	n := g.NumNodes
+	s := &fmState{
+		g:        g,
+		side:     side,
+		incident: make([][]int32, n),
+		cntA:     make([]int32, len(g.Edges)),
+		cntB:     make([]int32, len(g.Edges)),
+		gain:     make([]int, n),
+		locked:   make([]bool, n),
+		next:     make([]int32, n),
+		prev:     make([]int32, n),
+	}
+	for ei, e := range g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		for _, v := range e {
+			s.incident[v] = append(s.incident[v], int32(ei))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(s.incident[v]) > s.maxDeg {
+			s.maxDeg = len(s.incident[v])
+		}
+	}
+	s.bucket = make([]int32, 2*s.maxDeg+1)
+	return s
+}
+
+// resetPass recomputes edge side-counts and all gains, unlocks every
+// vertex, and rebuilds the gain buckets.
+func (s *fmState) resetPass() {
+	for i := range s.cntA {
+		s.cntA[i], s.cntB[i] = 0, 0
+	}
+	for ei, e := range s.g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		for _, v := range e {
+			if s.side[v] {
+				s.cntB[ei]++
+			} else {
+				s.cntA[ei]++
+			}
+		}
+	}
+	for i := range s.bucket {
+		s.bucket[i] = -1
+	}
+	for v := range s.gain {
+		if fixedSide(s.fixed, v) != Free {
+			s.locked[v] = true
+			continue
+		}
+		s.locked[v] = false
+		g := 0
+		for _, ei := range s.incident[v] {
+			from, to := s.cntA[ei], s.cntB[ei]
+			if s.side[v] {
+				from, to = to, from
+			}
+			if from == 1 && to > 0 {
+				g++ // moving v uncuts this edge
+			}
+			if to == 0 {
+				g-- // moving v cuts this edge
+			}
+		}
+		s.gain[v] = g
+		s.bucketInsert(v)
+	}
+	s.maxPtr = len(s.bucket) - 1
+}
+
+func (s *fmState) bucketInsert(v int) {
+	idx := s.gain[v] + s.maxDeg
+	s.next[v] = s.bucket[idx]
+	s.prev[v] = -1
+	if s.bucket[idx] >= 0 {
+		s.prev[s.bucket[idx]] = int32(v)
+	}
+	s.bucket[idx] = int32(v)
+	if idx > s.maxPtr {
+		s.maxPtr = idx
+	}
+}
+
+func (s *fmState) bucketRemove(v int) {
+	idx := s.gain[v] + s.maxDeg
+	if s.prev[v] >= 0 {
+		s.next[s.prev[v]] = s.next[v]
+	} else {
+		s.bucket[idx] = s.next[v]
+	}
+	if s.next[v] >= 0 {
+		s.prev[s.next[v]] = s.prev[v]
+	}
+}
+
+func (s *fmState) adjustGain(v, delta int) {
+	if s.locked[v] || delta == 0 {
+		return
+	}
+	s.bucketRemove(v)
+	s.gain[v] += delta
+	s.bucketInsert(v)
+}
+
+// pickMove returns the unlocked vertex with the highest gain whose move
+// keeps both sides at or above minSide, or -1.
+func (s *fmState) pickMove(sizeA, sizeB, minSide int) int {
+	for idx := s.maxPtr; idx >= 0; idx-- {
+		for v := s.bucket[idx]; v >= 0; v = s.next[v] {
+			fromSize := sizeA
+			if s.side[v] {
+				fromSize = sizeB
+			}
+			if fromSize-1 >= minSide {
+				s.maxPtr = idx
+				return int(v)
+			}
+		}
+	}
+	return -1
+}
+
+// applyMove moves v to the other side, locking it and updating neighbor
+// gains with the standard FM incremental rules.
+func (s *fmState) applyMove(v int) {
+	s.bucketRemove(v)
+	s.locked[v] = true
+	fromB := s.side[v]
+	for _, ei := range s.incident[v] {
+		e := s.g.Edges[ei]
+		cf, ct := &s.cntA[ei], &s.cntB[ei]
+		if fromB {
+			cf, ct = ct, cf
+		}
+		// Before the move.
+		if *ct == 0 {
+			for _, u := range e {
+				s.adjustGain(u, +1)
+			}
+		} else if *ct == 1 {
+			for _, u := range e {
+				if u != v && s.side[u] != fromB {
+					s.adjustGain(u, -1)
+				}
+			}
+		}
+		*cf--
+		*ct++
+		// After the move.
+		if *cf == 0 {
+			for _, u := range e {
+				s.adjustGain(u, -1)
+			}
+		} else if *cf == 1 {
+			for _, u := range e {
+				if u != v && s.side[u] == fromB {
+					s.adjustGain(u, +1)
+				}
+			}
+		}
+	}
+	s.side[v] = !s.side[v]
+}
+
+// runFM improves side in place and returns the final cut.
+func runFM(g *hypergraph.Graph, side []bool, fixed []Fixture, opt Options, rng *rand.Rand) int {
+	n := g.NumNodes
+	minSide := int(float64(n) * (0.5 - opt.Epsilon))
+	if minSide < 1 {
+		minSide = 1
+	}
+	s := newFMState(g, side)
+	s.fixed = fixed
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		s.resetPass()
+		sizeA, sizeB := 0, 0
+		for _, b := range side {
+			if b {
+				sizeB++
+			} else {
+				sizeA++
+			}
+		}
+		type move struct{ v, gain int }
+		var moves []move
+		bestPrefix, bestGain, runGain := -1, 0, 0
+		for {
+			v := s.pickMove(sizeA, sizeB, minSide)
+			if v < 0 {
+				break
+			}
+			runGain += s.gain[v]
+			moves = append(moves, move{v, s.gain[v]})
+			if s.side[v] {
+				sizeB--
+				sizeA++
+			} else {
+				sizeA--
+				sizeB++
+			}
+			s.applyMove(v)
+			if runGain > bestGain {
+				bestGain = runGain
+				bestPrefix = len(moves) - 1
+			}
+		}
+		// Revert moves past the best prefix.
+		for i := len(moves) - 1; i > bestPrefix; i-- {
+			v := moves[i].v
+			side[v] = !side[v]
+		}
+		if bestGain <= 0 {
+			break
+		}
+	}
+	return g.CutSize(side)
+}

@@ -1,0 +1,250 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"atpgeasy/internal/hypergraph"
+)
+
+// coarseningThreshold is the vertex count below which coarsening stops
+// and the flat partitioner runs directly.
+const coarseningThreshold = 120
+
+// Multilevel bipartitions g with a V-cycle in the style of multilevel
+// hypergraph partitioners (the actual algorithmic core of hMETIS):
+//
+//  1. coarsen: repeatedly contract heavy-edge matchings until the graph
+//     is small;
+//  2. initial partition: run the flat FM partitioner (with restarts and
+//     the sequential seed) on the coarsest graph;
+//  3. uncoarsen: project the partition up one level at a time, refining
+//     with an FM pass at every level.
+//
+// Vertex weights (contracted cluster sizes) are respected by the balance
+// constraint. Fixed vertices survive coarsening: a fixed vertex never
+// matches, so pins are preserved exactly.
+func Multilevel(g *hypergraph.Graph, fixed []Fixture, opt Options) Result {
+	opt = opt.withDefaults()
+	if g.NumNodes <= coarseningThreshold {
+		return BipartitionFixed(g, fixed, opt)
+	}
+	level := &mlGraph{g: g, weight: unitWeights(g.NumNodes), fixed: fixed}
+	var stack []*mlGraph
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for level.g.NumNodes > coarseningThreshold {
+		next := level.coarsen(rng)
+		if next == nil || next.g.NumNodes >= level.g.NumNodes*9/10 {
+			break // diminishing returns; stop coarsening
+		}
+		stack = append(stack, level)
+		level = next
+	}
+	// Initial partition on the coarsest graph, weight-aware.
+	side := initialWeighted(level, opt)
+	refineWeighted(level, side, opt)
+	// Uncoarsen and refine.
+	for i := len(stack) - 1; i >= 0; i-- {
+		finer := stack[i]
+		fSide := make([]bool, finer.g.NumNodes)
+		for v := range fSide {
+			fSide[v] = side[finer.coarseOf[v]]
+		}
+		side = fSide
+		refineWeighted(finer, side, opt)
+	}
+	return Result{Side: side, Cut: g.CutSize(side)}
+}
+
+// mlGraph is one level of the multilevel hierarchy.
+type mlGraph struct {
+	g      *hypergraph.Graph
+	weight []int // cluster weight per vertex
+	fixed  []Fixture
+	// coarseOf maps this level's vertices to the next-coarser level's
+	// (set by coarsen on the finer level).
+	coarseOf []int
+}
+
+func unitWeights(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// coarsen contracts a heavy-edge matching: vertices sharing many small
+// hyperedges are merged pairwise. Fixed vertices never match.
+func (m *mlGraph) coarsen(rng *rand.Rand) *mlGraph {
+	n := m.g.NumNodes
+	// Score pairs by shared-edge connectivity 1/(|e|-1), the standard
+	// heavy-edge rating for hypergraphs.
+	incident := make([][]int32, n)
+	for ei, e := range m.g.Edges {
+		if len(e) < 2 || len(e) > 8 {
+			continue // very wide nets contribute little and cost much
+		}
+		for _, v := range e {
+			incident[v] = append(incident[v], int32(ei))
+		}
+	}
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	score := make(map[int]float64, 16)
+	for _, v := range order {
+		if match[v] >= 0 || fixedSide(m.fixed, v) != Free {
+			continue
+		}
+		for k := range score {
+			delete(score, k)
+		}
+		for _, ei := range incident[v] {
+			e := m.g.Edges[ei]
+			w := 1.0 / float64(len(e)-1)
+			for _, u := range e {
+				if u != v && match[u] < 0 && fixedSide(m.fixed, u) == Free {
+					score[u] += w
+				}
+			}
+		}
+		bestU, bestS := -1, 0.0
+		// Deterministic tie-breaking: iterate candidates in sorted order.
+		cands := make([]int, 0, len(score))
+		for u := range score {
+			cands = append(cands, u)
+		}
+		sort.Ints(cands)
+		for _, u := range cands {
+			// Prefer light partners to keep weights balanced.
+			s := score[u] / float64(m.weight[u]+m.weight[v])
+			if s > bestS {
+				bestS, bestU = s, u
+			}
+		}
+		if bestU >= 0 {
+			match[v] = bestU
+			match[bestU] = v
+		}
+	}
+	// Build the coarser graph.
+	coarseOf := make([]int, n)
+	for i := range coarseOf {
+		coarseOf[i] = -1
+	}
+	nc := 0
+	for v := 0; v < n; v++ {
+		if coarseOf[v] >= 0 {
+			continue
+		}
+		coarseOf[v] = nc
+		if match[v] >= 0 {
+			coarseOf[match[v]] = nc
+		}
+		nc++
+	}
+	if nc == n {
+		return nil
+	}
+	cg := hypergraph.New(nc)
+	cw := make([]int, nc)
+	var cf []Fixture
+	if m.fixed != nil {
+		cf = make([]Fixture, nc)
+	}
+	for v := 0; v < n; v++ {
+		cw[coarseOf[v]] += m.weight[v]
+		if m.fixed != nil && m.fixed[v] != Free {
+			cf[coarseOf[v]] = m.fixed[v]
+		}
+	}
+	for _, e := range m.g.Edges {
+		if len(e) < 2 {
+			continue
+		}
+		mapped := make([]int, 0, len(e))
+		for _, v := range e {
+			mapped = append(mapped, coarseOf[v])
+		}
+		sort.Ints(mapped)
+		out := mapped[:0]
+		for i, v := range mapped {
+			if i > 0 && v == mapped[i-1] {
+				continue
+			}
+			out = append(out, v)
+		}
+		if len(out) < 2 {
+			continue
+		}
+		// Parallel coarse edges are kept: each represents a distinct net
+		// whose cut contribution must survive coarsening.
+		cg.AddEdge(out...)
+	}
+	m.coarseOf = coarseOf
+	return &mlGraph{g: cg, weight: cw, fixed: cf}
+}
+
+// initialWeighted produces a weight-balanced starting partition of the
+// coarsest level via the flat partitioner's best-of-restarts, followed by
+// a weighted rebalance.
+func initialWeighted(m *mlGraph, opt Options) []bool {
+	res := BipartitionFixed(m.g, m.fixed, opt)
+	side := res.Side
+	rebalanceWeighted(m, side)
+	return side
+}
+
+// refineWeighted runs FM passes at one level, then restores the weighted
+// balance if refinement drifted (FM balances by vertex count; cluster
+// weights can skew at coarse levels).
+func refineWeighted(m *mlGraph, side []bool, opt Options) {
+	ropt := opt
+	ropt.Restarts = 1
+	runFM(m.g, side, m.fixed, ropt, nil)
+	rebalanceWeighted(m, side)
+}
+
+// rebalanceWeighted moves lightest boundary-preferring vertices until the
+// weighted halves are within the epsilon bound.
+func rebalanceWeighted(m *mlGraph, side []bool) {
+	total := 0
+	wB := 0
+	for v, w := range m.weight {
+		total += w
+		if side[v] {
+			wB += w
+		}
+	}
+	lo := int(float64(total) * 0.35)
+	hi := total - lo
+	type vw struct{ v, w int }
+	moveFrom := func(fromB bool) {
+		var cands []vw
+		for v, w := range m.weight {
+			if side[v] == fromB && fixedSide(m.fixed, v) == Free {
+				cands = append(cands, vw{v, w})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].w < cands[j].w })
+		for _, c := range cands {
+			if wB >= lo && wB <= hi {
+				return
+			}
+			side[c.v] = !fromB
+			if fromB {
+				wB -= c.w
+			} else {
+				wB += c.w
+			}
+		}
+	}
+	if wB > hi {
+		moveFrom(true)
+	} else if wB < lo {
+		moveFrom(false)
+	}
+}

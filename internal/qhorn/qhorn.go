@@ -1,0 +1,188 @@
+// Package qhorn implements the polynomial-time SAT class recognizers of
+// Section 3.1 of "Why is ATPG Easy?" — Horn, 2-SAT, renamable (hidden)
+// Horn, and the q-Horn class of Boros, Crama and Hammer — plus the
+// Purdom–Brown average-time parameterization of Section 3.3. The paper
+// uses these to argue that ATPG-SAT instances do not fall into any known
+// easy class, so their practical easiness needs a different explanation.
+package qhorn
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/cnf"
+)
+
+// IsHorn reports whether every clause has at most one positive literal.
+// Clauses are treated as literal sets (the paper's definition), so a
+// repeated positive literal counts once.
+func IsHorn(f *cnf.Formula) bool {
+	for _, c := range f.Clauses {
+		pos := -1
+		horn := true
+		for _, l := range c {
+			if !l.IsNeg() {
+				if pos >= 0 && pos != l.Var() {
+					horn = false
+					break
+				}
+				pos = l.Var()
+			}
+		}
+		if !horn {
+			return false
+		}
+	}
+	return true
+}
+
+// Is2CNF reports whether every clause has at most two literals.
+func Is2CNF(f *cnf.Formula) bool {
+	for _, c := range f.Clauses {
+		if len(c) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve2SAT decides a 2-CNF formula by strongly connected components of
+// the implication graph (unit clauses are treated as (l ∨ l)). It returns
+// satisfiability and a model when satisfiable, or an error if some clause
+// has more than two literals.
+func Solve2SAT(f *cnf.Formula) (bool, []bool, error) {
+	n := f.NumVars
+	adj := make([][]int32, 2*n)
+	addImp := func(from, to cnf.Lit) {
+		adj[from] = append(adj[from], int32(to))
+	}
+	for _, c := range f.Clauses {
+		switch len(c) {
+		case 0:
+			return false, nil, nil
+		case 1:
+			addImp(c[0].Not(), c[0])
+		case 2:
+			addImp(c[0].Not(), c[1])
+			addImp(c[1].Not(), c[0])
+		default:
+			return false, nil, fmt.Errorf("qhorn: clause with %d literals is not 2-CNF", len(c))
+		}
+	}
+	comp := sccTarjanIterative(adj)
+	model := make([]bool, n)
+	for v := 0; v < n; v++ {
+		pos, neg := cnf.NewLit(v, false), cnf.NewLit(v, true)
+		if comp[pos] == comp[neg] {
+			return false, nil, nil
+		}
+		// Tarjan numbers components in reverse topological order: the
+		// literal whose component comes *earlier* in that numbering is
+		// later topologically and gets value true.
+		model[v] = comp[pos] < comp[neg]
+	}
+	return true, model, nil
+}
+
+// sccTarjanIterative computes SCC ids (Tarjan, iterative). Components are
+// numbered in reverse topological order.
+func sccTarjanIterative(adj [][]int32) []int32 {
+	n := len(adj)
+	const undef = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+		comp[i] = undef
+	}
+	var stack []int32
+	var counter, nComp int32
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		frames := []frame{{int32(root), 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.ei < len(adj[fr.v]) {
+				w := adj[fr.v][fr.ei]
+				fr.ei++
+				if index[w] == undef {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[fr.v] {
+					low[fr.v] = index[w]
+				}
+				continue
+			}
+			v := fr.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// RenamableHorn decides whether some subset of variables can be
+// complemented ("renamed") to make the formula Horn, by Lewis's reduction
+// to 2-SAT: after renaming, each clause may keep at most one positive
+// literal, so for every literal pair in a clause at least one must become
+// negative. It returns the decision and, when renamable, the flip set.
+func RenamableHorn(f *cnf.Formula) (bool, []bool) {
+	// Variable r_v in the 2-SAT instance means "rename v". A positive
+	// literal x stays positive iff ¬r_x; a negative literal ¬x becomes
+	// positive iff r_x. Forbid two positives: (makesNeg(i) ∨ makesNeg(j)),
+	// where makesNeg(x positive) = r_x and makesNeg(¬x) = ¬r_x.
+	sys := cnf.NewFormula(f.NumVars)
+	makesNeg := func(l cnf.Lit) cnf.Lit {
+		return cnf.NewLit(l.Var(), l.IsNeg())
+	}
+	for _, raw := range f.Clauses {
+		// Deduplicate: clauses are literal sets.
+		c, _ := append(cnf.Clause(nil), raw...).Normalize()
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if c[i].Var() == c[j].Var() {
+					continue
+				}
+				sys.AddClause(makesNeg(c[i]), makesNeg(c[j]))
+			}
+		}
+	}
+	sat, model, err := Solve2SAT(sys)
+	if err != nil || !sat {
+		return false, nil
+	}
+	return true, model
+}

@@ -1,0 +1,288 @@
+package qhorn
+
+import (
+	"atpgeasy/internal/cnf"
+)
+
+// QHornResult is the outcome of a q-Horn recognition.
+type QHornResult int8
+
+// Recognition outcomes. NotQHorn and QHorn are definite; Unknown means
+// the search hit its node limit (recognition here is exact backtracking
+// over the {0, ½, 1} valuation, exponential in the worst case).
+const (
+	NotQHorn QHornResult = iota
+	QHorn
+	Unknown
+)
+
+// String returns "not-q-horn", "q-horn" or "unknown".
+func (r QHornResult) String() string {
+	switch r {
+	case NotQHorn:
+		return "not-q-horn"
+	case QHorn:
+		return "q-horn"
+	default:
+		return "unknown"
+	}
+}
+
+// The three α values, encoded as domain bits.
+const (
+	vZero = 1 << iota // α = 0
+	vHalf             // α = ½
+	vOne              // α = 1
+	vAll  = vZero | vHalf | vOne
+)
+
+// halfWeights maps a domain bit to twice the α value.
+func twiceAlpha(bit uint8) int {
+	switch bit {
+	case vZero:
+		return 0
+	case vHalf:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// IsQHorn decides membership in the q-Horn class of Boros, Crama and
+// Hammer via its valuation characterization: f is q-Horn iff there is an
+// α: vars → {0, ½, 1} such that for every clause
+//
+//	Σ_{positive literals x} α(x) + Σ_{negative literals ¬x} (1 − α(x)) ≤ 1.
+//
+// The search is a three-valued CSP with full constraint propagation and
+// backtracking; maxNodes (≤ 0 means a generous default) bounds the search
+// and yields Unknown on exhaustion. The returned valuation holds 2·α per
+// variable when the result is QHorn.
+func IsQHorn(f *cnf.Formula, maxNodes int64) (QHornResult, []int) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	s := &qhornSolver{f: f, maxNodes: maxNodes}
+	s.domain = make([]uint8, f.NumVars)
+	for i := range s.domain {
+		s.domain[i] = vAll
+	}
+	// occurrence lists
+	s.occ = make([][]int32, f.NumVars)
+	for ci, c := range f.Clauses {
+		// Empty clauses impose no valuation constraint (Σ over no literals
+		// is 0 ≤ 1); the formula is then trivially unsatisfiable, which is
+		// fine — class membership is about recognizing easy instances.
+		for _, l := range c {
+			s.occ[l.Var()] = append(s.occ[l.Var()], int32(ci))
+		}
+	}
+	if !s.propagateAll() {
+		return NotQHorn, nil
+	}
+	switch s.search() {
+	case 1:
+		out := make([]int, f.NumVars)
+		for v, d := range s.domain {
+			out[v] = twiceAlpha(d)
+		}
+		return QHorn, out
+	case 0:
+		return NotQHorn, nil
+	default:
+		return Unknown, nil
+	}
+}
+
+type qhornSolver struct {
+	f        *cnf.Formula
+	domain   []uint8 // bitset over {vZero, vHalf, vOne}
+	occ      [][]int32
+	maxNodes int64
+	nodes    int64
+}
+
+// litWeightBounds returns the min and max possible 2·weight of literal l
+// under the current domain of its variable.
+func (s *qhornSolver) litWeightBounds(l cnf.Lit) (lo, hi int) {
+	d := s.domain[l.Var()]
+	lo, hi = 2, 0
+	for _, bit := range []uint8{vZero, vHalf, vOne} {
+		if d&bit == 0 {
+			continue
+		}
+		w := twiceAlpha(bit)
+		if l.IsNeg() {
+			w = 2 - w
+		}
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	return lo, hi
+}
+
+// reviseClause prunes variable values that would force the clause weight
+// above 1 (i.e. 2·weight above 2). It returns false on a wipe-out and
+// appends touched variables to the queue.
+func (s *qhornSolver) reviseClause(ci int32, queue *[]int32) bool {
+	c := s.f.Clauses[ci]
+	totalMin := 0
+	mins := make([]int, len(c))
+	for i, l := range c {
+		lo, _ := s.litWeightBounds(l)
+		mins[i] = lo
+		totalMin += lo
+	}
+	if totalMin > 2 {
+		return false
+	}
+	for i, l := range c {
+		v := l.Var()
+		d := s.domain[v]
+		newD := d
+		for _, bit := range []uint8{vZero, vHalf, vOne} {
+			if d&bit == 0 {
+				continue
+			}
+			w := twiceAlpha(bit)
+			if l.IsNeg() {
+				w = 2 - w
+			}
+			if totalMin-mins[i]+w > 2 {
+				newD &^= bit
+			}
+		}
+		if newD == 0 {
+			return false
+		}
+		if newD != d {
+			s.domain[v] = newD
+			*queue = append(*queue, int32(v))
+		}
+	}
+	return true
+}
+
+func (s *qhornSolver) propagateAll() bool {
+	queue := make([]int32, 0, len(s.f.Clauses))
+	for ci := range s.f.Clauses {
+		if !s.reviseClause(int32(ci), &queue) {
+			return false
+		}
+	}
+	return s.propagate(queue)
+}
+
+func (s *qhornSolver) propagate(queue []int32) bool {
+	inQueue := make(map[int32]bool)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		delete(inQueue, v)
+		for _, ci := range s.occ[v] {
+			var touched []int32
+			if !s.reviseClause(ci, &touched) {
+				return false
+			}
+			for _, t := range touched {
+				if !inQueue[t] {
+					inQueue[t] = true
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// search returns 1 (solution), 0 (none), -1 (node limit).
+func (s *qhornSolver) search() int {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return -1
+	}
+	// Pick an undecided variable with the smallest domain > 1.
+	pick := -1
+	best := 4
+	for v, d := range s.domain {
+		n := popcount3(d)
+		if n > 1 && n < best {
+			best = n
+			pick = v
+			if n == 2 {
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return 1 // all singleton domains and constraints propagated clean
+	}
+	saved := append([]uint8(nil), s.domain...)
+	for _, bit := range []uint8{vHalf, vOne, vZero} {
+		if s.domain[pick]&bit == 0 {
+			continue
+		}
+		s.domain[pick] = bit
+		if s.propagate([]int32{int32(pick)}) {
+			switch s.search() {
+			case 1:
+				return 1
+			case -1:
+				return -1
+			}
+		}
+		copy(s.domain, saved)
+	}
+	return 0
+}
+
+func popcount3(d uint8) int {
+	n := 0
+	for _, bit := range []uint8{vZero, vHalf, vOne} {
+		if d&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AverageTimeParams is the Purdom–Brown parameterization of Section 3.3:
+// a random-CNF model with v variables, t clauses, and per-literal
+// probability p (estimated here as avgLen/v from a concrete formula).
+type AverageTimeParams struct {
+	Vars          int
+	Clauses       int
+	AvgClauseLen  float64
+	LiteralProb   float64 // AvgClauseLen / Vars
+	ClauseDensity float64 // Clauses / Vars
+}
+
+// Parameterize extracts the average-time parameters from a formula.
+func Parameterize(f *cnf.Formula) AverageTimeParams {
+	s := f.Stats()
+	p := AverageTimeParams{
+		Vars:         s.Vars,
+		Clauses:      s.ClauseCount,
+		AvgClauseLen: s.AvgClauseLen,
+	}
+	if s.Vars > 0 {
+		p.LiteralProb = s.AvgClauseLen / float64(s.Vars)
+		p.ClauseDensity = float64(s.ClauseCount) / float64(s.Vars)
+	}
+	return p
+}
+
+// InPolyAverageClass reports whether the parameters land in the regime the
+// paper invokes from Purdom and Brown [21]: clause count linear in the
+// variable count (bounded density) with bounded average clause length, so
+// the literal probability p vanishes as Θ(1/v). CIRCUIT-SAT formulas from
+// bounded-fanin/fanout gate netlists always satisfy this; the point of
+// Section 3.3 is that the converse fails, so the classification "suggests"
+// rather than proves easiness.
+func (p AverageTimeParams) InPolyAverageClass() bool {
+	return p.ClauseDensity <= 8 && p.AvgClauseLen <= 6
+}

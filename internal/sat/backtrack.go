@@ -1,0 +1,248 @@
+package sat
+
+import (
+	"atpgeasy/internal/cnf"
+)
+
+// Simple is simple backtracking with a fixed static variable ordering and
+// no caching — the baseline that Algorithm 1 augments. Order is the static
+// variable ordering h (nil = variable index order). MaxNodes, when
+// positive, aborts the search with Unknown after that many backtracking
+// nodes.
+type Simple struct {
+	Order    []int
+	MaxNodes int64
+}
+
+// Solve decides satisfiability by depth-first search over the ordering.
+func (s *Simple) Solve(f *cnf.Formula) Solution {
+	order, err := checkOrder(s.Order, f.NumVars)
+	if err != nil {
+		return Solution{Status: Unknown}
+	}
+	bt := newBacktracker(f, order, s.MaxNodes, false)
+	return bt.run()
+}
+
+// Caching is Algorithm 1 of the paper: simple backtracking with a fixed
+// variable ordering plus a hash table T of unsatisfiable sub-formulas.
+// Before a sub-formula is explored it is looked up in T; on a hit the
+// branch is pruned. When both branches of a node fail, the node's residual
+// sub-formula is inserted into T.
+//
+// Sub-formulas are cached as sets of clauses: two sub-formulas are
+// identical iff they have the same clause set (functional equivalence is
+// deliberately not recognized — footnote 2 of the paper).
+type Caching struct {
+	Order    []int
+	MaxNodes int64
+}
+
+// Solve runs Algorithm 1.
+func (s *Caching) Solve(f *cnf.Formula) Solution {
+	order, err := checkOrder(s.Order, f.NumVars)
+	if err != nil {
+		return Solution{Status: Unknown}
+	}
+	bt := newBacktracker(f, order, s.MaxNodes, true)
+	return bt.run()
+}
+
+// backtracker is the shared engine behind Simple and Caching. Clause
+// bookkeeping is incremental: per-clause counts of satisfied and falsified
+// literals give O(occurrences) assignment updates, null-clause detection,
+// and all-satisfied detection.
+type backtracker struct {
+	f        *cnf.Formula
+	order    []int
+	useCache bool
+	maxNodes int64
+
+	assign   []cnf.Value
+	occPos   [][]int32 // clauses where var occurs positively
+	occNeg   [][]int32 // clauses where var occurs negatively
+	satCnt   []int32   // per clause: literals currently true
+	falseCnt []int32   // per clause: literals currently false
+	numSat   int       // clauses with satCnt > 0
+	numNull  int       // clauses with satCnt == 0 && falseCnt == len
+
+	cache   map[string]struct{}
+	stats   Stats
+	aborted bool
+}
+
+func newBacktracker(f *cnf.Formula, order []int, maxNodes int64, useCache bool) *backtracker {
+	bt := &backtracker{
+		f:        f,
+		order:    order,
+		useCache: useCache,
+		maxNodes: maxNodes,
+		assign:   make([]cnf.Value, f.NumVars),
+		occPos:   make([][]int32, f.NumVars),
+		occNeg:   make([][]int32, f.NumVars),
+		satCnt:   make([]int32, len(f.Clauses)),
+		falseCnt: make([]int32, len(f.Clauses)),
+	}
+	if useCache {
+		bt.cache = make(map[string]struct{})
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.IsNeg() {
+				bt.occNeg[l.Var()] = append(bt.occNeg[l.Var()], int32(ci))
+			} else {
+				bt.occPos[l.Var()] = append(bt.occPos[l.Var()], int32(ci))
+			}
+		}
+		if len(c) == 0 {
+			bt.numNull++ // empty clause in the input: trivially unsat
+		}
+	}
+	return bt
+}
+
+func (bt *backtracker) run() Solution {
+	if bt.numNull > 0 {
+		return Solution{Status: Unsat, Stats: bt.stats}
+	}
+	if bt.numSat == len(bt.f.Clauses) || bt.f.NumVars == 0 {
+		// No clauses (or all trivially satisfied): SAT with all-false model.
+		return Solution{Status: Sat, Model: make([]bool, bt.f.NumVars), Stats: bt.stats}
+	}
+	sat := bt.search(0, false) || (!bt.aborted && bt.search(0, true))
+	bt.stats.CacheEntries = int64(len(bt.cache))
+	if bt.aborted {
+		return Solution{Status: Unknown, Stats: bt.stats}
+	}
+	if !sat {
+		return Solution{Status: Unsat, Stats: bt.stats}
+	}
+	model := make([]bool, bt.f.NumVars)
+	for v := range model {
+		model[v] = bt.assign[v] == cnf.True
+	}
+	return Solution{Status: Sat, Model: model, Stats: bt.stats}
+}
+
+// assignVar sets variable order[pos] to value b and updates clause counts.
+func (bt *backtracker) assignVar(v int, b bool) {
+	bt.assign[v] = cnf.ValueOf(b)
+	satOcc, falseOcc := bt.occPos[v], bt.occNeg[v]
+	if !b {
+		satOcc, falseOcc = falseOcc, satOcc
+	}
+	for _, ci := range satOcc {
+		if bt.satCnt[ci] == 0 {
+			bt.numSat++
+		}
+		bt.satCnt[ci]++
+	}
+	for _, ci := range falseOcc {
+		bt.falseCnt[ci]++
+		if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+			bt.numNull++
+		}
+	}
+}
+
+func (bt *backtracker) unassignVar(v int) {
+	b := bt.assign[v] == cnf.True
+	satOcc, falseOcc := bt.occPos[v], bt.occNeg[v]
+	if !b {
+		satOcc, falseOcc = falseOcc, satOcc
+	}
+	for _, ci := range satOcc {
+		bt.satCnt[ci]--
+		if bt.satCnt[ci] == 0 {
+			bt.numSat--
+		}
+	}
+	for _, ci := range falseOcc {
+		if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+			bt.numNull--
+		}
+		bt.falseCnt[ci]--
+	}
+	bt.assign[v] = cnf.Unassigned
+}
+
+// search explores the subtree where order[pos] = b; it reports whether a
+// satisfying extension exists. It mirrors procedure Cache_Sat of
+// Algorithm 1.
+func (bt *backtracker) search(pos int, b bool) bool {
+	if bt.aborted {
+		return false
+	}
+	bt.stats.Nodes++
+	bt.stats.Decisions++
+	if bt.maxNodes > 0 && bt.stats.Nodes > bt.maxNodes {
+		bt.aborted = true
+		return false
+	}
+	if pos+1 > bt.stats.MaxDepth {
+		bt.stats.MaxDepth = pos + 1
+	}
+	v := bt.order[pos]
+	bt.assignVar(v, b)
+	if bt.numNull > 0 {
+		bt.unassignVar(v)
+		return false
+	}
+	if bt.numSat == len(bt.f.Clauses) {
+		// Every clause satisfied: SAT regardless of remaining variables.
+		return true
+	}
+	var key string
+	if bt.useCache {
+		key = bt.residualKey()
+		if _, hit := bt.cache[key]; hit {
+			bt.stats.CacheHits++
+			bt.unassignVar(v)
+			return false
+		}
+	}
+	if pos+1 == len(bt.order) {
+		// All variables assigned, no null clause, but some clause open is
+		// impossible (no unassigned literals remain), so this is SAT; the
+		// numSat check above normally catches it.
+		return true
+	}
+	if bt.search(pos+1, false) || bt.search(pos+1, true) {
+		return true
+	}
+	if bt.useCache && !bt.aborted {
+		bt.cache[key] = struct{}{}
+	}
+	bt.unassignVar(v)
+	return false
+}
+
+// residualKey builds the canonical clause-set key of the current residual
+// sub-formula. Only open clauses (satCnt == 0) contribute; within a clause
+// only unassigned literals remain. Literals are emitted in clause order —
+// canonical because the clause set and assignment fully determine it — and
+// clauses are emitted in formula order, which is canonical for a fixed
+// input formula.
+func (bt *backtracker) residualKey() string {
+	buf := make([]byte, 0, 256)
+	for ci, c := range bt.f.Clauses {
+		if bt.satCnt[ci] > 0 {
+			continue
+		}
+		for _, l := range c {
+			if bt.assign[l.Var()] == cnf.Unassigned {
+				buf = appendVarint(buf, uint64(l)+1)
+			}
+		}
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+func appendVarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}

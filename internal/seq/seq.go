@@ -1,0 +1,313 @@
+// Package seq extends the reproduction toward the paper's stated future
+// work ("we need to gain greater insight into the particular properties
+// of the objects, such as sequential circuit netlists"): a sequential
+// circuit model — a combinational core plus D flip-flops — with
+// time-frame expansion, sequential fault simulation, and test-sequence
+// generation for single stuck-at faults by SAT over the unrolled circuit.
+//
+// The unrolled instances are exactly the CIRCUIT-SAT class the paper
+// analyzes, so the cut-width story transfers: unrolling k frames of a
+// circuit with cut-width W yields a combinational circuit whose natural
+// frame-by-frame ordering has width O(W + |FF|) — state registers act as
+// the cut between frames.
+package seq
+
+import (
+	"fmt"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/sat"
+)
+
+// Circuit is a synchronous sequential circuit in the standard
+// pseudo-combinational form: the combinational core's inputs are the
+// primary inputs followed by the flip-flop outputs (present state), and
+// its outputs are the primary outputs followed by the flip-flop inputs
+// (next state).
+type Circuit struct {
+	Comb  *logic.Circuit
+	NumPI int
+	NumPO int
+	NumFF int
+}
+
+// New validates the pseudo-combinational shape and returns the sequential
+// circuit: comb must have numPI+k inputs and numPO+k outputs for the same
+// k ≥ 1 (the flip-flop count).
+func New(comb *logic.Circuit, numPI, numPO int) (*Circuit, error) {
+	ff := len(comb.Inputs) - numPI
+	if ff < 1 {
+		return nil, fmt.Errorf("seq: %d inputs for %d primary inputs leaves no state", len(comb.Inputs), numPI)
+	}
+	if got := len(comb.Outputs) - numPO; got != ff {
+		return nil, fmt.Errorf("seq: %d next-state outputs for %d flip-flops", got, ff)
+	}
+	return &Circuit{Comb: comb, NumPI: numPI, NumPO: numPO, NumFF: ff}, nil
+}
+
+// Simulate runs the sequential circuit for len(inputs) clock cycles from
+// the given initial state, with an optional stuck-at fault forced on one
+// core net in every frame (fault == nil means fault-free). It returns the
+// primary-output stream, one slice per cycle.
+func (s *Circuit) Simulate(initState []bool, inputs [][]bool, fault *atpg.Fault) ([][]bool, error) {
+	if len(initState) != s.NumFF {
+		return nil, fmt.Errorf("seq: initial state has %d bits for %d flip-flops", len(initState), s.NumFF)
+	}
+	state := append([]bool(nil), initState...)
+	var forced map[int]bool
+	if fault != nil {
+		forced = map[int]bool{fault.Net: fault.StuckAt}
+	}
+	out := make([][]bool, 0, len(inputs))
+	for cyc, in := range inputs {
+		if len(in) != s.NumPI {
+			return nil, fmt.Errorf("seq: cycle %d has %d inputs for %d primary inputs", cyc, len(in), s.NumPI)
+		}
+		vals := s.Comb.SimulateWith(append(append([]bool(nil), in...), state...), forced)
+		po := make([]bool, s.NumPO)
+		for i := 0; i < s.NumPO; i++ {
+			po[i] = vals[s.Comb.Outputs[i]]
+		}
+		for i := 0; i < s.NumFF; i++ {
+			state[i] = vals[s.Comb.Outputs[s.NumPO+i]]
+		}
+		out = append(out, po)
+	}
+	return out, nil
+}
+
+// Unrolled is a time-frame expansion of a sequential circuit.
+type Unrolled struct {
+	// C is the combinational unrolling: frame f's primary inputs are named
+	// <name>@f; every frame's primary outputs are marked outputs of C.
+	C *logic.Circuit
+	// Frames is the frame count.
+	Frames int
+	// NodeOf maps (frame, core node ID) to the unrolled node ID.
+	NodeOf [][]int
+	// StateInputs lists the frame-0 state nets when the initial state is
+	// free (nil when an initial state was supplied).
+	StateInputs []int
+}
+
+// Unroll expands the circuit over the given number of frames. When
+// initState is nil the frame-0 state lines become free primary inputs
+// (full sequential controllability assumption); otherwise they are tied
+// to the given constants (reset-state assumption).
+func (s *Circuit) Unroll(frames int, initState []bool) (*Unrolled, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("seq: frames must be ≥ 1, got %d", frames)
+	}
+	if initState != nil && len(initState) != s.NumFF {
+		return nil, fmt.Errorf("seq: initial state has %d bits for %d flip-flops", len(initState), s.NumFF)
+	}
+	b := logic.NewBuilder(fmt.Sprintf("%s_x%d", s.Comb.Name, frames))
+	u := &Unrolled{Frames: frames, NodeOf: make([][]int, frames)}
+	// Frame-0 state sources.
+	state := make([]int, s.NumFF)
+	for i := 0; i < s.NumFF; i++ {
+		name := s.Comb.Nodes[s.Comb.Inputs[s.NumPI+i]].Name + "@init"
+		if initState == nil {
+			state[i] = b.Input(name)
+			u.StateInputs = append(u.StateInputs, state[i])
+		} else {
+			state[i] = b.Const(name, initState[i])
+		}
+	}
+	for f := 0; f < frames; f++ {
+		m := make([]int, s.Comb.NumNodes())
+		// Wire core inputs: PIs become fresh inputs, state reads the
+		// previous frame's next-state nets.
+		for i, in := range s.Comb.Inputs {
+			if i < s.NumPI {
+				m[in] = b.Input(fmt.Sprintf("%s@%d", s.Comb.Nodes[in].Name, f))
+			} else {
+				m[in] = state[i-s.NumPI]
+			}
+		}
+		for _, id := range s.Comb.TopoOrder() {
+			n := &s.Comb.Nodes[id]
+			switch n.Type {
+			case logic.Input:
+				// wired above
+			case logic.Const0:
+				m[id] = b.Const(fmt.Sprintf("%s@%d", n.Name, f), false)
+			case logic.Const1:
+				m[id] = b.Const(fmt.Sprintf("%s@%d", n.Name, f), true)
+			default:
+				fanin := make([]int, len(n.Fanin))
+				for i, fi := range n.Fanin {
+					fanin[i] = m[fi]
+				}
+				m[id] = b.GateN(n.Type, fmt.Sprintf("%s@%d", n.Name, f), fanin, n.Neg)
+			}
+		}
+		for i := 0; i < s.NumPO; i++ {
+			b.MarkOutput(m[s.Comb.Outputs[i]])
+		}
+		for i := 0; i < s.NumFF; i++ {
+			state[i] = m[s.Comb.Outputs[s.NumPO+i]]
+		}
+		u.NodeOf[f] = m
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	u.C = c
+	return u, nil
+}
+
+// Result is the outcome of sequential test generation.
+type Result struct {
+	Status atpg.Status
+	// Frames is the sequence length of the found test.
+	Frames int
+	// Inputs is the per-cycle primary input sequence (valid when
+	// Status == Detected).
+	Inputs [][]bool
+	// InitState is the required initial state when the search ran with a
+	// free initial state; nil when the caller supplied one.
+	InitState []bool
+}
+
+// TestFault generates a test sequence for a single stuck-at fault on a
+// core net by iterative time-frame expansion: for k = 1..maxFrames,
+// unroll k frames, inject the fault in every frame (the physical defect
+// is present in all cycles), build the good-vs-faulty miter over the
+// whole output stream, and decide it with SAT. initState nil means a
+// free (fully controllable) initial state; otherwise the search starts
+// from the given reset state. solver nil means DPLL.
+//
+// Aborted is returned when no test exists within maxFrames — the fault
+// may still be sequentially testable with a longer sequence (sequential
+// untestability is not decided here).
+func TestFault(s *Circuit, f atpg.Fault, maxFrames int, initState []bool, solver sat.Solver) (*Result, error) {
+	if f.Net < 0 || f.Net >= s.Comb.NumNodes() {
+		return nil, fmt.Errorf("seq: fault net %d out of range", f.Net)
+	}
+	if solver == nil {
+		solver = &sat.DPLL{}
+	}
+	for k := 1; k <= maxFrames; k++ {
+		u, err := s.Unroll(k, initState)
+		if err != nil {
+			return nil, err
+		}
+		faultSites := make([]int, 0, k)
+		for fr := 0; fr < k; fr++ {
+			faultSites = append(faultSites, u.NodeOf[fr][f.Net])
+		}
+		formula, goodOf, err := miterMulti(u.C, faultSites, f.StuckAt)
+		if err != nil {
+			return nil, err
+		}
+		sol := solver.Solve(formula)
+		if sol.Status != sat.Sat {
+			continue
+		}
+		res := &Result{Status: atpg.Detected, Frames: k}
+		for fr := 0; fr < k; fr++ {
+			in := make([]bool, s.NumPI)
+			for i := 0; i < s.NumPI; i++ {
+				in[i] = sol.Model[goodOf[u.NodeOf[fr][s.Comb.Inputs[i]]]]
+			}
+			res.Inputs = append(res.Inputs, in)
+		}
+		if initState == nil {
+			res.InitState = make([]bool, s.NumFF)
+			for i, id := range u.StateInputs {
+				res.InitState[i] = sol.Model[goodOf[id]]
+			}
+		}
+		// Cross-check by sequential simulation.
+		start := initState
+		if start == nil {
+			start = res.InitState
+		}
+		good, err := s.Simulate(start, res.Inputs, nil)
+		if err != nil {
+			return nil, err
+		}
+		bad, err := s.Simulate(start, res.Inputs, &f)
+		if err != nil {
+			return nil, err
+		}
+		detects := false
+		for cyc := range good {
+			for i := range good[cyc] {
+				if good[cyc][i] != bad[cyc][i] {
+					detects = true
+				}
+			}
+		}
+		if !detects {
+			return nil, fmt.Errorf("seq: generated sequence fails sequential verification (pipeline bug)")
+		}
+		return res, nil
+	}
+	return &Result{Status: atpg.Aborted, Frames: maxFrames}, nil
+}
+
+// miterMulti builds the CNF of a good-vs-faulty miter of circuit c where
+// the faulty copy has every net in faultSites forced to stuckAt. It
+// returns the formula and the good copy's node map.
+func miterMulti(c *logic.Circuit, faultSites []int, stuckAt bool) (*cnf.Formula, []int, error) {
+	inSite := make(map[int]bool, len(faultSites))
+	for _, s := range faultSites {
+		inSite[s] = true
+	}
+	b := logic.NewBuilder(c.Name + "_miter")
+	goodOf := make([]int, c.NumNodes())
+	faultyOf := make([]int, c.NumNodes())
+	copyInto := func(m []int, prefix string, faulty bool) {
+		for _, id := range c.TopoOrder() {
+			n := &c.Nodes[id]
+			if faulty && inSite[id] {
+				m[id] = b.Const(prefix+n.Name+"~flt", stuckAt)
+				continue
+			}
+			switch n.Type {
+			case logic.Input:
+				if faulty {
+					m[id] = goodOf[id] // shared primary inputs
+				} else {
+					m[id] = b.Input(n.Name)
+				}
+			case logic.Const0:
+				m[id] = b.Const(prefix+n.Name, false)
+			case logic.Const1:
+				m[id] = b.Const(prefix+n.Name, true)
+			default:
+				fanin := make([]int, len(n.Fanin))
+				for i, fi := range n.Fanin {
+					fanin[i] = m[fi]
+				}
+				m[id] = b.GateN(n.Type, prefix+n.Name, fanin, n.Neg)
+			}
+		}
+	}
+	copyInto(goodOf, "", false)
+	copyInto(faultyOf, "F~", true)
+	for i, o := range c.Outputs {
+		b.MarkOutput(b.Gate(logic.Xor, fmt.Sprintf("diff%d", i), goodOf[o], faultyOf[o]))
+	}
+	mc, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	formula, err := cnf.FromCircuit(mc, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Activation hint: the good copy must differ from the stuck value in
+	// at least one frame (implied by the XORs, but it guides the solver).
+	act := make([]cnf.Lit, 0, len(faultSites))
+	for _, s := range faultSites {
+		act = append(act, cnf.NewLit(goodOf[s], stuckAt))
+	}
+	formula.AddClause(act...)
+	return formula, goodOf, nil
+}

@@ -1,0 +1,258 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/hypergraph"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/mla"
+)
+
+// counterCore builds the combinational core of a 2-bit counter with
+// enable: inputs (en, s0, s1); outputs (parity, n0, n1) where
+// n0 = s0 ⊕ en, n1 = s1 ⊕ (s0∧en), parity = s0 ⊕ s1. One primary input,
+// one primary output, two flip-flops.
+func counterCore(t *testing.T) *Circuit {
+	t.Helper()
+	b := logic.NewBuilder("counter2")
+	en := b.Input("en")
+	s0 := b.Input("s0")
+	s1 := b.Input("s1")
+	parity := b.Gate(logic.Xor, "parity", s0, s1)
+	n0 := b.Gate(logic.Xor, "n0", s0, en)
+	carry := b.Gate(logic.And, "carry", s0, en)
+	n1 := b.Gate(logic.Xor, "n1", s1, carry)
+	b.MarkOutput(parity)
+	b.MarkOutput(n0)
+	b.MarkOutput(n1)
+	s, err := New(b.MustBuild(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	b := logic.NewBuilder("bad")
+	x := b.Input("x")
+	b.MarkOutput(b.Gate(logic.Not, "n", x))
+	c := b.MustBuild()
+	if _, err := New(c, 1, 1); err == nil {
+		t.Error("no-state core accepted")
+	}
+	if _, err := New(c, 0, 1); err == nil {
+		t.Error("mismatched FF counts accepted")
+	}
+	// 0 PIs / 0 POs with one FF is a legal autonomous machine shape.
+	if _, err := New(c, 0, 0); err != nil {
+		t.Errorf("autonomous machine rejected: %v", err)
+	}
+}
+
+func TestSimulateCounter(t *testing.T) {
+	s := counterCore(t)
+	// From state 00, three enabled cycles: parity outputs are the parity
+	// of the state at the START of each cycle: 0 (00), 1 (01), 1 (10).
+	out, err := s.Simulate([]bool{false, false},
+		[][]bool{{true}, {true}, {true}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true}
+	for cyc, w := range want {
+		if out[cyc][0] != w {
+			t.Errorf("cycle %d: parity %v, want %v", cyc, out[cyc][0], w)
+		}
+	}
+	// Disabled: state holds, parity constant.
+	out, err = s.Simulate([]bool{true, false}, [][]bool{{false}, {false}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != true || out[1][0] != true {
+		t.Errorf("hold: %v", out)
+	}
+	if _, err := s.Simulate([]bool{false}, nil, nil); err == nil {
+		t.Error("short state accepted")
+	}
+	if _, err := s.Simulate([]bool{false, false}, [][]bool{{true, true}}, nil); err == nil {
+		t.Error("wide input accepted")
+	}
+}
+
+func TestUnrollMatchesSimulation(t *testing.T) {
+	s := counterCore(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		frames := 1 + rng.Intn(4)
+		init := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1}
+		u, err := s.Unroll(frames, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u.C.Outputs) != frames*s.NumPO {
+			t.Fatalf("unrolled outputs = %d", len(u.C.Outputs))
+		}
+		seqIn := make([][]bool, frames)
+		var flatIn []bool
+		for f := range seqIn {
+			seqIn[f] = []bool{rng.Intn(2) == 1}
+			flatIn = append(flatIn, seqIn[f]...)
+		}
+		want, err := s.Simulate(init, seqIn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := u.C.SimulateOutputs(flatIn)
+		for f := 0; f < frames; f++ {
+			if got[f] != want[f][0] {
+				t.Fatalf("trial %d frame %d: unrolled %v, sequential %v", trial, f, got[f], want[f][0])
+			}
+		}
+	}
+}
+
+func TestUnrollFreeState(t *testing.T) {
+	s := counterCore(t)
+	u, err := s.Unroll(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.StateInputs) != 2 {
+		t.Fatalf("free state inputs = %d", len(u.StateInputs))
+	}
+	// Total inputs: 2 state + 2 per-frame en.
+	if len(u.C.Inputs) != 4 {
+		t.Errorf("inputs = %d", len(u.C.Inputs))
+	}
+	if _, err := s.Unroll(0, nil); err == nil {
+		t.Error("0 frames accepted")
+	}
+	if _, err := s.Unroll(1, []bool{true}); err == nil {
+		t.Error("short init state accepted")
+	}
+}
+
+// TestSeqATPGSingleFrame: with a free initial state, a fault on the
+// parity cone is detected in one frame.
+func TestSeqATPGSingleFrame(t *testing.T) {
+	s := counterCore(t)
+	f := atpg.Fault{Net: s.Comb.MustLookup("parity"), StuckAt: false}
+	res, err := TestFault(s, f, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != atpg.Detected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Frames != 1 {
+		t.Errorf("frames = %d, want 1 with free state", res.Frames)
+	}
+	if res.InitState == nil {
+		t.Error("free-state search must report the required initial state")
+	}
+}
+
+// TestSeqATPGNeedsMultipleFrames: from reset state 00, the fault
+// "carry stuck-at-0" needs state s0=1 to activate, which takes one
+// enabled cycle to reach, and its effect lands in next-state n1 —
+// observable at the parity output only a cycle later: 3 frames.
+func TestSeqATPGNeedsMultipleFrames(t *testing.T) {
+	s := counterCore(t)
+	f := atpg.Fault{Net: s.Comb.MustLookup("carry"), StuckAt: false}
+	reset := []bool{false, false}
+	res, err := TestFault(s, f, 5, reset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != atpg.Detected {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Frames < 3 {
+		t.Errorf("frames = %d, want ≥ 3 from reset", res.Frames)
+	}
+	if res.InitState != nil {
+		t.Error("reset-state search must not invent an initial state")
+	}
+	// The sequence must genuinely detect the fault (TestFault verifies
+	// internally, but double-check here).
+	good, _ := s.Simulate(reset, res.Inputs, nil)
+	bad, _ := s.Simulate(reset, res.Inputs, &f)
+	diff := false
+	for cyc := range good {
+		if good[cyc][0] != bad[cyc][0] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("sequence does not detect the fault")
+	}
+}
+
+// TestSeqATPGAborts: a fault that cannot be detected within the frame
+// budget returns Aborted. The "parity stuck-at-0 with outputs forced
+// equal" trick: use a fault on a net that is sequentially untestable from
+// reset — stuck-at-0 on a net that is constant 0 from reset regardless of
+// inputs. Here: carry stuck-at-0 with enable tied... instead test budget
+// exhaustion with maxFrames = 1 for the 3-frame fault above.
+func TestSeqATPGAborts(t *testing.T) {
+	s := counterCore(t)
+	f := atpg.Fault{Net: s.Comb.MustLookup("carry"), StuckAt: false}
+	res, err := TestFault(s, f, 1, []bool{false, false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != atpg.Aborted {
+		t.Errorf("status = %v, want aborted within 1 frame", res.Status)
+	}
+	if _, err := TestFault(s, atpg.Fault{Net: 999}, 1, nil, nil); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+}
+
+// TestSeqATPGAllCoreFaults: every fault on the counter core is either
+// detected (and verified) or aborted within the budget; detection from a
+// free initial state must be at least as easy as from reset.
+func TestSeqATPGAllCoreFaults(t *testing.T) {
+	s := counterCore(t)
+	for _, f := range atpg.AllFaults(s.Comb) {
+		free, err := TestFault(s, f, 4, nil, nil)
+		if err != nil {
+			t.Fatalf("%s free: %v", f.Name(s.Comb), err)
+		}
+		reset, err := TestFault(s, f, 4, []bool{false, false}, nil)
+		if err != nil {
+			t.Fatalf("%s reset: %v", f.Name(s.Comb), err)
+		}
+		if reset.Status == atpg.Detected && free.Status != atpg.Detected {
+			t.Errorf("%s: detected from reset but not with free state", f.Name(s.Comb))
+		}
+		if free.Status == atpg.Detected && reset.Status == atpg.Detected &&
+			free.Frames > reset.Frames {
+			t.Errorf("%s: free state needed %d frames, reset only %d", f.Name(s.Comb), free.Frames, reset.Frames)
+		}
+	}
+}
+
+// TestUnrolledWidthBounded validates the package-comment claim that
+// unrolling preserves the cut-width story: the unrolled circuit's
+// estimated width stays bounded as frames grow (state registers are the
+// cut between frames), rather than growing with the unrolled size.
+func TestUnrolledWidthBounded(t *testing.T) {
+	s := counterCore(t)
+	prev := 0
+	for _, frames := range []int{1, 3, 6, 10} {
+		u, err := s.Unroll(frames, []bool{false, false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := hypergraph.FromCircuit(u.C)
+		w, _ := mla.EstimateCutWidth(g, mla.Options{})
+		if frames > 1 && w > prev+s.NumFF+2 {
+			t.Errorf("frames %d: width %d jumped from %d (> +FF+2)", frames, w, prev)
+		}
+		prev = w
+	}
+}

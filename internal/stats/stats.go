@@ -1,0 +1,170 @@
+// Package stats provides the small statistical and rendering utilities
+// behind the experiment reports: percentiles, histograms, binned medians
+// and ASCII scatter plots for terminal output of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean; zero for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// FractionBelow returns the fraction of values strictly below the
+// threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Bin is one bucket of a BinnedSeries.
+type Bin struct {
+	XLo, XHi float64
+	Count    int
+	MeanY    float64
+	MaxY     float64
+}
+
+// BinnedMeans groups the points into nBins equal-width x bins and reports
+// each bin's count, mean y and max y — the summary used to print the
+// Figure 8 scatter trends as a table.
+func BinnedMeans(xs, ys []float64, nBins int) []Bin {
+	if len(xs) == 0 || nBins < 1 {
+		return nil
+	}
+	xmin, xmax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	bins := make([]Bin, nBins)
+	sums := make([]float64, nBins)
+	w := (xmax - xmin) / float64(nBins)
+	for i := range bins {
+		bins[i].XLo = xmin + float64(i)*w
+		bins[i].XHi = xmin + float64(i+1)*w
+	}
+	for i := range xs {
+		b := int((xs[i] - xmin) / w)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b].Count++
+		sums[b] += ys[i]
+		if ys[i] > bins[b].MaxY {
+			bins[b].MaxY = ys[i]
+		}
+	}
+	for i := range bins {
+		if bins[i].Count > 0 {
+			bins[i].MeanY = sums[i] / float64(bins[i].Count)
+		}
+	}
+	return bins
+}
+
+// Scatter renders an ASCII scatter plot (width×height characters) of the
+// points, with simple linear axes. Density is shown as . : * #.
+func Scatter(xs, ys []float64, width, height int, title string) string {
+	if len(xs) == 0 || width < 8 || height < 3 {
+		return title + " (no data)\n"
+	}
+	xmin, xmax := xs[0], xs[0]
+	ymin, ymax := ys[0], ys[0]
+	for i := range xs {
+		xmin, xmax = math.Min(xmin, xs[i]), math.Max(xmax, xs[i])
+		ymin, ymax = math.Min(ymin, ys[i]), math.Max(ymax, ys[i])
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]int, height)
+	for r := range grid {
+		grid[r] = make([]int, width)
+	}
+	for i := range xs {
+		cx := int((xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+		cy := int((ys[i] - ymin) / (ymax - ymin) * float64(height-1))
+		grid[height-1-cy][cx]++
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "y: %.3g .. %.3g\n", ymin, ymax)
+	for _, row := range grid {
+		sb.WriteByte('|')
+		for _, d := range row {
+			switch {
+			case d == 0:
+				sb.WriteByte(' ')
+			case d == 1:
+				sb.WriteByte('.')
+			case d <= 4:
+				sb.WriteByte(':')
+			case d <= 16:
+				sb.WriteByte('*')
+			default:
+				sb.WriteByte('#')
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "x: %.3g .. %.3g  (%d points)\n", xmin, xmax, len(xs))
+	return sb.String()
+}

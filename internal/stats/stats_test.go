@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("P%.0f = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("interpolated median = %g", got)
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanAndFraction(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := FractionBelow([]float64{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Errorf("FractionBelow = %g", got)
+	}
+	if FractionBelow(nil, 1) != 0 {
+		t.Error("FractionBelow(nil)")
+	}
+}
+
+func TestBinnedMeans(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 10, 11}
+	ys := []float64{1, 1, 2, 2, 8, 10}
+	bins := BinnedMeans(xs, ys, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 4 || bins[0].MeanY != 1.5 || bins[0].MaxY != 2 {
+		t.Errorf("bin0 = %+v", bins[0])
+	}
+	if bins[1].Count != 2 || bins[1].MeanY != 9 || bins[1].MaxY != 10 {
+		t.Errorf("bin1 = %+v", bins[1])
+	}
+	if BinnedMeans(nil, nil, 3) != nil {
+		t.Error("empty input should give nil")
+	}
+	// Degenerate: all x equal.
+	b := BinnedMeans([]float64{5, 5}, []float64{1, 3}, 2)
+	total := 0
+	for _, bb := range b {
+		total += bb.Count
+	}
+	if total != 2 {
+		t.Errorf("degenerate binning lost points: %+v", b)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25}
+	s := Scatter(xs, ys, 40, 10, "squares")
+	if !strings.Contains(s, "squares") || !strings.Contains(s, "5 points") {
+		t.Errorf("scatter output:\n%s", s)
+	}
+	if !strings.Contains(s, ".") {
+		t.Error("no points rendered")
+	}
+	if got := Scatter(nil, nil, 40, 10, "empty"); !strings.Contains(got, "no data") {
+		t.Errorf("empty scatter = %q", got)
+	}
+	// Dense data exercises the density glyphs.
+	var dx, dy []float64
+	for i := 0; i < 2000; i++ {
+		dx = append(dx, float64(i%5))
+		dy = append(dy, float64(i%3))
+	}
+	dense := Scatter(dx, dy, 10, 5, "dense")
+	if !strings.Contains(dense, "#") {
+		t.Error("density glyph missing")
+	}
+}
