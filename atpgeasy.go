@@ -35,7 +35,9 @@
 package atpgeasy
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/bench"
@@ -63,6 +65,11 @@ type (
 	TestResult = atpg.Result
 	// Summary aggregates a full-circuit ATPG run.
 	Summary = atpg.Summary
+	// RunOptions control a full-circuit ATPG run (collapsing, fault
+	// dropping, per-fault budget).
+	RunOptions = atpg.RunOptions
+	// Engine generates tests fault by fault on a configurable worker pool.
+	Engine = atpg.Engine
 	// Formula is a CNF formula.
 	Formula = cnf.Formula
 	// Solver decides CNF satisfiability.
@@ -126,10 +133,25 @@ func GenerateTest(c *Circuit, f Fault) (TestResult, error) {
 
 // RunATPG generates tests for every collapsed stuck-at fault, dropping
 // faults covered by earlier vectors via fault simulation (the classic
-// TEGUS flow).
+// TEGUS flow). It runs on GOMAXPROCS workers; use RunATPGParallel for
+// explicit worker counts, budgets or cancellation.
 func RunATPG(c *Circuit) (*Summary, error) {
-	eng := &atpg.Engine{VerifyTests: true}
-	return eng.Run(c, atpg.RunOptions{Collapse: true, DropDetected: true})
+	return RunATPGParallel(context.Background(), c, 0, 0)
+}
+
+// RunATPGParallel is RunATPG with explicit parallelism and robustness
+// controls: workers fault-solving goroutines (0 = GOMAXPROCS), a
+// per-fault SAT budget (0 = unlimited), and a context whose cancellation
+// drains the run and returns the partial summary with ctx.Err().
+// Summary.Results and Vectors come back in fault-list order regardless of
+// worker completion order.
+func RunATPGParallel(ctx context.Context, c *Circuit, workers int, perFaultBudget time.Duration) (*Summary, error) {
+	eng := &atpg.Engine{VerifyTests: true, Workers: workers}
+	return eng.Run(ctx, c, atpg.RunOptions{
+		Collapse:       true,
+		DropDetected:   true,
+		PerFaultBudget: perFaultBudget,
+	})
 }
 
 // VerifyTest checks by simulation that the vector detects the fault.

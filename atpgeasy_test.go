@@ -1,8 +1,10 @@
 package atpgeasy
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"atpgeasy/internal/gen"
 	"atpgeasy/internal/logic"
@@ -37,6 +39,33 @@ func TestFacadeRunATPG(t *testing.T) {
 	}
 	if sum.Aborted != 0 {
 		t.Errorf("aborted = %d", sum.Aborted)
+	}
+}
+
+func TestFacadeRunATPGParallel(t *testing.T) {
+	c := gen.CarryLookaheadAdder(8)
+	sum, err := RunATPGParallel(context.Background(), c, 4, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Coverage() != 1 {
+		t.Errorf("coverage = %v", sum.Coverage())
+	}
+	if sum.Aborted != 0 {
+		t.Errorf("aborted = %d under a generous budget", sum.Aborted)
+	}
+	if sum.WallElapsed <= 0 {
+		t.Error("WallElapsed not recorded")
+	}
+	// Serial reference must agree on the aggregate verdicts.
+	ref, err := RunATPGParallel(context.Background(), c, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Untestable != sum.Untestable || ref.Detected+ref.DroppedByFaultSim != sum.Detected+sum.DroppedByFaultSim {
+		t.Errorf("parallel (D%d+S%d U%d) disagrees with serial (D%d+S%d U%d)",
+			sum.Detected, sum.DroppedByFaultSim, sum.Untestable,
+			ref.Detected, ref.DroppedByFaultSim, ref.Untestable)
 	}
 }
 

@@ -8,6 +8,7 @@ package atpgeasy
 //	go test -bench=. -benchmem ./...
 
 import (
+	"context"
 	"testing"
 
 	"atpgeasy/internal/atpg"
@@ -176,18 +177,40 @@ func BenchmarkFaultCollapsing(b *testing.B) {
 	eng := &atpg.Engine{}
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(c, atpg.RunOptions{}); err != nil {
+			if _, err := eng.Run(context.Background(), c, atpg.RunOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("collapse+drop", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Run(c, atpg.RunOptions{Collapse: true, DropDetected: true}); err != nil {
+			if _, err := eng.Run(context.Background(), c, atpg.RunOptions{Collapse: true, DropDetected: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkParallelATPG measures fault-sharded worker scaling on a full
+// collapse+drop run (wall-clock; summed SAT time is worker-count
+// invariant).
+func BenchmarkParallelATPG(b *testing.B) {
+	c := gen.ArrayMultiplier(6)
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+			eng := &atpg.Engine{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				sum, err := eng.Run(context.Background(), c, atpg.RunOptions{Collapse: true, DropDetected: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Coverage() != 1 {
+					b.Fatalf("coverage %v", sum.Coverage())
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDPLLSolve is a micro-benchmark of the production solver on one

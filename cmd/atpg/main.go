@@ -7,19 +7,30 @@
 //
 //	atpg -bench FILE | -blif FILE | -gen NAME
 //	     [-collapse] [-drop] [-solver dpll|caching|simple]
+//	     [-j WORKERS] [-budget DURATION]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
 // Generated circuit names (NAME): ripple<N>, cla<N>, mult<N>, alu<N>,
 // parity<N>, dec<N>, mux<SEL>, cmp<N>, cell1d<N>, tree<K>x<D>,
 // rand<GATES>.
+//
+// Faults are dispatched to -j parallel workers (default: GOMAXPROCS);
+// -budget bounds the SAT time per fault, reporting over-budget faults as
+// aborted instead of stalling the run. Interrupting the run (SIGINT or
+// SIGTERM) drains the workers and prints the partial results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/bench"
@@ -30,6 +41,11 @@ import (
 	"atpgeasy/internal/sat"
 )
 
+// dpllMaxConflicts bounds the CLI's DPLL solver so no fault can search
+// forever — the analogue of the 50M-node cap on the backtracking solvers.
+// -budget tightens this further in wall-clock terms.
+const dpllMaxConflicts = 10_000_000
+
 func main() {
 	benchFile := flag.String("bench", "", "read an ISCAS .bench netlist")
 	blifFile := flag.String("blif", "", "read a BLIF model")
@@ -37,6 +53,8 @@ func main() {
 	collapse := flag.Bool("collapse", true, "apply structural fault collapsing")
 	drop := flag.Bool("drop", true, "drop faults detected by earlier vectors (fault simulation)")
 	solver := flag.String("solver", "dpll", "SAT engine: dpll, caching or simple")
+	workers := flag.Int("j", 0, "parallel fault workers (0 = GOMAXPROCS)")
+	budget := flag.Duration("budget", 0, "per-fault SAT time budget (0 = none); over-budget faults abort")
 	decompose := flag.Bool("decompose", true, "tech-decompose to ≤3-input AND/OR first (as TEGUS requires)")
 	vectors := flag.Bool("vectors", false, "print the generated test vectors")
 	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
@@ -54,10 +72,10 @@ func main() {
 	}
 	fmt.Printf("circuit: %s (depth %d, max fanout %d)\n", c, c.Depth(), c.MaxFanout())
 
-	eng := &atpg.Engine{VerifyTests: true}
+	eng := &atpg.Engine{VerifyTests: true, Workers: *workers}
 	switch *solver {
 	case "dpll":
-		eng.Solver = &sat.DPLL{}
+		eng.Solver = &sat.DPLL{MaxConflicts: dpllMaxConflicts}
 	case "caching":
 		eng.Solver = &sat.Caching{MaxNodes: 50_000_000}
 	case "simple":
@@ -70,9 +88,19 @@ func main() {
 			fail(err)
 		}
 	}
-	sum, err := eng.Run(c, atpg.RunOptions{Collapse: *collapse, DropDetected: *drop})
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := eng.Run(ctx, c, atpg.RunOptions{
+		Collapse:       *collapse,
+		DropDetected:   *drop,
+		PerFaultBudget: *budget,
+	})
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fail(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "atpg: interrupted — partial results follow")
 	}
 	if *verbose {
 		for _, r := range sum.Results {
@@ -82,8 +110,11 @@ func main() {
 	}
 	fmt.Printf("faults: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
 		sum.Total, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
-	fmt.Printf("fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v\n",
-		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed)
+	fmt.Printf("fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v   wall: %v\n",
+		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed, sum.WallElapsed.Round(time.Microsecond))
+	if interrupted {
+		os.Exit(1)
+	}
 	if *vectors {
 		names := c.Names(c.Inputs)
 		fmt.Println("test vectors (inputs:", strings.Join(names, ","), "):")

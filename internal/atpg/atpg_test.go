@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -298,7 +299,7 @@ func TestUntestableFault(t *testing.T) {
 func TestRunFullCircuit(t *testing.T) {
 	c := logic.Figure4a()
 	eng := &Engine{VerifyTests: true}
-	sum, err := eng.Run(c, RunOptions{})
+	sum, err := eng.Run(context.Background(), c, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,11 +321,11 @@ func TestRunWithCollapseAndDrop(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	c := randomCircuit(rng, 30)
 	eng := &Engine{VerifyTests: true}
-	plain, err := eng.Run(c, RunOptions{})
+	plain, err := eng.Run(context.Background(), c, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dropped, err := eng.Run(c, RunOptions{Collapse: true, DropDetected: true})
+	dropped, err := eng.Run(context.Background(), c, RunOptions{Collapse: true, DropDetected: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestCompactedTestSetCovers(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	c := randomCircuit(rng, 25)
 	eng := &Engine{}
-	sum, err := eng.Run(c, RunOptions{Collapse: true, DropDetected: true})
+	sum, err := eng.Run(context.Background(), c, RunOptions{Collapse: true, DropDetected: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,10 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"atpgeasy/internal/faultsim"
@@ -49,15 +52,20 @@ type Result struct {
 }
 
 // Engine generates tests fault by fault. The zero value uses the DPLL
-// solver without limits.
+// solver without limits on a pool of GOMAXPROCS workers.
 type Engine struct {
 	// Solver decides the ATPG-SAT instances; nil means a fresh DPLL per
-	// engine.
+	// engine. The configuration is treated as read-only: workers derive
+	// per-call instances via sat.LimitedSolver when limits apply, so one
+	// Engine is safe for concurrent runs.
 	Solver sat.Solver
 	// VerifyTests re-simulates every generated vector against the fault
 	// and reports an internal error if it fails (a cross-check of the
 	// whole encode/solve/extract pipeline).
 	VerifyTests bool
+	// Workers is the number of concurrent fault workers used by Run and
+	// RunFaults; 0 means runtime.GOMAXPROCS(0), 1 forces the serial path.
+	Workers int
 }
 
 func (e *Engine) solver() sat.Solver {
@@ -67,8 +75,34 @@ func (e *Engine) solver() sat.Solver {
 	return &sat.DPLL{}
 }
 
+// solverFor specializes the engine's solver configuration with per-call
+// limits. Solvers that don't implement sat.LimitedSolver run unlimited.
+func (e *Engine) solverFor(lim sat.Limits) sat.Solver {
+	s := e.solver()
+	if lim.IsZero() {
+		return s
+	}
+	if ls, ok := s.(sat.LimitedSolver); ok {
+		return ls.WithLimits(lim)
+	}
+	return s
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // TestFault runs SAT-based test generation for one fault.
 func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
+	return e.testFault(c, f, sat.Limits{})
+}
+
+// testFault is TestFault under per-call solver limits: a deadline or
+// cancellation surfaces as Status Aborted.
+func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, error) {
 	res := Result{Fault: f}
 	m, err := NewMiter(c, f)
 	if err == ErrUnobservable {
@@ -85,7 +119,7 @@ func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
 	res.Vars = formula.NumVars
 	res.Clauses = formula.NumClauses()
 	start := time.Now()
-	sol := e.solver().Solve(formula)
+	sol := e.solverFor(lim).Solve(formula)
 	res.Elapsed = time.Since(start)
 	res.SolverStats = sol.Stats
 	switch sol.Status {
@@ -113,13 +147,19 @@ type Summary struct {
 	// DroppedByFaultSim counts faults covered by earlier vectors and
 	// skipped without invoking the solver.
 	DroppedByFaultSim int
-	// Vectors is the generated (compacted) test set.
+	// Vectors is the generated (compacted) test set, in fault-list order
+	// of the detecting fault.
 	Vectors [][]bool
 	// Results holds the per-fault SAT outcomes for the faults that reached
-	// the solver, in processing order — the data series of Figure 1.
+	// the solver — the data series of Figure 1. Results come back in
+	// fault-list order regardless of which worker finished first, so
+	// parallel runs are deterministic modulo fault dropping.
 	Results []Result
-	// Elapsed is total SAT time.
+	// Elapsed is total SAT time summed over faults. Under a parallel run
+	// it exceeds wall time; compare WallElapsed.
 	Elapsed time.Duration
+	// WallElapsed is the wall-clock duration of the whole run.
+	WallElapsed time.Duration
 }
 
 // Coverage returns detected/(total-untestable): fault coverage over
@@ -139,79 +179,195 @@ type RunOptions struct {
 	// DropDetected fault-simulates each new vector against the remaining
 	// faults and skips the covered ones (classic TEGUS flow).
 	DropDetected bool
+	// PerFaultBudget, when positive, bounds the SAT time spent on each
+	// fault; a fault whose solve exceeds it is reported Aborted instead of
+	// stalling the run. Requires a solver implementing sat.LimitedSolver
+	// (all three built-ins do).
+	PerFaultBudget time.Duration
 }
 
+// dropBatch is the pending-vector count that triggers a fault-simulation
+// flush. Well below the 64-pattern word width: dropping early saves
+// solver calls on the remaining fault list.
+const dropBatch = 16
+
 // Run generates tests for every stuck-at fault of the circuit.
-func (e *Engine) Run(c *logic.Circuit, opt RunOptions) (*Summary, error) {
+func (e *Engine) Run(ctx context.Context, c *logic.Circuit, opt RunOptions) (*Summary, error) {
 	faults := AllFaults(c)
 	if opt.Collapse {
 		faults = Collapse(c, faults)
 	}
-	return e.RunFaults(c, faults, opt)
+	return e.RunFaults(ctx, c, faults, opt)
 }
 
-// RunFaults generates tests for the given fault list.
-func (e *Engine) RunFaults(c *logic.Circuit, faults []Fault, opt RunOptions) (*Summary, error) {
-	sum := &Summary{Circuit: c.Name, Total: len(faults)}
-	dropped := make([]bool, len(faults))
-	// pending vectors not yet batch-simulated against the remaining list.
-	var pending [][]bool
-	flushPending := func(from int) error {
-		if !opt.DropDetected || len(pending) == 0 {
-			return nil
-		}
-		words, err := faultsim.PackPatterns(c, pending)
-		if err != nil {
-			return err
-		}
-		sim, err := faultsim.NewSimulator(c, words, len(pending))
-		if err != nil {
-			return err
-		}
-		for j := from; j < len(faults); j++ {
-			if dropped[j] {
-				continue
-			}
-			if sim.Detects(faults[j].Net, faults[j].StuckAt) != 0 {
-				dropped[j] = true
-				sum.DroppedByFaultSim++
-			}
-		}
-		pending = pending[:0]
-		return nil
+// RunFaults generates tests for the given fault list on a pool of
+// e.Workers workers. Faults are sharded dynamically: each worker claims
+// the next live fault, solves it under the per-fault budget, and — with
+// opt.DropDetected — publishes found vectors to a shared drop list that is
+// batch fault-simulated (one faultsim.Simulator per flushing worker; the
+// simulator itself is single-threaded by design) to skip covered faults.
+//
+// Cancelling ctx drains the run: in-flight solves abort at the next limit
+// check, no new faults are claimed, and the partial summary is returned
+// together with ctx.Err(). Faults interrupted by cancellation are not
+// recorded as Aborted — that status is reserved for per-fault resource
+// exhaustion.
+func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault, opt RunOptions) (*Summary, error) {
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &runState{
+		c:       c,
+		opt:     opt,
+		faults:  faults,
+		results: make([]*Result, len(faults)),
+		dropped: make([]bool, len(faults)),
 	}
-	for i, f := range faults {
-		if dropped[i] {
-			continue
+	var wg sync.WaitGroup
+	for w := e.workers(); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.runWorker(runCtx, st); err != nil {
+				st.setErr(err)
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if st.err != nil {
+		return nil, st.err
+	}
+
+	// Assemble deterministically: slot order is fault-list order.
+	sum := &Summary{Circuit: c.Name, Total: len(faults), DroppedByFaultSim: st.droppedCount}
+	for _, r := range st.results {
+		if r == nil {
+			continue // dropped by fault simulation, or never reached before cancellation
 		}
-		res, err := e.TestFault(c, f)
-		if err != nil {
-			return nil, err
-		}
-		sum.Results = append(sum.Results, res)
-		sum.Elapsed += res.Elapsed
-		switch res.Status {
+		sum.Results = append(sum.Results, *r)
+		sum.Elapsed += r.Elapsed
+		switch r.Status {
 		case Detected:
 			sum.Detected++
-			sum.Vectors = append(sum.Vectors, res.Vector)
-			if opt.DropDetected {
-				pending = append(pending, res.Vector)
-				// Flush well below the 64-pattern word width: dropping
-				// early saves solver calls on the remaining fault list.
-				if len(pending) == 16 {
-					if err := flushPending(i + 1); err != nil {
-						return nil, err
-					}
-				}
-			}
+			sum.Vectors = append(sum.Vectors, r.Vector)
 		case Untestable:
 			sum.Untestable++
 		case Aborted:
 			sum.Aborted++
 		}
 	}
-	if err := flushPending(len(faults)); err != nil {
-		return nil, err
+	sum.WallElapsed = time.Since(start)
+	return sum, ctx.Err()
+}
+
+// runState is the state shared by the fault workers of one RunFaults call.
+type runState struct {
+	c      *logic.Circuit
+	opt    RunOptions
+	faults []Fault
+
+	mu           sync.Mutex
+	next         int       // dispatch cursor; slots below it are claimed or dropped
+	dropped      []bool    // marked by fault-simulation flushes
+	droppedCount int
+	results      []*Result // one slot per fault, filled on completion
+	pending      [][]bool  // vectors not yet batch-simulated
+	err          error
+}
+
+func (st *runState) setErr(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
 	}
-	return sum, nil
+	st.mu.Unlock()
+}
+
+// runWorker claims and solves faults until the list is exhausted or the
+// context is cancelled.
+func (e *Engine) runWorker(ctx context.Context, st *runState) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		st.mu.Lock()
+		for st.next < len(st.faults) && st.dropped[st.next] {
+			st.next++
+		}
+		if st.next >= len(st.faults) {
+			st.mu.Unlock()
+			return nil
+		}
+		i := st.next
+		st.next++
+		st.mu.Unlock()
+
+		lim := sat.Limits{Cancel: ctx.Done()}
+		if st.opt.PerFaultBudget > 0 {
+			lim.Deadline = time.Now().Add(st.opt.PerFaultBudget)
+		}
+		res, err := e.testFault(st.c, st.faults[i], lim)
+		if err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			// The abort is a draining artifact, not a verdict on the fault.
+			return nil
+		}
+		var batch [][]bool
+		st.mu.Lock()
+		st.results[i] = &res
+		if res.Status == Detected && st.opt.DropDetected {
+			st.pending = append(st.pending, res.Vector)
+			if len(st.pending) >= dropBatch {
+				batch, st.pending = st.pending, nil
+			}
+		}
+		st.mu.Unlock()
+		if batch != nil {
+			if err := st.flush(batch); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// flush batch-simulates a vector batch against the not-yet-claimed faults
+// and marks the detected ones dropped. Simulation runs outside the lock on
+// a simulator owned by the flushing worker; only the final marking needs
+// the lock, re-checking that each hit is still unclaimed so a fault being
+// solved concurrently is never double-counted.
+func (st *runState) flush(batch [][]bool) error {
+	words, err := faultsim.PackPatterns(st.c, batch)
+	if err != nil {
+		return err
+	}
+	sim, err := faultsim.NewSimulator(st.c, words, len(batch))
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	from := st.next
+	snap := append([]bool(nil), st.dropped...)
+	st.mu.Unlock()
+	var hits []int
+	for j := from; j < len(st.faults); j++ {
+		if snap[j] {
+			continue
+		}
+		if sim.Detects(st.faults[j].Net, st.faults[j].StuckAt) != 0 {
+			hits = append(hits, j)
+		}
+	}
+	st.mu.Lock()
+	for _, j := range hits {
+		if j >= st.next && !st.dropped[j] {
+			st.dropped[j] = true
+			st.droppedCount++
+		}
+	}
+	st.mu.Unlock()
+	return nil
 }

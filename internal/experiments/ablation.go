@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -141,7 +142,7 @@ func CollapsingAblation(cfg Config) (*CollapsingResult, error) {
 	for _, nc := range circuits {
 		all := atpg.AllFaults(nc.C)
 		collapsed := atpg.Collapse(nc.C, all)
-		sum, err := eng.RunFaults(nc.C, collapsed, atpg.RunOptions{DropDetected: true})
+		sum, err := eng.RunFaults(context.Background(), nc.C, collapsed, atpg.RunOptions{DropDetected: true})
 		if err != nil {
 			return nil, err
 		}

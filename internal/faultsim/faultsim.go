@@ -94,6 +94,13 @@ func (s *Simulator) Detects(net int, stuckAt bool) uint64 {
 	}
 	// Re-evaluate only the transitive fanout, in topological (ID) order.
 	s.epoch++
+	if s.epoch == 0 {
+		// Epoch wrapped: stale stamps from 2^32 queries ago would alias the
+		// new epoch and fake cone membership. Clear all stamps and restart
+		// above zero (the cleared value).
+		clear(s.coneMark)
+		s.epoch = 1
+	}
 	s.coneMark[net] = s.epoch
 	var buf [8]uint64
 	for id := net + 1; id < c.NumNodes(); id++ {

@@ -118,6 +118,63 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
+// TestEpochWraparound forces the uint32 epoch to overflow (as it would
+// after 2^32 Detects queries) and checks that stale coneMark stamps are
+// cleared instead of aliasing the restarted epoch: every query across the
+// wrap must match a fresh simulator, and the stamp array must hold no
+// leftovers from before the wrap.
+func TestEpochWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomCircuit(rng, 30)
+	nPat := 13
+	vecs := make([][]bool, nPat)
+	for p := range vecs {
+		vecs[p] = make([]bool, len(c.Inputs))
+		for i := range vecs[p] {
+			vecs[p][i] = rng.Intn(2) == 1
+		}
+	}
+	words, err := PackPatterns(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c, words, nPat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate coneMark with genuine stamps, then jump to the last epoch
+	// before overflow. The next query wraps: without the reset, stamps
+	// equal to the restarted epoch (and the zero default) would fake cone
+	// membership.
+	for net := 0; net < c.NumNodes(); net++ {
+		sim.Detects(net, true)
+	}
+	sim.epoch = ^uint32(0)
+	// Plant a stamp that aliases the post-wrap epoch value 1 exactly.
+	sim.coneMark[c.NumNodes()-1] = 1
+	fresh, err := NewSimulator(c, words, nPat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 3; q++ { // queries straddling the wrap
+		for net := 0; net < c.NumNodes(); net++ {
+			for _, sa := range []bool{false, true} {
+				if got, want := sim.Detects(net, sa), fresh.Detects(net, sa); got != want {
+					t.Fatalf("query %d net %d sa%v across wrap: got %b, want %b", q, net, sa, got, want)
+				}
+			}
+		}
+	}
+	if sim.epoch == 0 || sim.epoch > uint32(6*c.NumNodes()) {
+		t.Errorf("epoch = %d after wrap, want a small restarted value", sim.epoch)
+	}
+	for id, m := range sim.coneMark {
+		if m > sim.epoch {
+			t.Errorf("node %d holds stale stamp %d > epoch %d after wrap", id, m, sim.epoch)
+		}
+	}
+}
+
 func TestZeroPatterns(t *testing.T) {
 	c := logic.Figure4a()
 	words, _ := PackPatterns(c, nil)

@@ -8,10 +8,11 @@ import (
 // no caching — the baseline that Algorithm 1 augments. Order is the static
 // variable ordering h (nil = variable index order). MaxNodes, when
 // positive, aborts the search with Unknown after that many backtracking
-// nodes.
+// nodes. Limits adds deadline/cancellation aborts.
 type Simple struct {
 	Order    []int
 	MaxNodes int64
+	Limits   Limits
 }
 
 // Solve decides satisfiability by depth-first search over the ordering.
@@ -21,7 +22,15 @@ func (s *Simple) Solve(f *cnf.Formula) Solution {
 		return Solution{Status: Unknown}
 	}
 	bt := newBacktracker(f, order, s.MaxNodes, false)
+	bt.limits = s.Limits
 	return bt.run()
+}
+
+// WithLimits returns a copy of the configuration with per-call limits.
+func (s *Simple) WithLimits(l Limits) Solver {
+	cp := *s
+	cp.Limits = l
+	return &cp
 }
 
 // Caching is Algorithm 1 of the paper: simple backtracking with a fixed
@@ -36,6 +45,7 @@ func (s *Simple) Solve(f *cnf.Formula) Solution {
 type Caching struct {
 	Order    []int
 	MaxNodes int64
+	Limits   Limits
 }
 
 // Solve runs Algorithm 1.
@@ -45,7 +55,15 @@ func (s *Caching) Solve(f *cnf.Formula) Solution {
 		return Solution{Status: Unknown}
 	}
 	bt := newBacktracker(f, order, s.MaxNodes, true)
+	bt.limits = s.Limits
 	return bt.run()
+}
+
+// WithLimits returns a copy of the configuration with per-call limits.
+func (s *Caching) WithLimits(l Limits) Solver {
+	cp := *s
+	cp.Limits = l
+	return &cp
 }
 
 // backtracker is the shared engine behind Simple and Caching. Clause
@@ -67,6 +85,7 @@ type backtracker struct {
 	numNull  int       // clauses with satCnt == 0 && falseCnt == len
 
 	cache   map[string]struct{}
+	limits  Limits
 	stats   Stats
 	aborted bool
 }
@@ -102,6 +121,9 @@ func newBacktracker(f *cnf.Formula, order []int, maxNodes int64, useCache bool) 
 }
 
 func (bt *backtracker) run() Solution {
+	if bt.limits.expired() {
+		return Solution{Status: Unknown, Stats: bt.stats}
+	}
 	if bt.numNull > 0 {
 		return Solution{Status: Unsat, Stats: bt.stats}
 	}
@@ -174,8 +196,17 @@ func (bt *backtracker) search(pos int, b bool) bool {
 		return false
 	}
 	bt.stats.Nodes++
-	bt.stats.Decisions++
+	if !b {
+		// One decision per branched variable: the b=true branch of the same
+		// variable at the same position is the other half of one decision,
+		// not a second one.
+		bt.stats.Decisions++
+	}
 	if bt.maxNodes > 0 && bt.stats.Nodes > bt.maxNodes {
+		bt.aborted = true
+		return false
+	}
+	if bt.stats.Nodes%limitCheck == 0 && bt.limits.expired() {
 		bt.aborted = true
 		return false
 	}

@@ -8,11 +8,20 @@ import (
 // search with two-watched-literal unit propagation, first-UIP conflict
 // clause learning, activity-driven decisions with phase saving, and
 // geometric restarts. MaxConflicts, when positive, aborts with Unknown.
+// Limits adds deadline/cancellation aborts.
 type DPLL struct {
 	MaxConflicts int64
 	// DisableLearning turns off conflict clause recording (pure DPLL with
 	// non-chronological backtracking disabled); used by ablation benches.
 	DisableLearning bool
+	Limits          Limits
+}
+
+// WithLimits returns a copy of the configuration with per-call limits.
+func (d *DPLL) WithLimits(l Limits) Solver {
+	cp := *d
+	cp.Limits = l
+	return &cp
 }
 
 // Solve decides satisfiability of f.
@@ -269,6 +278,9 @@ func (st *dpllState) pickBranchVar() int {
 }
 
 func (st *dpllState) run() Solution {
+	if st.cfg.Limits.expired() {
+		return Solution{Status: Unknown, Stats: st.stats}
+	}
 	if st.failed {
 		return Solution{Status: Unsat, Stats: st.stats}
 	}
@@ -277,7 +289,12 @@ func (st *dpllState) run() Solution {
 	}
 	restartLimit := int64(100)
 	conflictsAtRestart := int64(0)
+	var steps int64
 	for {
+		steps++
+		if steps%limitCheck == 0 && st.cfg.Limits.expired() {
+			return Solution{Status: Unknown, Stats: st.stats}
+		}
 		confl := st.propagate()
 		if confl >= 0 {
 			st.stats.Conflicts++

@@ -18,6 +18,7 @@ package sat
 
 import (
 	"fmt"
+	"time"
 
 	"atpgeasy/internal/cnf"
 )
@@ -71,6 +72,47 @@ type Solution struct {
 type Solver interface {
 	// Solve decides satisfiability of f. Implementations must not retain f.
 	Solve(f *cnf.Formula) Solution
+}
+
+// Limits carries per-call abort controls. The zero value imposes none.
+// Searches observe both mechanisms at a coarse cadence (every limitCheck
+// nodes), so aborts cost no measurable overhead on easy instances.
+type Limits struct {
+	// Deadline, when non-zero, aborts the search with Unknown once passed.
+	Deadline time.Time
+	// Cancel, when non-nil, aborts the search with Unknown once closed.
+	// Typically a context's Done channel.
+	Cancel <-chan struct{}
+}
+
+// IsZero reports whether the limits impose nothing.
+func (l Limits) IsZero() bool { return l.Deadline.IsZero() && l.Cancel == nil }
+
+// expired reports whether the search must stop now.
+func (l Limits) expired() bool {
+	if l.Cancel != nil {
+		select {
+		case <-l.Cancel:
+			return true
+		default:
+		}
+	}
+	return !l.Deadline.IsZero() && !time.Now().Before(l.Deadline)
+}
+
+// limitCheck is the node cadence at which search loops consult Limits.
+// Coarse enough that time.Now stays off the hot path, fine enough that a
+// per-fault budget is honored within microseconds.
+const limitCheck = 1024
+
+// LimitedSolver is implemented by solvers that support per-call abort
+// limits. WithLimits returns a configured copy so a shared, read-only
+// solver configuration can be specialized per call — the ATPG engine uses
+// this to give every fault its own deadline without sharing mutable state
+// across workers.
+type LimitedSolver interface {
+	Solver
+	WithLimits(Limits) Solver
 }
 
 // Verify checks that a claimed model satisfies the formula; it returns an

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"atpgeasy/internal/cnf"
 	"atpgeasy/internal/logic"
@@ -199,6 +200,94 @@ func TestConflictLimitAborts(t *testing.T) {
 	sol := (&DPLL{MaxConflicts: 3}).Solve(f)
 	if sol.Status != Unknown {
 		t.Errorf("status = %v, want Unknown under conflict limit", sol.Status)
+	}
+}
+
+// limitedSolvers returns each engine as a LimitedSolver; all three
+// built-ins must implement per-call limits.
+func limitedSolvers(t *testing.T) map[string]LimitedSolver {
+	t.Helper()
+	out := make(map[string]LimitedSolver)
+	for name, s := range solvers() {
+		ls, ok := s.(LimitedSolver)
+		if !ok {
+			t.Fatalf("%s does not implement LimitedSolver", name)
+		}
+		out[name] = ls
+	}
+	return out
+}
+
+// TestDeadlineAborts: an already-expired deadline must abort every solver
+// with Unknown, even on a hard instance, without mutating the original
+// solver configuration.
+func TestDeadlineAborts(t *testing.T) {
+	f := pigeonhole(8, 7)
+	past := Limits{Deadline: time.Now().Add(-time.Second)}
+	for name, ls := range limitedSolvers(t) {
+		limited := ls.WithLimits(past)
+		if got := limited.Solve(f).Status; got != Unknown {
+			t.Errorf("%s: expired deadline = %v, want Unknown", name, got)
+		}
+		// The original configuration must remain unlimited: the easy
+		// PHP(3,3) instance still solves.
+		if got := ls.Solve(pigeonhole(3, 3)).Status; got != Sat {
+			t.Errorf("%s: WithLimits mutated the original configuration (%v)", name, got)
+		}
+	}
+}
+
+// TestCancelAborts: a closed Cancel channel must abort mid-search.
+func TestCancelAborts(t *testing.T) {
+	f := pigeonhole(8, 7)
+	cancelled := make(chan struct{})
+	close(cancelled)
+	for name, ls := range limitedSolvers(t) {
+		if got := ls.WithLimits(Limits{Cancel: cancelled}).Solve(f).Status; got != Unknown {
+			t.Errorf("%s: closed cancel channel = %v, want Unknown", name, got)
+		}
+	}
+}
+
+// TestLimitsHonoredPromptly: a short deadline must abort a search that
+// would otherwise run far past it (the check cadence is limitCheck nodes).
+func TestLimitsHonoredPromptly(t *testing.T) {
+	f := pigeonhole(9, 8) // far beyond the deadline's reach for Simple
+	start := time.Now()
+	sol := (&Simple{Limits: Limits{Deadline: start.Add(50 * time.Millisecond)}}).Solve(f)
+	elapsed := time.Since(start)
+	if sol.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown", sol.Status)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("abort took %v, deadline was 50ms", elapsed)
+	}
+}
+
+// TestDecisionsCountBranchPoints: after the double-count fix, Decisions
+// counts branched variables, not visited branches. On a fully explored
+// UNSAT tree every decision contributes exactly two nodes.
+func TestDecisionsCountBranchPoints(t *testing.T) {
+	f := pigeonhole(3, 2)
+	for name, s := range map[string]Solver{"simple": &Simple{}, "caching": &Caching{}} {
+		sol := s.Solve(f)
+		if sol.Status != Unsat {
+			t.Fatalf("%s: PHP(3,2) = %v, want UNSAT", name, sol.Status)
+		}
+		st := sol.Stats
+		if st.Nodes != 2*st.Decisions {
+			t.Errorf("%s: Nodes = %d, Decisions = %d; want Nodes == 2×Decisions on a fully explored UNSAT tree",
+				name, st.Nodes, st.Decisions)
+		}
+	}
+	// On a SAT instance the counters diverge but stay in the branch-point
+	// envelope: Decisions ≤ Nodes ≤ 2·Decisions.
+	sol := (&Simple{}).Solve(pigeonhole(4, 4))
+	if sol.Status != Sat {
+		t.Fatalf("PHP(4,4) = %v, want SAT", sol.Status)
+	}
+	if d, n := sol.Stats.Decisions, sol.Stats.Nodes; d > n || n > 2*d {
+		t.Errorf("Decisions = %d, Nodes = %d outside [Decisions, 2×Decisions]", d, n)
 	}
 }
 
