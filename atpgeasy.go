@@ -48,6 +48,7 @@ import (
 	"atpgeasy/internal/hypergraph"
 	"atpgeasy/internal/logic"
 	"atpgeasy/internal/mla"
+	"atpgeasy/internal/obs"
 	"atpgeasy/internal/sat"
 )
 
@@ -75,6 +76,56 @@ type (
 	// Solver decides CNF satisfiability.
 	Solver = sat.Solver
 )
+
+// Observability types: attach a Telemetry to RunOptions to get live
+// metrics, a per-fault JSONL trace and periodic progress callbacks out of
+// an engine run. All hooks are optional and nil-safe; a nil Telemetry (the
+// default) costs one pointer check per fault.
+type (
+	// Telemetry bundles the engine's observability hooks.
+	Telemetry = atpg.Telemetry
+	// Progress is one snapshot of a running ATPG job (done/total counts,
+	// coverage, ETA).
+	Progress = atpg.Progress
+	// PhaseTimes is the per-phase time breakdown of a Summary (CNF build,
+	// SAT solve, fault simulation).
+	PhaseTimes = atpg.PhaseTimes
+	// EngineMetrics is the engine's counter/gauge/histogram set, registered
+	// on a MetricsRegistry.
+	EngineMetrics = atpg.Metrics
+	// MetricsRegistry holds named metrics and renders them in Prometheus
+	// text format.
+	MetricsRegistry = obs.Registry
+	// Trace is a JSONL event sink for per-fault trace events.
+	Trace = obs.Trace
+	// MetricsServer serves /metrics, /debug/vars and /debug/pprof for a
+	// registry.
+	MetricsServer = obs.Server
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEngineMetrics registers the engine's metric set on reg. shards sizes
+// the per-worker sharded counters; pass the engine's worker count (values
+// < 1 are clamped to 1).
+func NewEngineMetrics(reg *MetricsRegistry, shards int) *EngineMetrics {
+	return atpg.NewMetrics(reg, shards)
+}
+
+// NewTrace wraps w in a JSONL trace sink. Close flushes (and closes w if
+// it is an io.Closer).
+func NewTrace(w io.Writer) *Trace { return obs.NewTrace(w) }
+
+// CreateTrace creates path and returns a JSONL trace sink writing to it.
+func CreateTrace(path string) (*Trace, error) { return obs.CreateTrace(path) }
+
+// ServeMetrics starts an HTTP server on addr (host:port, port 0 picks one)
+// exposing reg on /metrics (Prometheus text format), expvar on /debug/vars
+// and the pprof profiles on /debug/pprof/. Close it when the run ends.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
 
 // Gate type constants.
 const (

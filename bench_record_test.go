@@ -1,0 +1,74 @@
+package atpgeasy
+
+// BENCH_atpg.json emission: benchmarks that call recordBench have their
+// latest timing written to BENCH_atpg.json by TestMain after a `-bench`
+// run, so perf regressions across the parallel engine and the telemetry
+// hooks are diffable in review. A plain `go test` run records nothing and
+// writes nothing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// benchRecord is one row of BENCH_atpg.json.
+type benchRecord struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+var benchRecords struct {
+	sync.Mutex
+	byName map[string]benchRecord
+}
+
+// recordBench stores the current ns/op for the running (sub-)benchmark.
+// Call it at the end of the b.Run closure; the testing package invokes
+// the closure several times with growing b.N, and the last (largest-N,
+// most accurate) invocation wins.
+func recordBench(b *testing.B, workers int) {
+	b.Helper()
+	if b.N == 0 {
+		return
+	}
+	benchRecords.Lock()
+	defer benchRecords.Unlock()
+	if benchRecords.byName == nil {
+		benchRecords.byName = map[string]benchRecord{}
+	}
+	benchRecords.byName[b.Name()] = benchRecord{
+		Name:    b.Name(),
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Workers: workers,
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchRecords.Lock()
+	recs := make([]benchRecord, 0, len(benchRecords.byName))
+	for _, r := range benchRecords.byName {
+		recs = append(recs, r)
+	}
+	benchRecords.Unlock()
+	if len(recs) > 0 {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+		buf, err := json.MarshalIndent(recs, "", "  ")
+		if err == nil {
+			buf = append(buf, '\n')
+			err = os.WriteFile("BENCH_atpg.json", buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing BENCH_atpg.json: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -9,6 +9,7 @@ package atpgeasy
 
 import (
 	"context"
+	"io"
 	"testing"
 
 	"atpgeasy/internal/atpg"
@@ -18,6 +19,7 @@ import (
 	"atpgeasy/internal/gen"
 	"atpgeasy/internal/hypergraph"
 	"atpgeasy/internal/mla"
+	"atpgeasy/internal/obs"
 	"atpgeasy/internal/partition"
 	"atpgeasy/internal/sat"
 )
@@ -209,8 +211,48 @@ func BenchmarkParallelATPG(b *testing.B) {
 					b.Fatalf("coverage %v", sum.Coverage())
 				}
 			}
+			recordBench(b, workers)
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead pits a telemetry-free parallel run against
+// the same run with the metrics registry and a JSONL trace attached. The
+// "off" case must stay within ~2% of the pre-telemetry engine (disabled
+// telemetry is a single nil check per fault); the instrumented case shows
+// what full observability costs.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	c := gen.ArrayMultiplier(6)
+	const workers = 4
+	run := func(b *testing.B, tel *atpg.Telemetry) {
+		eng := &atpg.Engine{Workers: workers}
+		for i := 0; i < b.N; i++ {
+			sum, err := eng.Run(context.Background(), c, atpg.RunOptions{
+				Collapse: true, DropDetected: true, Telemetry: tel,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Coverage() != 1 {
+				b.Fatalf("coverage %v", sum.Coverage())
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, nil)
+		recordBench(b, workers)
+	})
+	b.Run("metrics+trace", func(b *testing.B) {
+		tel := &atpg.Telemetry{
+			Metrics: atpg.NewMetrics(obs.NewRegistry(), workers),
+			Trace:   obs.NewTrace(io.Discard),
+		}
+		run(b, tel)
+		recordBench(b, workers)
+		if err := tel.Trace.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkDPLLSolve is a micro-benchmark of the production solver on one

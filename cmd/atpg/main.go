@@ -8,6 +8,7 @@
 //	atpg -bench FILE | -blif FILE | -gen NAME
 //	     [-collapse] [-drop] [-solver dpll|caching|simple]
 //	     [-j WORKERS] [-budget DURATION]
+//	     [-metrics-addr ADDR] [-trace FILE] [-progress DUR] [-json]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
 // Generated circuit names (NAME): ripple<N>, cla<N>, mult<N>, alu<N>,
@@ -18,15 +19,26 @@
 // -budget bounds the SAT time per fault, reporting over-budget faults as
 // aborted instead of stalling the run. Interrupting the run (SIGINT or
 // SIGTERM) drains the workers and prints the partial results.
+//
+// Observability: -metrics-addr serves Prometheus-text /metrics,
+// /debug/vars and net/http/pprof for the duration of the run; -trace
+// writes one JSONL event per fault (and per fault-simulation flush);
+// -progress prints a live progress line (faults done, coverage, ETA) to
+// stderr on the given period; -json replaces the human summary on stdout
+// with a machine-readable JSON document (schema atpgeasy/run-summary/v1,
+// documented in README.md).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -38,6 +50,7 @@ import (
 	"atpgeasy/internal/decomp"
 	"atpgeasy/internal/gen"
 	"atpgeasy/internal/logic"
+	"atpgeasy/internal/obs"
 	"atpgeasy/internal/sat"
 )
 
@@ -59,7 +72,18 @@ func main() {
 	vectors := flag.Bool("vectors", false, "print the generated test vectors")
 	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
 	verbose := flag.Bool("v", false, "print per-fault results")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port for the duration of the run (port 0 picks one)")
+	traceFile := flag.String("trace", "", "write a per-fault JSONL event trace to this file")
+	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr on this period (0 = off)")
+	jsonOut := flag.Bool("json", false, "print a machine-readable JSON run summary to stdout (human report moves to stderr)")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON document; everything
+	// human-readable moves to stderr.
+	info := io.Writer(os.Stdout)
+	if *jsonOut {
+		info = os.Stderr
+	}
 
 	c, err := loadCircuit(*benchFile, *blifFile, *genName)
 	if err != nil {
@@ -70,7 +94,7 @@ func main() {
 			fail(err)
 		}
 	}
-	fmt.Printf("circuit: %s (depth %d, max fanout %d)\n", c, c.Depth(), c.MaxFanout())
+	fmt.Fprintf(info, "circuit: %s (depth %d, max fanout %d)\n", c, c.Depth(), c.MaxFanout())
 
 	eng := &atpg.Engine{VerifyTests: true, Workers: *workers}
 	switch *solver {
@@ -84,40 +108,65 @@ func main() {
 		fail(fmt.Errorf("unknown solver %q", *solver))
 	}
 	if *dimacsDir != "" {
-		if err := dumpDIMACS(c, *dimacsDir, *collapse); err != nil {
+		if err := dumpDIMACS(c, *dimacsDir, *collapse, info); err != nil {
 			fail(err)
 		}
 	}
+
+	effectiveWorkers := *workers
+	if effectiveWorkers <= 0 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	tel, closeTel, err := setupTelemetry(*metricsAddr, *traceFile, *progressEvery, effectiveWorkers)
+	if err != nil {
+		fail(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	sum, err := eng.Run(ctx, c, atpg.RunOptions{
 		Collapse:       *collapse,
 		DropDetected:   *drop,
 		PerFaultBudget: *budget,
+		Telemetry:      tel,
 	})
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fail(err)
+	}
+	if cerr := closeTel(); cerr != nil {
+		fail(cerr)
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "atpg: interrupted — partial results follow")
 	}
 	if *verbose {
 		for _, r := range sum.Results {
-			fmt.Printf("  %-20s %-11s %6d vars %8d clauses %10v\n",
+			fmt.Fprintf(info, "  %-20s %-11s %6d vars %8d clauses %10v\n",
 				r.Fault.Name(c), r.Status, r.Vars, r.Clauses, r.Elapsed)
 		}
 	}
-	fmt.Printf("faults: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
+	fmt.Fprintf(info, "faults: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
 		sum.Total, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
-	fmt.Printf("fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v   wall: %v\n",
+	fmt.Fprintf(info, "fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v   wall: %v\n",
 		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed, sum.WallElapsed.Round(time.Microsecond))
+	fmt.Fprintf(info, "phases: build %v   solve %v   fault-sim %v\n",
+		sum.Phases.Build.Round(time.Microsecond), sum.Phases.Solve.Round(time.Microsecond),
+		sum.Phases.FaultSim.Round(time.Microsecond))
+	if *jsonOut {
+		doc := buildJSONSummary(sum, *solver, effectiveWorkers, *budget, interrupted)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fail(err)
+		}
+	}
 	if interrupted {
 		os.Exit(1)
 	}
 	if *vectors {
 		names := c.Names(c.Inputs)
-		fmt.Println("test vectors (inputs:", strings.Join(names, ","), "):")
+		fmt.Fprintln(info, "test vectors (inputs:", strings.Join(names, ","), "):")
 		for _, v := range sum.Vectors {
 			bits := make([]byte, len(v))
 			for i, b := range v {
@@ -126,8 +175,111 @@ func main() {
 					bits[i] = '1'
 				}
 			}
-			fmt.Printf("  %s\n", bits)
+			fmt.Fprintf(info, "  %s\n", bits)
 		}
+	}
+}
+
+// setupTelemetry wires the -metrics-addr, -trace and -progress flags into
+// an engine telemetry configuration. The returned close function flushes
+// the trace and stops the metrics server; it is safe to call when all
+// three flags are off (tel is then nil).
+func setupTelemetry(metricsAddr, traceFile string, progressEvery time.Duration, workers int) (*atpg.Telemetry, func() error, error) {
+	if metricsAddr == "" && traceFile == "" && progressEvery <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	tel := &atpg.Telemetry{}
+	var closers []func() error
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		tel.Metrics = atpg.NewMetrics(reg, workers)
+		srv, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "atpg: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
+		closers = append(closers, srv.Close)
+	}
+	if traceFile != "" {
+		tr, err := obs.CreateTrace(traceFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		tel.Trace = tr
+		closers = append(closers, tr.Close)
+	}
+	if progressEvery > 0 {
+		tel.ProgressEvery = progressEvery
+		tel.OnProgress = func(p atpg.Progress) {
+			fmt.Fprintf(os.Stderr, "atpg: %s\n", p)
+		}
+	}
+	return tel, func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// runSummaryJSON is the -json output document. The schema field names the
+// format version; see README.md ("Observability") for the field-by-field
+// description.
+type runSummaryJSON struct {
+	Schema      string          `json:"schema"`
+	Circuit     string          `json:"circuit"`
+	Solver      string          `json:"solver"`
+	Workers     int             `json:"workers"`
+	BudgetNS    int64           `json:"budget_ns,omitempty"`
+	Faults      faultCountsJSON `json:"faults"`
+	Coverage    float64         `json:"coverage"`
+	Vectors     int             `json:"vectors"`
+	Phases      atpg.PhaseTimes `json:"phases"`
+	SATTimeNS   int64           `json:"sat_time_ns"`
+	WallNS      int64           `json:"wall_ns"`
+	SolverStats sat.Stats       `json:"solver_totals"`
+	Interrupted bool            `json:"interrupted,omitempty"`
+}
+
+type faultCountsJSON struct {
+	Total      int `json:"total"`
+	Detected   int `json:"detected"`
+	Untestable int `json:"untestable"`
+	Aborted    int `json:"aborted"`
+	Dropped    int `json:"dropped_by_sim"`
+}
+
+const summarySchema = "atpgeasy/run-summary/v1"
+
+func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time.Duration, interrupted bool) runSummaryJSON {
+	return runSummaryJSON{
+		Schema:  summarySchema,
+		Circuit: sum.Circuit,
+		Solver:  solver,
+		Workers: workers,
+		BudgetNS: func() int64 {
+			if budget > 0 {
+				return budget.Nanoseconds()
+			}
+			return 0
+		}(),
+		Faults: faultCountsJSON{
+			Total:      sum.Total,
+			Detected:   sum.Detected,
+			Untestable: sum.Untestable,
+			Aborted:    sum.Aborted,
+			Dropped:    sum.DroppedByFaultSim,
+		},
+		Coverage:    sum.Coverage(),
+		Vectors:     len(sum.Vectors),
+		Phases:      sum.Phases,
+		SATTimeNS:   sum.Elapsed.Nanoseconds(),
+		WallNS:      sum.WallElapsed.Nanoseconds(),
+		SolverStats: sum.SolverTotals,
+		Interrupted: interrupted,
 	}
 }
 
@@ -208,7 +360,7 @@ func generate(name string) (*logic.Circuit, error) {
 
 // dumpDIMACS writes one DIMACS CNF file per (collapsed) fault — the raw
 // ATPG-SAT instances, for use with external SAT solvers.
-func dumpDIMACS(c *logic.Circuit, dir string, collapse bool) error {
+func dumpDIMACS(c *logic.Circuit, dir string, collapse bool, info io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -243,7 +395,7 @@ func dumpDIMACS(c *logic.Circuit, dir string, collapse bool) error {
 		}
 		n++
 	}
-	fmt.Printf("wrote %d DIMACS instances to %s\n", n, dir)
+	fmt.Fprintf(info, "wrote %d DIMACS instances to %s\n", n, dir)
 	return nil
 }
 

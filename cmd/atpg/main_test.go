@@ -1,11 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/bench"
+	"atpgeasy/internal/sat"
 )
 
 func TestGenerate(t *testing.T) {
@@ -71,5 +76,113 @@ func TestLoadCircuit(t *testing.T) {
 	}
 	if _, err := loadCircuit("/nonexistent.bench", "", ""); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildJSONSummary(t *testing.T) {
+	sum := &atpg.Summary{
+		Circuit:           "c",
+		Total:             10,
+		Detected:          6,
+		Untestable:        1,
+		Aborted:           1,
+		DroppedByFaultSim: 2,
+		Vectors:           make([][]bool, 6),
+		Elapsed:           3 * time.Millisecond,
+		WallElapsed:       2 * time.Millisecond,
+		Phases: atpg.PhaseTimes{
+			Build:    time.Millisecond,
+			Solve:    3 * time.Millisecond,
+			FaultSim: 500 * time.Microsecond,
+		},
+		SolverTotals: sat.Stats{Nodes: 42, Decisions: 7},
+	}
+	doc := buildJSONSummary(sum, "dpll", 4, 100*time.Millisecond, false)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The documented schema: decode into a free-form map and check the
+	// stable field names a scripting consumer would rely on.
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != summarySchema {
+		t.Errorf("schema = %v", m["schema"])
+	}
+	faults, ok := m["faults"].(map[string]any)
+	if !ok {
+		t.Fatalf("faults = %T", m["faults"])
+	}
+	for field, want := range map[string]float64{
+		"total": 10, "detected": 6, "untestable": 1, "aborted": 1, "dropped_by_sim": 2,
+	} {
+		if faults[field] != want {
+			t.Errorf("faults.%s = %v, want %v", field, faults[field], want)
+		}
+	}
+	phases, ok := m["phases"].(map[string]any)
+	if !ok {
+		t.Fatalf("phases = %T", m["phases"])
+	}
+	if phases["build_ns"] != 1e6 || phases["solve_ns"] != 3e6 || phases["faultsim_ns"] != 5e5 {
+		t.Errorf("phases = %v", phases)
+	}
+	if m["sat_time_ns"] != 3e6 || m["wall_ns"] != 2e6 {
+		t.Errorf("times = %v / %v", m["sat_time_ns"], m["wall_ns"])
+	}
+	if m["budget_ns"] != 1e8 {
+		t.Errorf("budget_ns = %v", m["budget_ns"])
+	}
+	if m["coverage"] != float64(sum.Coverage()) {
+		t.Errorf("coverage = %v", m["coverage"])
+	}
+	st, ok := m["solver_totals"].(map[string]any)
+	if !ok || st["nodes"] != float64(42) {
+		t.Errorf("solver_totals = %v", m["solver_totals"])
+	}
+	if _, present := m["interrupted"]; present {
+		t.Error("interrupted should be omitted when false")
+	}
+	if !strings.Contains(string(raw), `"workers":4`) {
+		t.Errorf("workers missing: %s", raw)
+	}
+}
+
+// TestSetupTelemetry: the flag wiring must produce a working telemetry
+// bundle — a reachable metrics server, a trace file, a progress callback —
+// and a close function that flushes everything.
+func TestSetupTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	tel, closeTel, err := setupTelemetry("127.0.0.1:0", tracePath, time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Metrics == nil || tel.Trace == nil || tel.OnProgress == nil {
+		t.Fatalf("incomplete telemetry: %+v", tel)
+	}
+	if err := tel.Trace.Emit(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeTel(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"x":1`) {
+		t.Errorf("trace file = %q", data)
+	}
+
+	// All flags off: no telemetry, close is a no-op.
+	tel, closeTel, err = setupTelemetry("", "", 0, 2)
+	if err != nil || tel != nil {
+		t.Fatalf("tel = %v, err = %v", tel, err)
+	}
+	if err := closeTel(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atpgeasy/internal/faultsim"
 	"atpgeasy/internal/logic"
+	"atpgeasy/internal/obs"
 	"atpgeasy/internal/sat"
 )
 
@@ -47,6 +49,9 @@ type Result struct {
 	Clauses int
 	// Elapsed is the SAT-solving wall time, Figure 1's y-axis.
 	Elapsed time.Duration
+	// BuildElapsed is the instance-construction wall time (miter + CNF
+	// encoding) preceding the solve.
+	BuildElapsed time.Duration
 	// SolverStats carries the solver's search counters.
 	SolverStats sat.Stats
 }
@@ -104,9 +109,11 @@ func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
 // cancellation surfaces as Status Aborted.
 func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, error) {
 	res := Result{Fault: f}
+	buildStart := time.Now()
 	m, err := NewMiter(c, f)
 	if err == ErrUnobservable {
 		res.Status = Untestable
+		res.BuildElapsed = time.Since(buildStart)
 		return res, nil
 	}
 	if err != nil {
@@ -118,6 +125,7 @@ func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, e
 	}
 	res.Vars = formula.NumVars
 	res.Clauses = formula.NumClauses()
+	res.BuildElapsed = time.Since(buildStart)
 	start := time.Now()
 	sol := e.solverFor(lim).Solve(formula)
 	res.Elapsed = time.Since(start)
@@ -160,6 +168,22 @@ type Summary struct {
 	Elapsed time.Duration
 	// WallElapsed is the wall-clock duration of the whole run.
 	WallElapsed time.Duration
+	// Phases breaks the run's work down by pipeline phase (summed over
+	// faults and workers, so each phase can exceed wall time in parallel).
+	Phases PhaseTimes
+	// SolverTotals merges the per-fault solver statistics of every fault
+	// that reached the solver.
+	SolverTotals sat.Stats
+}
+
+// PhaseTimes is the per-phase work breakdown of a run.
+type PhaseTimes struct {
+	// Build is miter construction + CNF encoding time.
+	Build time.Duration `json:"build_ns"`
+	// Solve is SAT search time (equals Summary.Elapsed).
+	Solve time.Duration `json:"solve_ns"`
+	// FaultSim is the time spent batch-simulating vectors to drop faults.
+	FaultSim time.Duration `json:"faultsim_ns"`
 }
 
 // Coverage returns detected/(total-untestable): fault coverage over
@@ -184,6 +208,10 @@ type RunOptions struct {
 	// stalling the run. Requires a solver implementing sat.LimitedSolver
 	// (all three built-ins do).
 	PerFaultBudget time.Duration
+	// Telemetry, when non-nil, streams metrics, per-fault trace events and
+	// periodic progress snapshots out of the run. Nil disables all
+	// instrumentation at the cost of one pointer check per fault.
+	Telemetry *Telemetry
 }
 
 // dropBatch is the pending-vector count that triggers a fault-simulation
@@ -220,24 +248,36 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	st := &runState{
 		c:       c,
 		opt:     opt,
+		start:   start,
 		faults:  faults,
 		results: make([]*Result, len(faults)),
 		dropped: make([]bool, len(faults)),
 	}
+	workers := e.workers()
+	tel := opt.Telemetry
+	tel.begin(len(faults), workers)
+	rep := obs.StartReporter(telProgressEvery(tel), func() {
+		tel.observeProgress(st.progress())
+	})
 	var wg sync.WaitGroup
-	for w := e.workers(); w > 0; w-- {
+	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := e.runWorker(runCtx, st); err != nil {
+			if err := e.runWorker(runCtx, st, w); err != nil {
 				st.setErr(err)
 				cancel()
 			}
 		}()
 	}
 	wg.Wait()
+	rep.Stop()
 	if st.err != nil {
 		return nil, st.err
+	}
+	if tel != nil {
+		tel.observeProgress(st.progress()) // final snapshot: the 100% line
 	}
 
 	// Assemble deterministically: slot order is fault-list order.
@@ -248,6 +288,8 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		}
 		sum.Results = append(sum.Results, *r)
 		sum.Elapsed += r.Elapsed
+		sum.Phases.Build += r.BuildElapsed
+		sum.SolverTotals.Add(r.SolverStats)
 		switch r.Status {
 		case Detected:
 			sum.Detected++
@@ -258,23 +300,59 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 			sum.Aborted++
 		}
 	}
+	sum.Phases.Solve = sum.Elapsed
+	sum.Phases.FaultSim = time.Duration(st.simNS.Load())
 	sum.WallElapsed = time.Since(start)
 	return sum, ctx.Err()
+}
+
+// telProgressEvery returns the progress period of a (possibly nil)
+// telemetry configuration; 0 disables the reporter.
+func telProgressEvery(t *Telemetry) time.Duration {
+	if t == nil || t.OnProgress == nil {
+		return 0
+	}
+	return t.ProgressEvery
 }
 
 // runState is the state shared by the fault workers of one RunFaults call.
 type runState struct {
 	c      *logic.Circuit
 	opt    RunOptions
+	start  time.Time
 	faults []Fault
 
 	mu           sync.Mutex
-	next         int       // dispatch cursor; slots below it are claimed or dropped
-	dropped      []bool    // marked by fault-simulation flushes
+	next         int    // dispatch cursor; slots below it are claimed or dropped
+	dropped      []bool // marked by fault-simulation flushes
 	droppedCount int
 	results      []*Result // one slot per fault, filled on completion
 	pending      [][]bool  // vectors not yet batch-simulated
 	err          error
+	// Running verdict tallies for progress snapshots (kept under mu; the
+	// authoritative counts are recomputed from results at assembly time).
+	done, det, unt, abt int
+
+	// simNS accumulates fault-simulation flush time (atomic: flushes run
+	// outside the lock).
+	simNS atomic.Int64
+}
+
+// progress snapshots the run under the lock.
+func (st *runState) progress() Progress {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Progress{
+		Circuit:    st.c.Name,
+		Done:       st.done + st.droppedCount,
+		Total:      len(st.faults),
+		Detected:   st.det,
+		Untestable: st.unt,
+		Aborted:    st.abt,
+		Dropped:    st.droppedCount,
+		Vectors:    st.det,
+		Elapsed:    time.Since(st.start),
+	}
 }
 
 func (st *runState) setErr(err error) {
@@ -286,8 +364,10 @@ func (st *runState) setErr(err error) {
 }
 
 // runWorker claims and solves faults until the list is exhausted or the
-// context is cancelled.
-func (e *Engine) runWorker(ctx context.Context, st *runState) error {
+// context is cancelled. worker is the pool index, used to shard telemetry
+// counters and label trace events.
+func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error {
+	tel := st.opt.Telemetry
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -319,6 +399,15 @@ func (e *Engine) runWorker(ctx context.Context, st *runState) error {
 		var batch [][]bool
 		st.mu.Lock()
 		st.results[i] = &res
+		st.done++
+		switch res.Status {
+		case Detected:
+			st.det++
+		case Untestable:
+			st.unt++
+		case Aborted:
+			st.abt++
+		}
 		if res.Status == Detected && st.opt.DropDetected {
 			st.pending = append(st.pending, res.Vector)
 			if len(st.pending) >= dropBatch {
@@ -326,8 +415,11 @@ func (e *Engine) runWorker(ctx context.Context, st *runState) error {
 			}
 		}
 		st.mu.Unlock()
+		if tel != nil {
+			tel.observeFault(worker, st.faults[i].Name(st.c), &res, time.Since(st.start))
+		}
 		if batch != nil {
-			if err := st.flush(batch); err != nil {
+			if err := st.flush(batch, worker); err != nil {
 				return err
 			}
 		}
@@ -339,7 +431,8 @@ func (e *Engine) runWorker(ctx context.Context, st *runState) error {
 // a simulator owned by the flushing worker; only the final marking needs
 // the lock, re-checking that each hit is still unclaimed so a fault being
 // solved concurrently is never double-counted.
-func (st *runState) flush(batch [][]bool) error {
+func (st *runState) flush(batch [][]bool, worker int) error {
+	simStart := time.Now()
 	words, err := faultsim.PackPatterns(st.c, batch)
 	if err != nil {
 		return err
@@ -361,13 +454,23 @@ func (st *runState) flush(batch [][]bool) error {
 			hits = append(hits, j)
 		}
 	}
+	tel := st.opt.Telemetry
+	var droppedNames []string
 	st.mu.Lock()
 	for _, j := range hits {
 		if j >= st.next && !st.dropped[j] {
 			st.dropped[j] = true
 			st.droppedCount++
+			if tel != nil {
+				droppedNames = append(droppedNames, st.faults[j].Name(st.c))
+			}
 		}
 	}
 	st.mu.Unlock()
+	simTime := time.Since(simStart)
+	st.simNS.Add(simTime.Nanoseconds())
+	if tel != nil {
+		tel.observeFlush(worker, len(batch), droppedNames, simTime, time.Since(st.start))
+	}
 	return nil
 }

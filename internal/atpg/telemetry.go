@@ -1,0 +1,247 @@
+package atpg
+
+import (
+	"fmt"
+	"time"
+
+	"atpgeasy/internal/obs"
+	"atpgeasy/internal/sat"
+)
+
+// Telemetry bundles the observability sinks of one engine run. Every
+// field is optional; a nil *Telemetry (the default) disables all
+// instrumentation, leaving only a nil check on the per-fault path.
+type Telemetry struct {
+	// Metrics receives atomic counter/gauge/histogram updates; build one
+	// over an obs.Registry with NewMetrics.
+	Metrics *Metrics
+	// Trace receives one structured TraceEvent per fault (solved or
+	// dropped) plus one per fault-simulation flush.
+	Trace *obs.Trace
+	// ProgressEvery, when positive together with OnProgress, invokes
+	// OnProgress with a run snapshot on that period. Regardless of the
+	// period, OnProgress (if set) is called once more when the run ends.
+	ProgressEvery time.Duration
+	OnProgress    func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running RunFaults call.
+type Progress struct {
+	Circuit string
+	// Done counts faults with a verdict: solved (detected, untestable or
+	// aborted) plus dropped-by-simulation.
+	Done, Total                            int
+	Detected, Untestable, Aborted, Dropped int
+	Vectors                                int
+	Elapsed                                time.Duration
+}
+
+// Coverage returns the running fault coverage over testable faults,
+// counting dropped faults as covered.
+func (p Progress) Coverage() float64 {
+	testable := p.Total - p.Untestable
+	if testable == 0 {
+		return 1
+	}
+	return float64(p.Detected+p.Dropped) / float64(testable)
+}
+
+// ETA linearly extrapolates the remaining wall time from the rate so far;
+// zero until at least one fault is done.
+func (p Progress) ETA() time.Duration {
+	if p.Done == 0 || p.Done >= p.Total {
+		return 0
+	}
+	per := float64(p.Elapsed) / float64(p.Done)
+	return time.Duration(per * float64(p.Total-p.Done)).Round(time.Millisecond)
+}
+
+// String renders the standard one-line progress report.
+func (p Progress) String() string {
+	return fmt.Sprintf("%d/%d faults (%.1f%%)  detected %d  dropped %d  untestable %d  aborted %d  coverage %.1f%%  elapsed %v  eta %v",
+		p.Done, p.Total, 100*float64(p.Done)/float64(max(p.Total, 1)),
+		p.Detected, p.Dropped, p.Untestable, p.Aborted,
+		100*p.Coverage(), p.Elapsed.Round(time.Millisecond), p.ETA())
+}
+
+// Metrics is the engine's metric set over an obs.Registry. Counters are
+// updated once per fault verdict (never inside the solver's search loop),
+// with the solver work counters sharded per worker so parallel runs never
+// contend on a cache line.
+type Metrics struct {
+	FaultsTotal *obs.Gauge // faults in the current run
+	Workers     *obs.Gauge
+
+	FaultsDone       *obs.Counter
+	FaultsDetected   *obs.Counter
+	FaultsUntestable *obs.Counter
+	FaultsAborted    *obs.Counter
+	FaultsDropped    *obs.Counter
+	Vectors          *obs.Counter
+
+	PhaseBuildNS    *obs.Counter
+	PhaseSolveNS    *obs.Counter
+	PhaseFaultSimNS *obs.Counter
+
+	SolverNodes        *obs.ShardedCounter
+	SolverDecisions    *obs.ShardedCounter
+	SolverPropagations *obs.ShardedCounter
+	SolverConflicts    *obs.ShardedCounter
+	SolverCacheHits    *obs.ShardedCounter
+
+	HistSolveNS         *obs.Histogram
+	HistSolverNodes     *obs.Histogram
+	HistCacheHitPermill *obs.Histogram
+
+	CoveragePermille *obs.Gauge
+}
+
+// NewMetrics registers the engine metric set (prefix atpg_) on reg and
+// returns it. shards is the expected worker count for the sharded solver
+// counters (0 = 1).
+func NewMetrics(reg *obs.Registry, shards int) *Metrics {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Metrics{
+		FaultsTotal: reg.Gauge("atpg_faults", "faults in the current run"),
+		Workers:     reg.Gauge("atpg_workers", "parallel fault workers"),
+
+		FaultsDone:       reg.Counter("atpg_faults_done_total", "faults with a verdict (solved or dropped)"),
+		FaultsDetected:   reg.Counter("atpg_faults_detected_total", "faults with a generated test vector"),
+		FaultsUntestable: reg.Counter("atpg_faults_untestable_total", "faults proved untestable"),
+		FaultsAborted:    reg.Counter("atpg_faults_aborted_total", "faults aborted on a resource limit"),
+		FaultsDropped:    reg.Counter("atpg_faults_dropped_total", "faults dropped by fault simulation"),
+		Vectors:          reg.Counter("atpg_vectors_total", "test vectors generated"),
+
+		PhaseBuildNS:    reg.Counter("atpg_phase_build_ns_total", "miter construction + CNF encoding time"),
+		PhaseSolveNS:    reg.Counter("atpg_phase_solve_ns_total", "SAT solving time"),
+		PhaseFaultSimNS: reg.Counter("atpg_phase_faultsim_ns_total", "fault-simulation flush time"),
+
+		SolverNodes:        reg.ShardedCounter("atpg_solver_nodes_total", "backtracking nodes visited", shards),
+		SolverDecisions:    reg.ShardedCounter("atpg_solver_decisions_total", "solver decisions", shards),
+		SolverPropagations: reg.ShardedCounter("atpg_solver_propagations_total", "unit propagations", shards),
+		SolverConflicts:    reg.ShardedCounter("atpg_solver_conflicts_total", "solver conflicts", shards),
+		SolverCacheHits:    reg.ShardedCounter("atpg_solver_cache_hits_total", "sub-formula cache hits", shards),
+
+		HistSolveNS:         reg.Histogram("atpg_fault_solve_ns", "per-fault SAT solve time (log2 ns buckets)"),
+		HistSolverNodes:     reg.Histogram("atpg_fault_solver_nodes", "per-fault solver nodes (log2 buckets)"),
+		HistCacheHitPermill: reg.Histogram("atpg_fault_cache_hit_permille", "per-fault cache hits per 1000 nodes"),
+
+		CoveragePermille: reg.Gauge("atpg_coverage_permille", "running fault coverage over testable faults, ‰"),
+	}
+}
+
+// TraceEvent is one line of the per-fault JSONL trace. Kind is "fault"
+// for a per-fault verdict (solved or dropped) and "faultsim" for one
+// fault-simulation flush.
+type TraceEvent struct {
+	Kind   string `json:"kind"`
+	TimeNS int64  `json:"t_ns"` // wall time since the run started
+	Worker int    `json:"worker"`
+
+	// Fault verdict fields (Kind == "fault").
+	Fault   string     `json:"fault,omitempty"`
+	Status  string     `json:"status,omitempty"` // detected|untestable|aborted|dropped
+	Vars    int        `json:"vars,omitempty"`
+	Clauses int        `json:"clauses,omitempty"`
+	BuildNS int64      `json:"build_ns,omitempty"`
+	SolveNS int64      `json:"solve_ns,omitempty"`
+	Solver  *sat.Stats `json:"solver,omitempty"`
+
+	// Flush fields (Kind == "faultsim").
+	Batch   int   `json:"batch,omitempty"`   // vectors simulated
+	Dropped int   `json:"dropped,omitempty"` // faults newly dropped
+	SimNS   int64 `json:"sim_ns,omitempty"`
+}
+
+// begin records the run shape at start time.
+func (t *Telemetry) begin(total, workers int) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.FaultsTotal.Set(int64(total))
+	t.Metrics.Workers.Set(int64(workers))
+}
+
+// observeFault records one solved fault's verdict, phase timings and
+// solver statistics into the metric set and the trace.
+func (t *Telemetry) observeFault(worker int, name string, res *Result, sinceStart time.Duration) {
+	if t == nil {
+		return
+	}
+	if m := t.Metrics; m != nil {
+		m.FaultsDone.Inc()
+		switch res.Status {
+		case Detected:
+			m.FaultsDetected.Inc()
+			m.Vectors.Inc()
+		case Untestable:
+			m.FaultsUntestable.Inc()
+		case Aborted:
+			m.FaultsAborted.Inc()
+		}
+		m.PhaseBuildNS.Add(res.BuildElapsed.Nanoseconds())
+		m.PhaseSolveNS.Add(res.Elapsed.Nanoseconds())
+		st := res.SolverStats
+		m.SolverNodes.Add(worker, st.Nodes)
+		m.SolverDecisions.Add(worker, st.Decisions)
+		m.SolverPropagations.Add(worker, st.Propagations)
+		m.SolverConflicts.Add(worker, st.Conflicts)
+		m.SolverCacheHits.Add(worker, st.CacheHits)
+		m.HistSolveNS.Observe(res.Elapsed.Nanoseconds())
+		m.HistSolverNodes.Observe(st.Nodes)
+		if st.Nodes > 0 {
+			m.HistCacheHitPermill.Observe(1000 * st.CacheHits / st.Nodes)
+		}
+	}
+	if t.Trace != nil {
+		st := res.SolverStats
+		_ = t.Trace.Emit(TraceEvent{
+			Kind: "fault", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
+			Fault: name, Status: res.Status.String(),
+			Vars: res.Vars, Clauses: res.Clauses,
+			BuildNS: res.BuildElapsed.Nanoseconds(), SolveNS: res.Elapsed.Nanoseconds(),
+			Solver: &st,
+		})
+	}
+}
+
+// observeFlush records one fault-simulation flush and the faults it
+// dropped.
+func (t *Telemetry) observeFlush(worker, batch int, droppedNames []string, simTime, sinceStart time.Duration) {
+	if t == nil {
+		return
+	}
+	if m := t.Metrics; m != nil {
+		m.FaultsDone.Add(int64(len(droppedNames)))
+		m.FaultsDropped.Add(int64(len(droppedNames)))
+		m.PhaseFaultSimNS.Add(simTime.Nanoseconds())
+	}
+	if t.Trace != nil {
+		_ = t.Trace.Emit(TraceEvent{
+			Kind: "faultsim", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
+			Batch: batch, Dropped: len(droppedNames), SimNS: simTime.Nanoseconds(),
+		})
+		for _, name := range droppedNames {
+			_ = t.Trace.Emit(TraceEvent{
+				Kind: "fault", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
+				Fault: name, Status: "dropped",
+			})
+		}
+	}
+}
+
+// observeProgress pushes a snapshot to the progress callback and the
+// coverage gauge.
+func (t *Telemetry) observeProgress(p Progress) {
+	if t == nil {
+		return
+	}
+	if t.Metrics != nil {
+		t.Metrics.CoveragePermille.Set(int64(1000 * p.Coverage()))
+	}
+	if t.OnProgress != nil {
+		t.OnProgress(p)
+	}
+}

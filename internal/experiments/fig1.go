@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 
 	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/fit"
+	"atpgeasy/internal/obs"
 	"atpgeasy/internal/sat"
 	"atpgeasy/internal/stats"
 )
@@ -40,6 +42,12 @@ type Figure1Result struct {
 	FracUnder1ms  float64
 	P50, P90, P99 time.Duration
 	MaxVars       int
+	// TimeHist is the log2-bucketed distribution of per-fault solve times
+	// (nanoseconds) — the same histogram the engine exports live on
+	// /metrics as atpg_fault_solve_ns, and the distribution shape that the
+	// Section 3.3 average-time parameterization argues over: almost all
+	// mass in the fast buckets with a thin polynomial tail.
+	TimeHist obs.HistogramSnapshot
 	// Fits are the time-vs-vars least-squares fits, best first; the
 	// power-fit exponent is the analogue of the paper's "roughly cubic"
 	// tail remark.
@@ -52,6 +60,7 @@ type Figure1Result struct {
 func Figure1(cfg Config) (*Figure1Result, error) {
 	res := &Figure1Result{}
 	eng := &atpg.Engine{Solver: &sat.DPLL{}, VerifyTests: true}
+	hist := obs.NewHistogram()
 	for _, suiteName := range []string{SuiteMCNC, SuiteISCAS} {
 		ncs, err := suite(suiteName, cfg)
 		if err != nil {
@@ -81,6 +90,7 @@ func Figure1(cfg Config) (*Figure1Result, error) {
 				if r.Vars == 0 {
 					continue // trivially untestable, no SAT instance built
 				}
+				hist.Observe(r.Elapsed.Nanoseconds())
 				res.Points = append(res.Points, Figure1Point{
 					Circuit: nc.Role,
 					Fault:   f.Name(nc.C),
@@ -110,6 +120,7 @@ func Figure1(cfg Config) (*Figure1Result, error) {
 	res.P90 = time.Duration(stats.Percentile(times, 90))
 	res.P99 = time.Duration(stats.Percentile(times, 99))
 	res.Fits = fit.Best(xs, times)
+	res.TimeHist = hist.Snapshot()
 	return res, nil
 }
 
@@ -122,6 +133,21 @@ func (r *Figure1Result) Render(w io.Writer) error {
 	fmt.Fprintf(w, "solved under 10 ms: %.1f%%   under 1 ms: %.1f%%   (paper: >90%% under 10 ms)\n",
 		100*r.FracUnder10ms, 100*r.FracUnder1ms)
 	fmt.Fprintf(w, "time percentiles: p50 %v  p90 %v  p99 %v\n", r.P50, r.P90, r.P99)
+	if r.TimeHist.Count > 0 {
+		fmt.Fprintf(w, "solve-time histogram (log2 ns buckets; mean %v, hist p50 %v, hist p99 %v):\n",
+			time.Duration(r.TimeHist.Mean()),
+			time.Duration(r.TimeHist.Quantile(0.50)),
+			time.Duration(r.TimeHist.Quantile(0.99)))
+		for _, b := range r.TimeHist.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			frac := float64(b.Count) / float64(r.TimeHist.Count)
+			fmt.Fprintf(w, "  ≤ %10v  %6d  %5.1f%%  %s\n",
+				time.Duration(b.Le), b.Count, 100*frac,
+				strings.Repeat("#", 1+int(40*frac)))
+		}
+	}
 	fmt.Fprintln(w, "time-vs-vars fits (best first; the paper's tail grows ~cubically in instance size):")
 	for _, c := range r.Fits {
 		fmt.Fprintf(w, "  %s\n", c.String())

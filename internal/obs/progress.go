@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Reporter invokes a callback on a fixed period — the clockwork behind
+// live progress lines. Stop is synchronous: once it returns, the callback
+// will not run again, so callers may tear down what it reads.
+type Reporter struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter calls fn every interval until Stop. A non-positive
+// interval returns an inert reporter (Stop is still safe to call).
+func StartReporter(every time.Duration, fn func()) *Reporter {
+	r := &Reporter{stop: make(chan struct{}), done: make(chan struct{})}
+	if every <= 0 || fn == nil {
+		close(r.done)
+		return r
+	}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the reporter and waits for any in-flight callback to finish.
+// It is idempotent and safe to call from multiple goroutines.
+func (r *Reporter) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

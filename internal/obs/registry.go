@@ -1,0 +1,317 @@
+// Package obs is the telemetry subsystem of the ATPG engine: an atomic
+// counter/gauge/histogram registry with Prometheus-text exposition, a
+// structured JSONL event trace, a periodic progress reporter, and an HTTP
+// server exposing /metrics, /debug/vars and net/http/pprof.
+//
+// The package is deliberately generic — it knows nothing about circuits,
+// faults or solvers — so every layer (engine, experiments, CLI) can
+// instrument itself without import cycles. All metric types are safe for
+// concurrent use; the hot-path cost of an update is one atomic add.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// shardCell pads each shard to its own cache line so concurrent workers
+// never contend on adjacent counters (false sharing).
+type shardCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter is a counter split across per-worker cells: each worker
+// adds to its own cache line and readers sum on demand. Use it for
+// counters updated from many goroutines on a hot path.
+type ShardedCounter struct{ cells []shardCell }
+
+// NewShardedCounter returns a counter with n shards (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{cells: make([]shardCell, n)}
+}
+
+// Add increments the shard-th cell by n. Any shard index is valid; it is
+// reduced modulo the shard count.
+func (c *ShardedCounter) Add(shard int, n int64) {
+	if shard < 0 {
+		shard = -shard
+	}
+	c.cells[shard%len(c.cells)].v.Add(n)
+}
+
+// Value sums all shards.
+func (c *ShardedCounter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// histBuckets is the bucket count of a log2 histogram: bucket 0 holds
+// values ≤ 0, bucket i (1..64) holds values in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a log2-bucketed histogram of int64 observations (typically
+// nanoseconds, node counts, or permille ratios). The geometric buckets
+// cover the full dynamic range of solver behaviour — sub-microsecond easy
+// faults to multi-second tails — with constant memory and one atomic add
+// per observation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an unregistered histogram (usable standalone; use
+// Registry.Histogram to also expose it on /metrics).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v)) // v in [2^(idx-1), 2^idx)
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistBucket is one non-empty bucket of a histogram snapshot.
+type HistBucket struct {
+	// Le is the bucket's inclusive upper bound (2^i − 1 for bucket i).
+	Le int64
+	// Count is the number of observations in this bucket alone.
+	Count int64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to read
+// without synchronization.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets []HistBucket // non-empty buckets in increasing Le order
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: bucketUpper(i), Count: n})
+	}
+	return s
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1<<i - 1
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0..1) from the log buckets; the
+// returned value is the geometric midpoint of the bucket holding the
+// quantile, so it is accurate to within a factor of √2.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			lo := float64(b.Le)/2 + 1
+			if b.Le == 0 {
+				return 0
+			}
+			return int64(math.Sqrt(lo * float64(b.Le)))
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// metric is one registered metric: a name, a help string, a Prometheus
+// type, and render hooks for the two exposition formats.
+type metric struct {
+	name, help, typ string
+	prom            func(w io.Writer) // sample lines (no HELP/TYPE header)
+	value           func() any        // /debug/vars JSON value
+}
+
+// Registry is a set of named metrics rendered to the Prometheus text
+// exposition format and to /debug/vars JSON. Registration is not
+// idempotent: registering a duplicate name panics, as it would silently
+// split a time series.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{names: make(map[string]bool)} }
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(metric{
+		name: name, help: help, typ: "counter",
+		prom:  func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, c.Value()) },
+		value: func() any { return c.Value() },
+	})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(metric{
+		name: name, help: help, typ: "gauge",
+		prom:  func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, g.Value()) },
+		value: func() any { return g.Value() },
+	})
+	return g
+}
+
+// GaugeFunc registers a gauge computed on demand by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(metric{
+		name: name, help: help, typ: "gauge",
+		prom:  func(w io.Writer) { fmt.Fprintf(w, "%s %g\n", name, fn()) },
+		value: func() any { return fn() },
+	})
+}
+
+// ShardedCounter registers and returns a counter with shards cells.
+func (r *Registry) ShardedCounter(name, help string, shards int) *ShardedCounter {
+	c := NewShardedCounter(shards)
+	r.register(metric{
+		name: name, help: help, typ: "counter",
+		prom:  func(w io.Writer) { fmt.Fprintf(w, "%s %d\n", name, c.Value()) },
+		value: func() any { return c.Value() },
+	})
+	return c
+}
+
+// Histogram registers and returns a new log2-bucketed histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := NewHistogram()
+	r.register(metric{
+		name: name, help: help, typ: "histogram",
+		prom: func(w io.Writer) {
+			s := h.Snapshot()
+			var cum int64
+			for _, b := range s.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+			fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		},
+		value: func() any {
+			s := h.Snapshot()
+			return map[string]int64{"count": s.Count, "sum": s.Sum}
+		},
+	})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	bw := bufio.NewWriter(w)
+	for _, m := range ms {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)
+		m.prom(bw)
+	}
+	return bw.Flush()
+}
+
+// Values returns the current value of every metric keyed by name — the
+// payload published under /debug/vars.
+func (r *Registry) Values() map[string]any {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		out[m.name] = m.value()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// published routes the process-global expvar name "atpg_metrics" to the
+// registry most recently passed to Serve, so /debug/vars stays correct
+// across successive runs (and tests) without double-Publish panics.
+var published struct {
+	mu   sync.Mutex
+	reg  *Registry
+	once sync.Once
+}
+
+func publish(reg *Registry) {
+	published.mu.Lock()
+	published.reg = reg
+	published.mu.Unlock()
+	published.once.Do(func() {
+		expvar.Publish("atpg_metrics", expvar.Func(func() any {
+			published.mu.Lock()
+			r := published.reg
+			published.mu.Unlock()
+			if r == nil {
+				return nil
+			}
+			return r.Values()
+		}))
+	})
+}
+
+// Server exposes a registry over HTTP for live inspection of a long ATPG
+// run:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (registry under "atpg_metrics")
+//	/debug/pprof/  the standard net/http/pprof profiles
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (host:port; port 0
+// picks a free port — read the result from Addr). The server runs until
+// Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	publish(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		vars := map[string]any{}
+		expvar.Do(func(kv expvar.KeyValue) {
+			vars[kv.Key] = json.RawMessage(kv.Value.String())
+		})
+		_ = json.NewEncoder(w).Encode(vars)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -48,16 +48,32 @@ func (s Status) String() string {
 
 // Stats counts search work. Not every field is meaningful for every
 // solver: CacheHits/CacheEntries apply to Caching; Conflicts/Learned to
-// DPLL.
+// DPLL. The JSON tags fix the schema of trace events and -json summaries.
 type Stats struct {
-	Nodes        int64 // backtracking nodes visited (Simple/Caching)
-	Decisions    int64
-	Propagations int64
-	Conflicts    int64
-	Learned      int64
-	CacheHits    int64
-	CacheEntries int64
-	MaxDepth     int
+	Nodes        int64 `json:"nodes"` // backtracking nodes visited (Simple/Caching)
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Learned      int64 `json:"learned"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheEntries int64 `json:"cache_entries"`
+	MaxDepth     int   `json:"max_depth"`
+}
+
+// Add accumulates o into s field-wise; MaxDepth takes the maximum. It is
+// the snapshot-merge used to aggregate per-fault solver work into
+// run-level totals (Summary.SolverTotals, the /metrics counters).
+func (s *Stats) Add(o Stats) {
+	s.Nodes += o.Nodes
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Conflicts += o.Conflicts
+	s.Learned += o.Learned
+	s.CacheHits += o.CacheHits
+	s.CacheEntries += o.CacheEntries
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
 }
 
 // Solution is the result of a solve call. Model is valid only when Status

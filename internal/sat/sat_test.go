@@ -249,6 +249,32 @@ func TestCancelAborts(t *testing.T) {
 	}
 }
 
+// TestCachingCancelMidSearch: a cancel channel closed while the Caching
+// solver is deep in its search must abort it promptly with Unknown —
+// the cancel-channel analogue of the deadline tests (the engine relies on
+// this path to drain parallel runs). PHP(12,11) takes the caching solver
+// seconds uncancelled, so the 25 ms cancel always lands mid-search.
+func TestCachingCancelMidSearch(t *testing.T) {
+	f := pigeonhole(12, 11)
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	sol := (&Caching{Limits: Limits{Cancel: cancel}}).Solve(f)
+	elapsed := time.Since(start)
+	if sol.Status != Unknown {
+		t.Fatalf("status = %v, want Unknown (cancelled mid-search)", sol.Status)
+	}
+	if sol.Stats.Nodes == 0 {
+		t.Error("solver aborted before searching at all — cancel did not land mid-search")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("abort took %v after a 25ms cancel", elapsed)
+	}
+}
+
 // TestLimitsHonoredPromptly: a short deadline must abort a search that
 // would otherwise run far past it (the check cadence is limitCheck nodes).
 func TestLimitsHonoredPromptly(t *testing.T) {
@@ -446,4 +472,16 @@ func itoa(i int) string {
 		i /= 10
 	}
 	return string(out)
+}
+
+// TestStatsAdd: the snapshot merge must accumulate every counter and take
+// the max depth.
+func TestStatsAdd(t *testing.T) {
+	var s Stats
+	s.Add(Stats{Nodes: 1, Decisions: 2, Propagations: 3, Conflicts: 4, Learned: 5, CacheHits: 6, CacheEntries: 7, MaxDepth: 8})
+	s.Add(Stats{Nodes: 10, Decisions: 20, Propagations: 30, Conflicts: 40, Learned: 50, CacheHits: 60, CacheEntries: 70, MaxDepth: 3})
+	want := Stats{Nodes: 11, Decisions: 22, Propagations: 33, Conflicts: 44, Learned: 55, CacheHits: 66, CacheEntries: 77, MaxDepth: 8}
+	if s != want {
+		t.Errorf("merged stats = %+v, want %+v", s, want)
+	}
 }

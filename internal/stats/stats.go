@@ -71,8 +71,13 @@ type Bin struct {
 
 // BinnedMeans groups the points into nBins equal-width x bins and reports
 // each bin's count, mean y and max y — the summary used to print the
-// Figure 8 scatter trends as a table.
+// Figure 8 scatter trends as a table. It panics if xs and ys differ in
+// length (consistent with Percentile's empty-input panic): a mismatched
+// series is a caller bug that would otherwise silently skew every bin.
 func BinnedMeans(xs, ys []float64, nBins int) []Bin {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: BinnedMeans: %d xs vs %d ys", len(xs), len(ys)))
+	}
 	if len(xs) == 0 || nBins < 1 {
 		return nil
 	}
@@ -115,8 +120,13 @@ func BinnedMeans(xs, ys []float64, nBins int) []Bin {
 }
 
 // Scatter renders an ASCII scatter plot (width×height characters) of the
-// points, with simple linear axes. Density is shown as . : * #.
+// points, with simple linear axes. Density is shown as . : * #. It panics
+// if xs and ys differ in length (consistent with Percentile's empty-input
+// panic); previously a longer xs read past the end of ys.
 func Scatter(xs, ys []float64, width, height int, title string) string {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Scatter: %d xs vs %d ys", len(xs), len(ys)))
+	}
 	if len(xs) == 0 || width < 8 || height < 3 {
 		return title + " (no data)\n"
 	}

@@ -97,3 +97,39 @@ func TestScatter(t *testing.T) {
 		t.Error("density glyph missing")
 	}
 }
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic (want one containing %q)", want)
+			return
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Errorf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestMismatchedLengthsPanic: BinnedMeans and Scatter previously walked
+// xs while indexing ys — a longer xs read out of bounds and a longer ys
+// was silently ignored. Both now panic consistently, like Percentile does
+// on empty input.
+func TestMismatchedLengthsPanic(t *testing.T) {
+	xs3 := []float64{1, 2, 3}
+	ys2 := []float64{1, 2}
+	mustPanic(t, "BinnedMeans", func() { BinnedMeans(xs3, ys2, 2) })
+	mustPanic(t, "BinnedMeans", func() { BinnedMeans(ys2, xs3, 2) })
+	mustPanic(t, "Scatter", func() { Scatter(xs3, ys2, 40, 10, "t") })
+	mustPanic(t, "Scatter", func() { Scatter(ys2, xs3, 40, 10, "t") })
+	// Equal lengths (including both empty) must not panic.
+	if BinnedMeans(nil, nil, 2) != nil {
+		t.Error("BinnedMeans(nil, nil)")
+	}
+	if got := Scatter(nil, nil, 40, 10, "t"); !strings.Contains(got, "no data") {
+		t.Errorf("Scatter(nil, nil) = %q", got)
+	}
+}
