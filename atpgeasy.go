@@ -67,7 +67,7 @@ type (
 	// Summary aggregates a full-circuit ATPG run.
 	Summary = atpg.Summary
 	// RunOptions control a full-circuit ATPG run (collapsing, fault
-	// dropping, per-fault budget).
+	// dropping, per-fault budget, per-worker solver cache limit).
 	RunOptions = atpg.RunOptions
 	// Engine generates tests fault by fault on a configurable worker pool.
 	Engine = atpg.Engine
@@ -75,7 +75,16 @@ type (
 	Formula = cnf.Formula
 	// Solver decides CNF satisfiability.
 	Solver = sat.Solver
+	// SolverStats is the per-solve search counter set (nodes, decisions,
+	// sub-formula cache hits/misses/evictions/bytes, ...); it appears per
+	// fault in TestResult.SolverStats and run-wide in Summary.SolverTotals.
+	SolverStats = sat.Stats
 )
+
+// DefaultCacheLimit is the Caching solver's sub-formula cache bound in
+// bytes when no explicit limit is configured (RunOptions.CacheLimit or
+// Caching.CacheLimit of 0).
+const DefaultCacheLimit = sat.DefaultCacheLimit
 
 // Observability types: attach a Telemetry to RunOptions to get live
 // metrics, a per-fault JSONL trace and periodic progress callbacks out of
@@ -225,8 +234,18 @@ func EncodeCircuitSAT(c *Circuit) (*Formula, error) { return cnf.FromCircuit(c, 
 func NewDPLL() Solver { return &sat.DPLL{} }
 
 // NewCaching returns the paper's Algorithm 1 — caching-based backtracking
-// under the given static variable ordering (nil = index order).
+// under the given static variable ordering (nil = index order). The
+// sub-formula cache is bounded by DefaultCacheLimit; use NewCachingBounded
+// to tune it.
 func NewCaching(order []int) Solver { return &sat.Caching{Order: order} }
+
+// NewCachingBounded is NewCaching with an explicit sub-formula cache
+// memory bound in bytes per solver/worker (0 = DefaultCacheLimit). A full
+// cache evicts least-recently-referenced entries, trading pruning power
+// for flat memory; results are unaffected.
+func NewCachingBounded(order []int, cacheLimit int64) Solver {
+	return &sat.Caching{Order: order, CacheLimit: cacheLimit}
+}
 
 // NewSimple returns plain backtracking under the given static ordering.
 func NewSimple(order []int) Solver { return &sat.Simple{Order: order} }

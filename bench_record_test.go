@@ -20,6 +20,9 @@ type benchRecord struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
 	Workers int     `json:"workers,omitempty"`
+	// AllocsPerOp is filled by benchmarks that measure allocation counts
+	// (the solver-cache and arena A/B benches); 0 means not measured.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 var benchRecords struct {
@@ -32,6 +35,13 @@ var benchRecords struct {
 // the closure several times with growing b.N, and the last (largest-N,
 // most accurate) invocation wins.
 func recordBench(b *testing.B, workers int) {
+	recordBenchAllocs(b, workers, 0)
+}
+
+// recordBenchAllocs is recordBench for benchmarks that also measured an
+// allocation count per operation (via testing.AllocsPerRun, outside the
+// timed loop).
+func recordBenchAllocs(b *testing.B, workers int, allocsPerOp float64) {
 	b.Helper()
 	if b.N == 0 {
 		return
@@ -42,9 +52,10 @@ func recordBench(b *testing.B, workers int) {
 		benchRecords.byName = map[string]benchRecord{}
 	}
 	benchRecords.byName[b.Name()] = benchRecord{
-		Name:    b.Name(),
-		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		Workers: workers,
+		Name:        b.Name(),
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Workers:     workers,
+		AllocsPerOp: allocsPerOp,
 	}
 }
 
@@ -57,6 +68,23 @@ func TestMain(m *testing.M) {
 	}
 	benchRecords.Unlock()
 	if len(recs) > 0 {
+		// Merge with any rows already on disk so a partial -bench run
+		// (e.g. only the solver-cache benches) refreshes its own rows
+		// without discarding the rest of the file.
+		if old, err := os.ReadFile("BENCH_atpg.json"); err == nil {
+			var prev []benchRecord
+			if json.Unmarshal(old, &prev) == nil {
+				fresh := make(map[string]bool, len(recs))
+				for _, r := range recs {
+					fresh[r.Name] = true
+				}
+				for _, r := range prev {
+					if !fresh[r.Name] {
+						recs = append(recs, r)
+					}
+				}
+			}
+		}
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
 		buf, err := json.MarshalIndent(recs, "", "  ")
 		if err == nil {

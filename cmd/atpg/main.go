@@ -7,7 +7,7 @@
 //
 //	atpg -bench FILE | -blif FILE | -gen NAME
 //	     [-collapse] [-drop] [-solver dpll|caching|simple]
-//	     [-j WORKERS] [-budget DURATION]
+//	     [-j WORKERS] [-budget DURATION] [-cache-limit BYTES]
 //	     [-metrics-addr ADDR] [-trace FILE] [-progress DUR] [-json]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
@@ -17,7 +17,8 @@
 //
 // Faults are dispatched to -j parallel workers (default: GOMAXPROCS);
 // -budget bounds the SAT time per fault, reporting over-budget faults as
-// aborted instead of stalling the run. Interrupting the run (SIGINT or
+// aborted instead of stalling the run; -cache-limit bounds the caching
+// solver's sub-formula table per worker (bytes, 0 = the 64 MiB default). Interrupting the run (SIGINT or
 // SIGTERM) drains the workers and prints the partial results.
 //
 // Observability: -metrics-addr serves Prometheus-text /metrics,
@@ -68,6 +69,7 @@ func main() {
 	solver := flag.String("solver", "dpll", "SAT engine: dpll, caching or simple")
 	workers := flag.Int("j", 0, "parallel fault workers (0 = GOMAXPROCS)")
 	budget := flag.Duration("budget", 0, "per-fault SAT time budget (0 = none); over-budget faults abort")
+	cacheLimit := flag.Int64("cache-limit", 0, "caching solver's sub-formula cache bound per worker, in bytes (0 = 64 MiB default)")
 	decompose := flag.Bool("decompose", true, "tech-decompose to ≤3-input AND/OR first (as TEGUS requires)")
 	vectors := flag.Bool("vectors", false, "print the generated test vectors")
 	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
@@ -101,7 +103,7 @@ func main() {
 	case "dpll":
 		eng.Solver = &sat.DPLL{MaxConflicts: dpllMaxConflicts}
 	case "caching":
-		eng.Solver = &sat.Caching{MaxNodes: 50_000_000}
+		eng.Solver = &sat.Caching{MaxNodes: 50_000_000, CacheLimit: *cacheLimit}
 	case "simple":
 		eng.Solver = &sat.Simple{MaxNodes: 50_000_000}
 	default:
@@ -129,6 +131,7 @@ func main() {
 		DropDetected:   *drop,
 		PerFaultBudget: *budget,
 		Telemetry:      tel,
+		CacheLimit:     *cacheLimit,
 	})
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"atpgeasy/internal/cnf"
 	"atpgeasy/internal/faultsim"
 	"atpgeasy/internal/logic"
 	"atpgeasy/internal/obs"
@@ -71,6 +72,35 @@ type Engine struct {
 	// Workers is the number of concurrent fault workers used by Run and
 	// RunFaults; 0 means runtime.GOMAXPROCS(0), 1 forces the serial path.
 	Workers int
+	// DisableScratchReuse turns off the per-worker arenas: solver scratch,
+	// CNF encode buffers and fault-simulation buffers are then allocated
+	// fresh per fault, as in the pre-arena engine. Verdicts and test
+	// vectors are identical either way — the sub-formula cache only prunes
+	// UNSAT subtrees, so it can never change which model a search finds
+	// first — but node counts may shift slightly because a reused cache
+	// table keeps its grown capacity across faults and therefore evicts
+	// less. The switch exists for A/B benchmarking and bisection.
+	DisableScratchReuse bool
+}
+
+// workerScratch is one worker's allocation arena. A worker processes
+// thousands of faults serially, so the solver's search buffers, the CNF
+// encoder's clause slab and the fault-simulation pack/simulate buffers
+// are reused across them instead of being reallocated per fault.
+type workerScratch struct {
+	arena *sat.Arena
+	enc   *cnf.Encoder
+	pack  []uint64
+	sim   *faultsim.Simulator
+}
+
+// newScratch returns a fresh per-worker scratch, or nil when reuse is
+// disabled (nil scratch selects the allocate-per-fault paths everywhere).
+func (e *Engine) newScratch() *workerScratch {
+	if e.DisableScratchReuse {
+		return nil
+	}
+	return &workerScratch{arena: sat.NewArena(), enc: new(cnf.Encoder)}
 }
 
 func (e *Engine) solver() sat.Solver {
@@ -81,9 +111,18 @@ func (e *Engine) solver() sat.Solver {
 }
 
 // solverFor specializes the engine's solver configuration with per-call
-// limits. Solvers that don't implement sat.LimitedSolver run unlimited.
-func (e *Engine) solverFor(lim sat.Limits) sat.Solver {
+// limits and an optional sub-formula cache budget. Solvers that don't
+// implement sat.LimitedSolver run unlimited; cacheLimit only applies to
+// *sat.Caching.
+func (e *Engine) solverFor(lim sat.Limits, cacheLimit int64) sat.Solver {
 	s := e.solver()
+	if cacheLimit > 0 {
+		if cs, ok := s.(*sat.Caching); ok {
+			cp := *cs
+			cp.CacheLimit = cacheLimit
+			s = &cp
+		}
+	}
 	if lim.IsZero() {
 		return s
 	}
@@ -102,12 +141,13 @@ func (e *Engine) workers() int {
 
 // TestFault runs SAT-based test generation for one fault.
 func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
-	return e.testFault(c, f, sat.Limits{})
+	return e.testFault(c, f, sat.Limits{}, nil, 0)
 }
 
-// testFault is TestFault under per-call solver limits: a deadline or
-// cancellation surfaces as Status Aborted.
-func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, error) {
+// testFault is TestFault under per-call solver limits (a deadline or
+// cancellation surfaces as Status Aborted), optional per-worker scratch
+// reuse, and an optional sub-formula cache budget.
+func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *workerScratch, cacheLimit int64) (Result, error) {
 	res := Result{Fault: f}
 	buildStart := time.Now()
 	m, err := NewMiter(c, f)
@@ -119,7 +159,12 @@ func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, e
 	if err != nil {
 		return res, err
 	}
-	formula, err := m.Encode()
+	var formula *cnf.Formula
+	if ws != nil {
+		formula, err = m.EncodeWith(ws.enc)
+	} else {
+		formula, err = m.Encode()
+	}
 	if err != nil {
 		return res, err
 	}
@@ -127,7 +172,13 @@ func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits) (Result, e
 	res.Clauses = formula.NumClauses()
 	res.BuildElapsed = time.Since(buildStart)
 	start := time.Now()
-	sol := e.solverFor(lim).Solve(formula)
+	solver := e.solverFor(lim, cacheLimit)
+	var sol sat.Solution
+	if as, ok := solver.(sat.ArenaSolver); ok && ws != nil {
+		sol = as.SolveArena(formula, ws.arena)
+	} else {
+		sol = solver.Solve(formula)
+	}
 	res.Elapsed = time.Since(start)
 	res.SolverStats = sol.Stats
 	switch sol.Status {
@@ -212,6 +263,10 @@ type RunOptions struct {
 	// periodic progress snapshots out of the run. Nil disables all
 	// instrumentation at the cost of one pointer check per fault.
 	Telemetry *Telemetry
+	// CacheLimit bounds the Caching solver's sub-formula cache in bytes
+	// per worker (0 = sat.DefaultCacheLimit). Ignored by solvers without a
+	// cache (Simple, DPLL).
+	CacheLimit int64
 }
 
 // dropBatch is the pending-vector count that triggers a fault-simulation
@@ -368,6 +423,7 @@ func (st *runState) setErr(err error) {
 // counters and label trace events.
 func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error {
 	tel := st.opt.Telemetry
+	ws := e.newScratch()
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -388,7 +444,7 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error 
 		if st.opt.PerFaultBudget > 0 {
 			lim.Deadline = time.Now().Add(st.opt.PerFaultBudget)
 		}
-		res, err := e.testFault(st.c, st.faults[i], lim)
+		res, err := e.testFault(st.c, st.faults[i], lim, ws, st.opt.CacheLimit)
 		if err != nil {
 			return err
 		}
@@ -419,7 +475,7 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error 
 			tel.observeFault(worker, st.faults[i].Name(st.c), &res, time.Since(st.start))
 		}
 		if batch != nil {
-			if err := st.flush(batch, worker); err != nil {
+			if err := st.flush(batch, worker, ws); err != nil {
 				return err
 			}
 		}
@@ -428,18 +484,37 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error 
 
 // flush batch-simulates a vector batch against the not-yet-claimed faults
 // and marks the detected ones dropped. Simulation runs outside the lock on
-// a simulator owned by the flushing worker; only the final marking needs
-// the lock, re-checking that each hit is still unclaimed so a fault being
-// solved concurrently is never double-counted.
-func (st *runState) flush(batch [][]bool, worker int) error {
+// a simulator owned by the flushing worker (reused across flushes via the
+// worker's scratch); only the final marking needs the lock, re-checking
+// that each hit is still unclaimed so a fault being solved concurrently is
+// never double-counted.
+func (st *runState) flush(batch [][]bool, worker int, ws *workerScratch) error {
 	simStart := time.Now()
-	words, err := faultsim.PackPatterns(st.c, batch)
+	var words []uint64
+	var err error
+	if ws != nil {
+		ws.pack, err = faultsim.PackPatternsInto(ws.pack, st.c, batch)
+		words = ws.pack
+	} else {
+		words, err = faultsim.PackPatterns(st.c, batch)
+	}
 	if err != nil {
 		return err
 	}
-	sim, err := faultsim.NewSimulator(st.c, words, len(batch))
-	if err != nil {
-		return err
+	var sim *faultsim.Simulator
+	if ws != nil && ws.sim != nil {
+		if err := ws.sim.Reset(words, len(batch)); err != nil {
+			return err
+		}
+		sim = ws.sim
+	} else {
+		sim, err = faultsim.NewSimulator(st.c, words, len(batch))
+		if err != nil {
+			return err
+		}
+		if ws != nil {
+			ws.sim = sim
+		}
 	}
 	st.mu.Lock()
 	from := st.next

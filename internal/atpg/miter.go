@@ -161,7 +161,14 @@ func NewMiter(c *logic.Circuit, f Fault) (*Miter, error) {
 // implied by the XOR outputs but stating it explicitly matches the
 // problem definition and speeds up every solver.)
 func (m *Miter) Encode() (*cnf.Formula, error) {
-	f, err := cnf.FromCircuit(m.Circuit, nil)
+	return m.EncodeWith(new(cnf.Encoder))
+}
+
+// EncodeWith is Encode through a reusable encoder, amortizing the
+// formula's allocations across faults; the result is valid only until
+// the encoder's next Encode call.
+func (m *Miter) EncodeWith(enc *cnf.Encoder) (*cnf.Formula, error) {
+	f, err := enc.Encode(m.Circuit, nil)
 	if err != nil {
 		return nil, err
 	}

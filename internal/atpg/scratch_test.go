@@ -1,0 +1,100 @@
+package atpg
+
+import (
+	"context"
+	"testing"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/sat"
+)
+
+// TestScratchReuseMatchesFresh is the correctness gate for the per-worker
+// arenas: the same run with scratch reuse on and off must produce
+// identical per-fault verdicts, vectors and solver search statistics.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	for cname, c := range parallelTestCircuits() {
+		for sname, solver := range map[string]sat.Solver{
+			"caching": &sat.Caching{},
+			"dpll":    &sat.DPLL{},
+		} {
+			reuse := &Engine{Solver: solver, VerifyTests: true, Workers: 1}
+			fresh := &Engine{Solver: solver, VerifyTests: true, Workers: 1, DisableScratchReuse: true}
+			opt := RunOptions{Collapse: true}
+			rs, err := reuse.Run(context.Background(), c, opt)
+			if err != nil {
+				t.Fatalf("%s/%s reuse: %v", cname, sname, err)
+			}
+			fs, err := fresh.Run(context.Background(), c, opt)
+			if err != nil {
+				t.Fatalf("%s/%s fresh: %v", cname, sname, err)
+			}
+			if rs.Detected != fs.Detected || rs.Untestable != fs.Untestable || rs.Aborted != fs.Aborted {
+				t.Errorf("%s/%s: reuse (D%d U%d A%d) vs fresh (D%d U%d A%d)", cname, sname,
+					rs.Detected, rs.Untestable, rs.Aborted, fs.Detected, fs.Untestable, fs.Aborted)
+			}
+			if len(rs.Results) != len(fs.Results) {
+				t.Fatalf("%s/%s: %d vs %d results", cname, sname, len(rs.Results), len(fs.Results))
+			}
+			// For cache-free solvers the search itself must be bit-identical:
+			// the arenas only change where memory comes from. For Caching,
+			// node counts may shift slightly — a reused table keeps its grown
+			// capacity across faults and so evicts less — but verdicts and
+			// vectors (checked below) never depend on cache behavior, because
+			// cache hits only prune UNSAT subtrees.
+			_, hasCache := solver.(*sat.Caching)
+			for i := range rs.Results {
+				r, f := rs.Results[i], fs.Results[i]
+				if r.Fault != f.Fault || r.Status != f.Status {
+					t.Fatalf("%s/%s: result %d: %v/%v vs %v/%v", cname, sname, i,
+						r.Fault, r.Status, f.Fault, f.Status)
+				}
+				if !hasCache && (r.SolverStats.Nodes != f.SolverStats.Nodes ||
+					r.SolverStats.Decisions != f.SolverStats.Decisions) {
+					t.Errorf("%s/%s: fault %s stats diverge: reuse %+v vs fresh %+v", cname, sname,
+						r.Fault.Name(c), r.SolverStats, f.SolverStats)
+				}
+			}
+			if len(rs.Vectors) != len(fs.Vectors) {
+				t.Fatalf("%s/%s: %d vs %d vectors", cname, sname, len(rs.Vectors), len(fs.Vectors))
+			}
+			for i := range rs.Vectors {
+				if len(rs.Vectors[i]) != len(fs.Vectors[i]) {
+					t.Fatalf("%s/%s: vector %d length differs", cname, sname, i)
+				}
+				for j := range rs.Vectors[i] {
+					if rs.Vectors[i][j] != fs.Vectors[i][j] {
+						t.Fatalf("%s/%s: vector %d bit %d differs", cname, sname, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScratchReuseWithDropAndCacheLimit exercises the arena path together
+// with fault dropping (shared simulator scratch) and a per-worker cache
+// budget, in parallel, under the race detector in CI.
+func TestScratchReuseWithDropAndCacheLimit(t *testing.T) {
+	c := gen.Random(gen.RandomParams{Inputs: 10, Gates: 60, Seed: 7})
+	e := &Engine{Solver: &sat.Caching{}, VerifyTests: true, Workers: 4}
+	sum, err := e.Run(context.Background(), c, RunOptions{
+		Collapse:     true,
+		DropDetected: true,
+		CacheLimit:   1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Aborted != 0 {
+		t.Errorf("aborted = %d, want 0", sum.Aborted)
+	}
+	if cov := sum.Coverage(); cov < 0.99 {
+		t.Errorf("coverage = %v, want ~1", cov)
+	}
+	for _, r := range sum.Results {
+		if r.SolverStats.CacheBytes > 1<<16 {
+			t.Fatalf("fault %s: CacheBytes %d exceeds the %d-byte limit",
+				r.Fault.Name(c), r.SolverStats.CacheBytes, 1<<16)
+		}
+	}
+}

@@ -83,11 +83,17 @@ type Metrics struct {
 	PhaseSolveNS    *obs.Counter
 	PhaseFaultSimNS *obs.Counter
 
-	SolverNodes        *obs.ShardedCounter
-	SolverDecisions    *obs.ShardedCounter
-	SolverPropagations *obs.ShardedCounter
-	SolverConflicts    *obs.ShardedCounter
-	SolverCacheHits    *obs.ShardedCounter
+	SolverNodes          *obs.ShardedCounter
+	SolverDecisions      *obs.ShardedCounter
+	SolverPropagations   *obs.ShardedCounter
+	SolverConflicts      *obs.ShardedCounter
+	SolverCacheHits      *obs.ShardedCounter
+	SolverCacheMisses    *obs.ShardedCounter
+	SolverCacheEvictions *obs.ShardedCounter
+
+	// SolverCacheBytes tracks the largest per-worker sub-formula cache
+	// footprint seen so far (a high-water mark, not a sum).
+	SolverCacheBytes *obs.Gauge
 
 	HistSolveNS         *obs.Histogram
 	HistSolverNodes     *obs.Histogram
@@ -118,11 +124,15 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		PhaseSolveNS:    reg.Counter("atpg_phase_solve_ns_total", "SAT solving time"),
 		PhaseFaultSimNS: reg.Counter("atpg_phase_faultsim_ns_total", "fault-simulation flush time"),
 
-		SolverNodes:        reg.ShardedCounter("atpg_solver_nodes_total", "backtracking nodes visited", shards),
-		SolverDecisions:    reg.ShardedCounter("atpg_solver_decisions_total", "solver decisions", shards),
-		SolverPropagations: reg.ShardedCounter("atpg_solver_propagations_total", "unit propagations", shards),
-		SolverConflicts:    reg.ShardedCounter("atpg_solver_conflicts_total", "solver conflicts", shards),
-		SolverCacheHits:    reg.ShardedCounter("atpg_solver_cache_hits_total", "sub-formula cache hits", shards),
+		SolverNodes:          reg.ShardedCounter("atpg_solver_nodes_total", "backtracking nodes visited", shards),
+		SolverDecisions:      reg.ShardedCounter("atpg_solver_decisions_total", "solver decisions", shards),
+		SolverPropagations:   reg.ShardedCounter("atpg_solver_propagations_total", "unit propagations", shards),
+		SolverConflicts:      reg.ShardedCounter("atpg_solver_conflicts_total", "solver conflicts", shards),
+		SolverCacheHits:      reg.ShardedCounter("atpg_solver_cache_hits_total", "sub-formula cache hits", shards),
+		SolverCacheMisses:    reg.ShardedCounter("atpg_solver_cache_misses_total", "sub-formula cache misses", shards),
+		SolverCacheEvictions: reg.ShardedCounter("atpg_solver_cache_evictions_total", "sub-formula cache evictions", shards),
+
+		SolverCacheBytes: reg.Gauge("atpg_solver_cache_bytes", "largest per-worker sub-formula cache footprint, bytes"),
 
 		HistSolveNS:         reg.Histogram("atpg_fault_solve_ns", "per-fault SAT solve time (log2 ns buckets)"),
 		HistSolverNodes:     reg.Histogram("atpg_fault_solver_nodes", "per-fault solver nodes (log2 buckets)"),
@@ -189,6 +199,11 @@ func (t *Telemetry) observeFault(worker int, name string, res *Result, sinceStar
 		m.SolverPropagations.Add(worker, st.Propagations)
 		m.SolverConflicts.Add(worker, st.Conflicts)
 		m.SolverCacheHits.Add(worker, st.CacheHits)
+		m.SolverCacheMisses.Add(worker, st.CacheMisses)
+		m.SolverCacheEvictions.Add(worker, st.CacheEvictions)
+		if st.CacheBytes > 0 {
+			m.SolverCacheBytes.SetMax(st.CacheBytes)
+		}
 		m.HistSolveNS.Observe(res.Elapsed.Nanoseconds())
 		m.HistSolverNodes.Observe(st.Nodes)
 		if st.Nodes > 0 {

@@ -241,25 +241,71 @@ func (f *Formula) Residual(assign []Value) []Clause {
 	return out
 }
 
+// AppendUvarint appends x in LEB128 varint form. It is the literal
+// encoding of the canonical residual key shared by ResidualKey, the sat
+// package's exact cache keys and internal/core's DCSF counter.
+func AppendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+// AppendResidualLits appends the residual of clause c under the partial
+// assignment: varint(lit+1) for each unassigned literal in clause order,
+// terminated by a 0 byte (no literal encodes to 0, so the terminator is
+// unambiguous). The caller is responsible for skipping satisfied clauses.
+func (c Clause) AppendResidualLits(buf []byte, assign []Value) []byte {
+	for _, l := range c {
+		if assign[l.Var()] == Unassigned {
+			buf = AppendUvarint(buf, uint64(l)+1)
+		}
+	}
+	return append(buf, 0)
+}
+
+// satisfiedUnder reports whether some literal of c is true under the
+// partial assignment.
+func (c Clause) satisfiedUnder(assign []Value) bool {
+	for _, l := range c {
+		switch assign[l.Var()] {
+		case True:
+			if !l.IsNeg() {
+				return true
+			}
+		case False:
+			if l.IsNeg() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AppendResidualKey appends the canonical byte key of the residual
+// sub-formula under the partial assignment: the AppendResidualLits
+// encoding of every non-satisfied clause, in formula order. Clause order
+// and within-clause literal order are fixed by the formula, so for a given
+// formula two assignments produce the same key iff they induce the same
+// residual clause set.
+func (f *Formula) AppendResidualKey(buf []byte, assign []Value) []byte {
+	for _, c := range f.Clauses {
+		if c.satisfiedUnder(assign) {
+			continue
+		}
+		buf = c.AppendResidualLits(buf, assign)
+	}
+	return buf
+}
+
 // ResidualKey builds a canonical string key for the residual sub-formula
 // under the partial assignment. Two sub-formulas are identical if and only
 // if they have the same set of clauses (footnote 2 of the paper: clause-set
-// identity, not functional equivalence).
+// identity, not functional equivalence). Callers on a hot path should use
+// AppendResidualKey with a reused buffer instead.
 func (f *Formula) ResidualKey(assign []Value) string {
-	clauses := f.Residual(assign)
-	keys := make([]string, len(clauses))
-	var sb strings.Builder
-	for i, c := range clauses {
-		sb.Reset()
-		cc := append(Clause(nil), c...)
-		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
-		for _, l := range cc {
-			fmt.Fprintf(&sb, "%d,", int(l))
-		}
-		keys[i] = sb.String()
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, ";")
+	return string(f.AppendResidualKey(nil, assign))
 }
 
 // Clone returns a deep copy of the formula.

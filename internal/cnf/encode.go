@@ -12,17 +12,47 @@ import (
 // netlists well under this.
 const maxXorFanin = 8
 
-// GateClauses returns the consistency clauses for one gate, following
-// Figure 2 of the paper. The gate's output variable is out; in[i] is the
-// literal feeding gate input i (already carrying any input inversion).
-//
-//	AND z:  (l_i + ~z) for each i is wrong way round — the clause set is
-//	        (~z + l_i) for each input i, plus (z + ~l_1 + ... + ~l_k).
-//	OR  z:  (z + ~l_i) for each i, plus (~z + l_1 + ... + l_k).
-//
-// NAND/NOR are AND/OR with the output literal complemented; BUF/NOT are the
-// two-clause equivalence; XOR/XNOR enumerate the parity-violating rows.
-func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
+// clauseWriter accumulates clauses in one shared literal slab so an
+// encoder can be reused across many formulas without allocating a slice
+// per clause. Clause boundaries are tracked as slab offsets and only
+// materialized into []Clause views at the end (the slab may reallocate
+// while clauses are still being appended, so views cannot be taken
+// earlier).
+type clauseWriter struct {
+	slab []Lit
+	ends []int32 // slab offset one past each clause's last literal
+}
+
+func (w *clauseWriter) reset() {
+	w.slab = w.slab[:0]
+	w.ends = w.ends[:0]
+}
+
+// add appends one complete clause.
+func (w *clauseWriter) add(lits ...Lit) {
+	w.slab = append(w.slab, lits...)
+	w.ends = append(w.ends, int32(len(w.slab)))
+}
+
+// push/end build a clause literal by literal (for the long gate clauses).
+func (w *clauseWriter) push(l Lit) { w.slab = append(w.slab, l) }
+func (w *clauseWriter) end()       { w.ends = append(w.ends, int32(len(w.slab))) }
+
+// clauses appends views over the slab to dst, one per collected clause.
+// The views use full slice expressions so a later append to one clause
+// copies instead of clobbering its neighbor.
+func (w *clauseWriter) clauses(dst []Clause) []Clause {
+	start := int32(0)
+	for _, e := range w.ends {
+		dst = append(dst, Clause(w.slab[start:e:e]))
+		start = e
+	}
+	return dst
+}
+
+// emitGate appends the Figure 2 consistency clauses for one gate. See
+// GateClauses for the clause sets.
+func (w *clauseWriter) emitGate(t logic.GateType, out int, in []Lit) error {
 	z := NewLit(out, false)
 	nz := z.Not()
 	switch t {
@@ -31,43 +61,42 @@ func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
 		if t == logic.Not {
 			l = l.Not()
 		}
-		return []Clause{{nz, l}, {z, l.Not()}}, nil
+		w.add(nz, l)
+		w.add(z, l.Not())
 	case logic.And, logic.Nand:
 		if t == logic.Nand {
 			z, nz = nz, z
 		}
-		clauses := make([]Clause, 0, len(in)+1)
-		long := make(Clause, 0, len(in)+1)
 		for _, l := range in {
-			clauses = append(clauses, Clause{nz, l})
-			long = append(long, l.Not())
+			w.add(nz, l)
 		}
-		long = append(long, z)
-		return append(clauses, long), nil
+		for _, l := range in {
+			w.push(l.Not())
+		}
+		w.push(z)
+		w.end()
 	case logic.Or, logic.Nor:
 		if t == logic.Nor {
 			z, nz = nz, z
 		}
-		clauses := make([]Clause, 0, len(in)+1)
-		long := make(Clause, 0, len(in)+1)
 		for _, l := range in {
-			clauses = append(clauses, Clause{z, l.Not()})
-			long = append(long, l)
+			w.add(z, l.Not())
 		}
-		long = append(long, nz)
-		return append(clauses, long), nil
+		for _, l := range in {
+			w.push(l)
+		}
+		w.push(nz)
+		w.end()
 	case logic.Xor, logic.Xnor:
 		k := len(in)
 		if k > maxXorFanin {
-			return nil, fmt.Errorf("cnf: %d-input %s gate exceeds direct-encoding limit %d (run decomp first)", k, t, maxXorFanin)
+			return fmt.Errorf("cnf: %d-input %s gate exceeds direct-encoding limit %d (run decomp first)", k, t, maxXorFanin)
 		}
 		want := t == logic.Xor
-		var clauses []Clause
 		// For every input combination, the row's clause forbids the wrong
 		// output value: if parity(row) == want-parity the output must be 1.
 		for row := 0; row < 1<<uint(k); row++ {
 			parity := false
-			cl := make(Clause, 0, k+1)
 			for i := 0; i < k; i++ {
 				bit := row>>uint(i)&1 == 1
 				if bit {
@@ -78,20 +107,95 @@ func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
 				if bit {
 					lit = lit.Not()
 				}
-				cl = append(cl, lit)
+				w.push(lit)
 			}
-			outVal := parity == want
-			if outVal {
-				cl = append(cl, z)
+			if parity == want {
+				w.push(z)
 			} else {
-				cl = append(cl, nz)
+				w.push(nz)
 			}
-			clauses = append(clauses, cl)
+			w.end()
 		}
-		return clauses, nil
 	default:
-		return nil, fmt.Errorf("cnf: no clause encoding for %s", t)
+		return fmt.Errorf("cnf: no clause encoding for %s", t)
 	}
+	return nil
+}
+
+// GateClauses returns the consistency clauses for one gate, following
+// Figure 2 of the paper. The gate's output variable is out; in[i] is the
+// literal feeding gate input i (already carrying any input inversion).
+//
+//	AND z:  (~z + l_i) for each input i, plus (z + ~l_1 + ... + ~l_k).
+//	OR  z:  (z + ~l_i) for each i, plus (~z + l_1 + ... + l_k).
+//
+// NAND/NOR are AND/OR with the output literal complemented; BUF/NOT are the
+// two-clause equivalence; XOR/XNOR enumerate the parity-violating rows.
+func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
+	var w clauseWriter
+	if err := w.emitGate(t, out, in); err != nil {
+		return nil, err
+	}
+	return w.clauses(nil), nil
+}
+
+// Encoder builds CIRCUIT-SAT formulas with reusable buffers, amortizing
+// the per-clause and per-gate allocations of FromCircuit across the
+// thousands of fault instances an ATPG worker encodes. The zero value is
+// ready to use. An Encoder must not be used concurrently, and the
+// *Formula returned by Encode (including its clauses and names) aliases
+// the encoder's buffers: it is valid only until the next Encode call;
+// callers needing to keep it must Clone it.
+type Encoder struct {
+	w       clauseWriter
+	f       Formula
+	clauses []Clause
+	names   []string
+	in      []Lit
+}
+
+// Encode is FromCircuit with buffer reuse; see the Encoder doc for the
+// result's lifetime.
+func (e *Encoder) Encode(c *logic.Circuit, forced map[int]bool) (*Formula, error) {
+	e.w.reset()
+	e.names = e.names[:0]
+	for i := range c.Nodes {
+		e.names = append(e.names, c.Nodes[i].Name)
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		if _, isForced := forced[id]; isForced {
+			continue // the forced value replaces the gate function
+		}
+		switch n.Type {
+		case logic.Input:
+			// free variable, no clauses
+		case logic.Const0:
+			e.w.add(NewLit(id, true))
+		case logic.Const1:
+			e.w.add(NewLit(id, false))
+		default:
+			e.in = e.in[:0]
+			for i, fi := range n.Fanin {
+				e.in = append(e.in, NewLit(fi, n.Negated(i)))
+			}
+			if err := e.w.emitGate(n.Type, id, e.in); err != nil {
+				return nil, fmt.Errorf("gate %q: %w", n.Name, err)
+			}
+		}
+	}
+	for id, v := range forced {
+		e.w.add(NewLit(id, !v))
+	}
+	if len(c.Outputs) > 0 {
+		for _, o := range c.Outputs {
+			e.w.push(NewLit(o, false))
+		}
+		e.w.end()
+	}
+	e.clauses = e.w.clauses(e.clauses[:0])
+	e.f = Formula{NumVars: c.NumNodes(), Clauses: e.clauses, VarNames: e.names}
+	return &e.f, nil
 }
 
 // FromCircuit builds the CIRCUIT-SAT formula f(C) of Section 2: one
@@ -103,46 +207,8 @@ func GateClauses(t logic.GateType, out int, in []Lit) ([]Clause, error) {
 // by the ATPG encoding to activate the fault site. Passing nil forces
 // nothing.
 func FromCircuit(c *logic.Circuit, forced map[int]bool) (*Formula, error) {
-	f := NewFormula(c.NumNodes())
-	f.VarNames = make([]string, c.NumNodes())
-	for i := range c.Nodes {
-		f.VarNames[i] = c.Nodes[i].Name
-	}
-	for id := range c.Nodes {
-		n := &c.Nodes[id]
-		if _, isForced := forced[id]; isForced {
-			continue // the forced value replaces the gate function
-		}
-		switch n.Type {
-		case logic.Input:
-			// free variable, no clauses
-		case logic.Const0:
-			f.AddClause(NewLit(id, true))
-		case logic.Const1:
-			f.AddClause(NewLit(id, false))
-		default:
-			in := make([]Lit, len(n.Fanin))
-			for i, fi := range n.Fanin {
-				in[i] = NewLit(fi, n.Negated(i))
-			}
-			clauses, err := GateClauses(n.Type, id, in)
-			if err != nil {
-				return nil, fmt.Errorf("gate %q: %w", n.Name, err)
-			}
-			f.Clauses = append(f.Clauses, clauses...)
-		}
-	}
-	for id, v := range forced {
-		f.AddClause(NewLit(id, !v))
-	}
-	if len(c.Outputs) > 0 {
-		out := make(Clause, len(c.Outputs))
-		for i, o := range c.Outputs {
-			out[i] = NewLit(o, false)
-		}
-		f.AddClause(out...)
-	}
-	return f, nil
+	// A throwaway encoder: the formula owns the buffers outright.
+	return new(Encoder).Encode(c, forced)
 }
 
 // FromCircuitConsistency builds only the gate-consistency clauses (no

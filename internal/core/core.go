@@ -41,6 +41,7 @@ func CountDCSF(f *cnf.Formula, order []int, prefixLen int) (int, error) {
 	}
 	assign := make([]cnf.Value, f.NumVars)
 	seen := make(map[string]struct{})
+	var buf []byte
 	for pat := 0; pat < 1<<uint(prefixLen); pat++ {
 		for i := 0; i < prefixLen; i++ {
 			assign[order[i]] = cnf.ValueOf(pat>>uint(i)&1 == 1)
@@ -48,7 +49,10 @@ func CountDCSF(f *cnf.Formula, order []int, prefixLen int) (int, error) {
 		if f.HasNullClause(assign) {
 			continue // not a consistent sub-formula
 		}
-		seen[f.ResidualKey(assign)] = struct{}{}
+		buf = f.AppendResidualKey(buf[:0], assign)
+		if _, ok := seen[string(buf)]; !ok {
+			seen[string(buf)] = struct{}{}
+		}
 	}
 	return len(seen), nil
 }

@@ -16,10 +16,23 @@ import (
 // primary inputs) into one word per input: bit p of word i is the value of
 // input i in pattern p.
 func PackPatterns(c *logic.Circuit, vecs [][]bool) ([]uint64, error) {
+	return PackPatternsInto(nil, c, vecs)
+}
+
+// PackPatternsInto is PackPatterns reusing dst's backing array when it is
+// large enough; the ATPG engine calls it with per-worker scratch so flush
+// batches pack allocation-free.
+func PackPatternsInto(dst []uint64, c *logic.Circuit, vecs [][]bool) ([]uint64, error) {
 	if len(vecs) > 64 {
 		return nil, fmt.Errorf("faultsim: %d patterns exceed word width 64", len(vecs))
 	}
-	words := make([]uint64, len(c.Inputs))
+	words := dst
+	if cap(words) >= len(c.Inputs) {
+		words = words[:len(c.Inputs)]
+		clear(words)
+	} else {
+		words = make([]uint64, len(c.Inputs))
+	}
 	for p, v := range vecs {
 		if len(v) != len(c.Inputs) {
 			return nil, fmt.Errorf("faultsim: pattern %d has %d values for %d inputs", p, len(v), len(c.Inputs))
@@ -49,21 +62,45 @@ type Simulator struct {
 // NewSimulator prepares a simulator for the given pattern batch (≤ 64
 // patterns, pre-packed with PackPatterns).
 func NewSimulator(c *logic.Circuit, inputs []uint64, nPatterns int) (*Simulator, error) {
+	s := &Simulator{c: c}
+	if err := s.Reset(inputs, nPatterns); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset re-targets the simulator at a new pattern batch over the same
+// circuit, reusing its buffers. The ATPG engine calls it once per
+// fault-simulation flush instead of allocating a fresh simulator.
+func (s *Simulator) Reset(inputs []uint64, nPatterns int) error {
+	c := s.c
 	if nPatterns < 0 || nPatterns > 64 {
-		return nil, fmt.Errorf("faultsim: nPatterns %d out of range", nPatterns)
+		return fmt.Errorf("faultsim: nPatterns %d out of range", nPatterns)
 	}
 	if len(inputs) != len(c.Inputs) {
-		return nil, fmt.Errorf("faultsim: %d input words for %d inputs", len(inputs), len(c.Inputs))
+		return fmt.Errorf("faultsim: %d input words for %d inputs", len(inputs), len(c.Inputs))
 	}
-	s := &Simulator{c: c, inputs: inputs, nPat: nPatterns}
-	s.goodVals = c.Simulate64(inputs)
-	s.goodOut = make([]uint64, len(c.Outputs))
+	s.inputs, s.nPat = inputs, nPatterns
+	s.goodVals = c.Simulate64Into(s.goodVals, inputs)
+	if cap(s.goodOut) >= len(c.Outputs) {
+		s.goodOut = s.goodOut[:len(c.Outputs)]
+	} else {
+		s.goodOut = make([]uint64, len(c.Outputs))
+	}
 	for i, o := range c.Outputs {
 		s.goodOut[i] = s.goodVals[o]
 	}
-	s.scratch = make([]uint64, c.NumNodes())
-	s.coneMark = make([]uint32, c.NumNodes())
-	return s, nil
+	if cap(s.scratch) < c.NumNodes() {
+		s.scratch = make([]uint64, c.NumNodes())
+	}
+	s.scratch = s.scratch[:c.NumNodes()]
+	if cap(s.coneMark) < c.NumNodes() {
+		// Fresh (zeroed) stamps; the epoch counter continues, staying above
+		// every stamp in the new slice.
+		s.coneMark = make([]uint32, c.NumNodes())
+	}
+	s.coneMark = s.coneMark[:c.NumNodes()]
+	return nil
 }
 
 // mask returns the valid-pattern mask.

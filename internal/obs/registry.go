@@ -41,6 +41,17 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Add adjusts the gauge by n.
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// SetMax raises the gauge to n if n is larger (atomic); used for
+// high-water-mark gauges fed from concurrent workers.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

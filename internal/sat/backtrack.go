@@ -16,13 +16,14 @@ type Simple struct {
 }
 
 // Solve decides satisfiability by depth-first search over the ordering.
-func (s *Simple) Solve(f *cnf.Formula) Solution {
-	order, err := checkOrder(s.Order, f.NumVars)
-	if err != nil {
+func (s *Simple) Solve(f *cnf.Formula) Solution { return s.SolveArena(f, nil) }
+
+// SolveArena is Solve with reusable scratch; see Arena.
+func (s *Simple) SolveArena(f *cnf.Formula, a *Arena) Solution {
+	bt, ok := newBacktracker(f, s.Order, a, btConfig{maxNodes: s.MaxNodes, limits: s.Limits})
+	if !ok {
 		return Solution{Status: Unknown}
 	}
-	bt := newBacktracker(f, order, s.MaxNodes, false)
-	bt.limits = s.Limits
 	return bt.run()
 }
 
@@ -42,20 +43,52 @@ func (s *Simple) WithLimits(l Limits) Solver {
 // Sub-formulas are cached as sets of clauses: two sub-formulas are
 // identical iff they have the same clause set (functional equivalence is
 // deliberately not recognized — footnote 2 of the paper).
+//
+// The table is keyed on an incrementally maintained 128-bit digest of the
+// residual clause set, updated in O(occurrences of v) per assignment
+// instead of rescanning the open literals at every node, and bounded by
+// CacheLimit with second-chance eviction (see cache.go). Equal residuals
+// always digest equally; distinct residuals collide with probability
+// ~2^-128 per pair, and VerifyKeys removes even that.
 type Caching struct {
 	Order    []int
 	MaxNodes int64
 	Limits   Limits
+	// CacheLimit bounds the sub-formula table's memory in bytes; 0 means
+	// DefaultCacheLimit. A full table evicts second-chance, losing only
+	// pruning opportunities, never soundness.
+	CacheLimit int64
+	// VerifyKeys additionally stores each entry's exact residual byte key
+	// and rejects digest matches whose keys differ (counted in
+	// Stats.CacheCollisions). This removes the residual 128-bit collision
+	// risk at the cost of rebuilding the byte key at every node — the
+	// allocation and time profile of the original string-keyed table.
+	// Tests and internal/core's DCSF cross-checks use it; production runs
+	// should leave it off.
+	VerifyKeys bool
+
+	// weakHash degrades the digest to a constant so tests can force
+	// collisions and exercise the VerifyKeys fallback.
+	weakHash bool
 }
 
 // Solve runs Algorithm 1.
-func (s *Caching) Solve(f *cnf.Formula) Solution {
-	order, err := checkOrder(s.Order, f.NumVars)
-	if err != nil {
+func (s *Caching) Solve(f *cnf.Formula) Solution { return s.SolveArena(f, nil) }
+
+// SolveArena is Solve with reusable scratch and a cache table that
+// persists (emptied in O(1)) across the arena's solves; see Arena.
+func (s *Caching) SolveArena(f *cnf.Formula, a *Arena) Solution {
+	bt, ok := newBacktracker(f, s.Order, a, btConfig{
+		maxNodes:   s.MaxNodes,
+		limits:     s.Limits,
+		useCache:   true,
+		cacheLimit: s.CacheLimit,
+		verifyKeys: s.VerifyKeys,
+		weakHash:   s.weakHash,
+	})
+	if !ok {
 		return Solution{Status: Unknown}
 	}
-	bt := newBacktracker(f, order, s.MaxNodes, true)
-	bt.limits = s.Limits
 	return bt.run()
 }
 
@@ -66,58 +99,160 @@ func (s *Caching) WithLimits(l Limits) Solver {
 	return &cp
 }
 
+// btConfig carries the per-solve configuration into newBacktracker.
+type btConfig struct {
+	maxNodes   int64
+	limits     Limits
+	useCache   bool
+	cacheLimit int64
+	verifyKeys bool
+	weakHash   bool
+}
+
 // backtracker is the shared engine behind Simple and Caching. Clause
 // bookkeeping is incremental: per-clause counts of satisfied and falsified
 // literals give O(occurrences) assignment updates, null-clause detection,
-// and all-satisfied detection.
+// and all-satisfied detection. In cache mode the residual digest is
+// maintained with the same incrementality:
+//
+//	clsSum[ci]     sum of litDig over clause ci's unassigned literals
+//	clsContrib[ci] mixClause(clsSum[ci]) as of when ci last became open
+//	dig            sum of clsContrib over open (satCnt == 0) clauses
+//
+// Assigning a variable subtracts its literal hash from the sums of the
+// clauses it occurs in and refreshes the contribution of those still
+// open; unassigning adds it back. Because assignments unwind LIFO, a
+// clause's contribution is recomputed from its (correctly maintained) sum
+// whenever the clause reopens, so dig always equals the digest a full
+// rescan would produce.
 type backtracker struct {
 	f        *cnf.Formula
 	order    []int
 	useCache bool
+	verify   bool
+	weak     bool
 	maxNodes int64
 
 	assign   []cnf.Value
-	occPos   [][]int32 // clauses where var occurs positively
-	occNeg   [][]int32 // clauses where var occurs negatively
-	satCnt   []int32   // per clause: literals currently true
-	falseCnt []int32   // per clause: literals currently false
-	numSat   int       // clauses with satCnt > 0
-	numNull  int       // clauses with satCnt == 0 && falseCnt == len
+	occOff   []int32 // CSR offsets: literal l occurs in occ[occOff[l]:occOff[l+1]]
+	occ      []int32
+	satCnt   []int32 // per clause: literals currently true
+	falseCnt []int32 // per clause: literals currently false
+	numSat   int     // clauses with satCnt > 0
+	numNull  int     // clauses with satCnt == 0 && falseCnt == len
 
-	cache   map[string]struct{}
+	dig        digest
+	clsSum     []digest
+	clsContrib []digest
+	litDig     []digest
+
+	arena   *Arena
 	limits  Limits
 	stats   Stats
 	aborted bool
 }
 
-func newBacktracker(f *cnf.Formula, order []int, maxNodes int64, useCache bool) *backtracker {
-	bt := &backtracker{
-		f:        f,
-		order:    order,
-		useCache: useCache,
-		maxNodes: maxNodes,
-		assign:   make([]cnf.Value, f.NumVars),
-		occPos:   make([][]int32, f.NumVars),
-		occNeg:   make([][]int32, f.NumVars),
-		satCnt:   make([]int32, len(f.Clauses)),
-		falseCnt: make([]int32, len(f.Clauses)),
+// newBacktracker prepares a search over f in a's buffers (a == nil uses a
+// throwaway arena). It reports false when the ordering is invalid.
+func newBacktracker(f *cnf.Formula, order []int, a *Arena, cfg btConfig) (*backtracker, bool) {
+	if a == nil {
+		a = &Arena{}
 	}
-	if useCache {
-		bt.cache = make(map[string]struct{})
+	ord, ok := checkOrder(order, f.NumVars, a)
+	if !ok {
+		return nil, false
+	}
+	bt := &a.bt
+	*bt = backtracker{
+		f:        f,
+		order:    ord,
+		useCache: cfg.useCache,
+		verify:   cfg.verifyKeys,
+		weak:     cfg.weakHash,
+		maxNodes: cfg.maxNodes,
+		limits:   cfg.limits,
+		arena:    a,
+	}
+	n, m := f.NumVars, len(f.Clauses)
+	a.assign = zeroed(a.assign, n)
+	a.satCnt = zeroed(a.satCnt, m)
+	a.falseCnt = zeroed(a.falseCnt, m)
+	bt.assign, bt.satCnt, bt.falseCnt = a.assign, a.satCnt, a.falseCnt
+
+	// Occurrence lists in CSR form: one flat slice plus offsets, built by
+	// counting sort. Flat storage reuses cleanly across solves and keeps a
+	// literal's occurrences contiguous.
+	a.occOff = zeroed(a.occOff, 2*n+1)
+	off := a.occOff
+	total := 0
+	for _, c := range f.Clauses {
+		total += len(c)
+	}
+	a.occ = sized(a.occ, total)
+	occ := a.occ
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			off[int(l)+1]++
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
 	}
 	for ci, c := range f.Clauses {
 		for _, l := range c {
-			if l.IsNeg() {
-				bt.occNeg[l.Var()] = append(bt.occNeg[l.Var()], int32(ci))
-			} else {
-				bt.occPos[l.Var()] = append(bt.occPos[l.Var()], int32(ci))
-			}
+			occ[off[int(l)]] = int32(ci)
+			off[int(l)]++
 		}
+	}
+	// The fill advanced each cursor to its range's end (= the next
+	// literal's start); shift right to restore start offsets.
+	copy(off[1:], off[:len(off)-1])
+	off[0] = 0
+	bt.occOff, bt.occ = off, occ
+
+	for _, c := range f.Clauses {
 		if len(c) == 0 {
 			bt.numNull++ // empty clause in the input: trivially unsat
 		}
 	}
-	return bt
+
+	if cfg.useCache {
+		a.litDig = sized(a.litDig, 2*n)
+		for l := range a.litDig {
+			a.litDig[l] = litDigest(cnf.Lit(l))
+		}
+		a.clsSum = sized(a.clsSum, m)
+		a.clsContrib = sized(a.clsContrib, m)
+		bt.litDig, bt.clsSum, bt.clsContrib = a.litDig, a.clsSum, a.clsContrib
+		for ci, c := range f.Clauses {
+			var sum digest
+			for _, l := range c {
+				sum.add(bt.litDig[l])
+			}
+			bt.clsSum[ci] = sum
+			contrib := bt.mixClause(sum)
+			bt.clsContrib[ci] = contrib
+			bt.dig.add(contrib)
+		}
+		a.table.reset(cfg.cacheLimit)
+	}
+	return bt, true
+}
+
+// mixClause turns a clause's literal-hash sum into its digest
+// contribution. The mix prevents sums of different clauses from
+// combining linearly (e.g. {a,b}+{c} vs {a,c}+{b}).
+func (bt *backtracker) mixClause(sum digest) digest {
+	if bt.weak {
+		return digest{1, 1} // test hook: every clause set of equal size collides
+	}
+	a := mix64(sum[0] ^ 0xa0761d6478bd642f)
+	return digest{a, mix64(sum[1] ^ a)}
+}
+
+// occOf returns the clauses containing literal l.
+func (bt *backtracker) occOf(l cnf.Lit) []int32 {
+	return bt.occ[bt.occOff[l]:bt.occOff[int(l)+1]]
 }
 
 func (bt *backtracker) run() Solution {
@@ -125,65 +260,137 @@ func (bt *backtracker) run() Solution {
 		return Solution{Status: Unknown, Stats: bt.stats}
 	}
 	if bt.numNull > 0 {
-		return Solution{Status: Unsat, Stats: bt.stats}
+		return bt.finish(Solution{Status: Unsat})
 	}
 	if bt.numSat == len(bt.f.Clauses) || bt.f.NumVars == 0 {
 		// No clauses (or all trivially satisfied): SAT with all-false model.
-		return Solution{Status: Sat, Model: make([]bool, bt.f.NumVars), Stats: bt.stats}
+		return bt.finish(Solution{Status: Sat, Model: make([]bool, bt.f.NumVars)})
 	}
 	sat := bt.search(0, false) || (!bt.aborted && bt.search(0, true))
-	bt.stats.CacheEntries = int64(len(bt.cache))
 	if bt.aborted {
-		return Solution{Status: Unknown, Stats: bt.stats}
+		return bt.finish(Solution{Status: Unknown})
 	}
 	if !sat {
-		return Solution{Status: Unsat, Stats: bt.stats}
+		return bt.finish(Solution{Status: Unsat})
 	}
 	model := make([]bool, bt.f.NumVars)
 	for v := range model {
 		model[v] = bt.assign[v] == cnf.True
 	}
-	return Solution{Status: Sat, Model: model, Stats: bt.stats}
+	return bt.finish(Solution{Status: Sat, Model: model})
 }
 
-// assignVar sets variable order[pos] to value b and updates clause counts.
+// finish attaches the search and cache statistics to the solution.
+func (bt *backtracker) finish(sol Solution) Solution {
+	if bt.useCache {
+		t := &bt.arena.table
+		bt.stats.CacheEntries = t.live
+		bt.stats.CacheEvictions = t.evictions
+		bt.stats.CacheBytes = t.bytes()
+	}
+	sol.Stats = bt.stats
+	return sol
+}
+
+// assignVar sets variable v to value b and updates clause counts — and,
+// in cache mode, the residual digest — in O(occurrences of v).
 func (bt *backtracker) assignVar(v int, b bool) {
 	bt.assign[v] = cnf.ValueOf(b)
-	satOcc, falseOcc := bt.occPos[v], bt.occNeg[v]
+	satLit, falseLit := cnf.NewLit(v, false), cnf.NewLit(v, true)
 	if !b {
-		satOcc, falseOcc = falseOcc, satOcc
+		satLit, falseLit = falseLit, satLit
 	}
-	for _, ci := range satOcc {
+	if !bt.useCache {
+		for _, ci := range bt.occOf(satLit) {
+			if bt.satCnt[ci] == 0 {
+				bt.numSat++
+			}
+			bt.satCnt[ci]++
+		}
+		for _, ci := range bt.occOf(falseLit) {
+			bt.falseCnt[ci]++
+			if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+				bt.numNull++
+			}
+		}
+		return
+	}
+	dSat, dFalse := bt.litDig[satLit], bt.litDig[falseLit]
+	for _, ci := range bt.occOf(satLit) {
 		if bt.satCnt[ci] == 0 {
 			bt.numSat++
+			bt.dig.sub(bt.clsContrib[ci]) // clause leaves the residual
 		}
 		bt.satCnt[ci]++
+		bt.clsSum[ci].sub(dSat)
 	}
-	for _, ci := range falseOcc {
+	for _, ci := range bt.occOf(falseLit) {
+		bt.clsSum[ci].sub(dFalse)
 		bt.falseCnt[ci]++
-		if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
-			bt.numNull++
+		if bt.satCnt[ci] == 0 {
+			// Still open: its residual shrank, refresh its contribution.
+			bt.dig.sub(bt.clsContrib[ci])
+			contrib := bt.mixClause(bt.clsSum[ci])
+			bt.clsContrib[ci] = contrib
+			bt.dig.add(contrib)
+			if int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+				bt.numNull++
+			}
 		}
 	}
 }
 
+// unassignVar exactly undoes assignVar for the LIFO-most assignment.
 func (bt *backtracker) unassignVar(v int) {
 	b := bt.assign[v] == cnf.True
-	satOcc, falseOcc := bt.occPos[v], bt.occNeg[v]
+	satLit, falseLit := cnf.NewLit(v, false), cnf.NewLit(v, true)
 	if !b {
-		satOcc, falseOcc = falseOcc, satOcc
+		satLit, falseLit = falseLit, satLit
 	}
-	for _, ci := range satOcc {
+	if !bt.useCache {
+		for _, ci := range bt.occOf(satLit) {
+			bt.satCnt[ci]--
+			if bt.satCnt[ci] == 0 {
+				bt.numSat--
+			}
+		}
+		for _, ci := range bt.occOf(falseLit) {
+			if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+				bt.numNull--
+			}
+			bt.falseCnt[ci]--
+		}
+		bt.assign[v] = cnf.Unassigned
+		return
+	}
+	dSat, dFalse := bt.litDig[satLit], bt.litDig[falseLit]
+	for _, ci := range bt.occOf(satLit) {
 		bt.satCnt[ci]--
+		bt.clsSum[ci].add(dSat)
 		if bt.satCnt[ci] == 0 {
 			bt.numSat--
+			// Clause reopens: recompute its contribution from the sum (the
+			// cached one predates the literals assigned while it was
+			// satisfied).
+			contrib := bt.mixClause(bt.clsSum[ci])
+			bt.clsContrib[ci] = contrib
+			bt.dig.add(contrib)
 		}
 	}
-	for _, ci := range falseOcc {
-		if bt.satCnt[ci] == 0 && int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
-			bt.numNull--
+	for _, ci := range bt.occOf(falseLit) {
+		if bt.satCnt[ci] == 0 {
+			if int(bt.falseCnt[ci]) == len(bt.f.Clauses[ci]) {
+				bt.numNull--
+			}
+			bt.dig.sub(bt.clsContrib[ci])
 		}
 		bt.falseCnt[ci]--
+		bt.clsSum[ci].add(dFalse)
+		if bt.satCnt[ci] == 0 {
+			contrib := bt.mixClause(bt.clsSum[ci])
+			bt.clsContrib[ci] = contrib
+			bt.dig.add(contrib)
+		}
 	}
 	bt.assign[v] = cnf.Unassigned
 }
@@ -223,14 +430,21 @@ func (bt *backtracker) search(pos int, b bool) bool {
 		// Every clause satisfied: SAT regardless of remaining variables.
 		return true
 	}
-	var key string
+	var dig digest
+	var key []byte
 	if bt.useCache {
-		key = bt.residualKey()
-		if _, hit := bt.cache[key]; hit {
+		dig = bt.dig
+		if bt.verify {
+			key = bt.residualKey()
+		}
+		hit, collisions := bt.arena.table.lookup(dig, key)
+		bt.stats.CacheCollisions += collisions
+		if hit {
 			bt.stats.CacheHits++
 			bt.unassignVar(v)
 			return false
 		}
+		bt.stats.CacheMisses++
 	}
 	if pos+1 == len(bt.order) {
 		// All variables assigned, no null clause, but some clause open is
@@ -242,38 +456,24 @@ func (bt *backtracker) search(pos int, b bool) bool {
 		return true
 	}
 	if bt.useCache && !bt.aborted {
-		bt.cache[key] = struct{}{}
+		bt.arena.table.insert(dig, key)
 	}
 	bt.unassignVar(v)
 	return false
 }
 
-// residualKey builds the canonical clause-set key of the current residual
-// sub-formula. Only open clauses (satCnt == 0) contribute; within a clause
-// only unassigned literals remain. Literals are emitted in clause order —
-// canonical because the clause set and assignment fully determine it — and
-// clauses are emitted in formula order, which is canonical for a fixed
-// input formula.
-func (bt *backtracker) residualKey() string {
+// residualKey builds the exact byte key of the current residual
+// sub-formula for VerifyKeys mode: the canonical varint encoding shared
+// with cnf.Formula.AppendResidualKey, with satisfied clauses skipped in
+// O(1) via satCnt. Allocated fresh per node on purpose — this mode is the
+// measured baseline the digest replaces.
+func (bt *backtracker) residualKey() []byte {
 	buf := make([]byte, 0, 256)
 	for ci, c := range bt.f.Clauses {
 		if bt.satCnt[ci] > 0 {
 			continue
 		}
-		for _, l := range c {
-			if bt.assign[l.Var()] == cnf.Unassigned {
-				buf = appendVarint(buf, uint64(l)+1)
-			}
-		}
-		buf = append(buf, 0)
+		buf = c.AppendResidualLits(buf, bt.assign)
 	}
-	return string(buf)
-}
-
-func appendVarint(buf []byte, x uint64) []byte {
-	for x >= 0x80 {
-		buf = append(buf, byte(x)|0x80)
-		x >>= 7
-	}
-	return append(buf, byte(x))
+	return buf
 }

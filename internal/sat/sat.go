@@ -47,8 +47,8 @@ func (s Status) String() string {
 }
 
 // Stats counts search work. Not every field is meaningful for every
-// solver: CacheHits/CacheEntries apply to Caching; Conflicts/Learned to
-// DPLL. The JSON tags fix the schema of trace events and -json summaries.
+// solver: the Cache* fields apply to Caching; Conflicts/Learned to DPLL.
+// The JSON tags fix the schema of trace events and -json summaries.
 type Stats struct {
 	Nodes        int64 `json:"nodes"` // backtracking nodes visited (Simple/Caching)
 	Decisions    int64 `json:"decisions"`
@@ -56,13 +56,26 @@ type Stats struct {
 	Conflicts    int64 `json:"conflicts"`
 	Learned      int64 `json:"learned"`
 	CacheHits    int64 `json:"cache_hits"`
-	CacheEntries int64 `json:"cache_entries"`
-	MaxDepth     int   `json:"max_depth"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int64 `json:"cache_entries"` // live entries at the end of the solve
+	// CacheEvictions counts entries displaced by the bounded table
+	// (second-chance within the probe window plus byte-budget reclaims).
+	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheCollisions counts digest matches rejected by exact-key
+	// comparison; only Caching.VerifyKeys mode can observe them.
+	CacheCollisions int64 `json:"cache_collisions"`
+	// CacheBytes is the cache's memory footprint (slot slab + stored keys)
+	// at the end of the solve. It is a gauge, not a flow: Add takes the
+	// maximum, since summing per-fault snapshots of the same per-worker
+	// arena would multiply-count one allocation.
+	CacheBytes int64 `json:"cache_bytes"`
+	MaxDepth   int   `json:"max_depth"`
 }
 
-// Add accumulates o into s field-wise; MaxDepth takes the maximum. It is
-// the snapshot-merge used to aggregate per-fault solver work into
-// run-level totals (Summary.SolverTotals, the /metrics counters).
+// Add accumulates o into s field-wise; MaxDepth and CacheBytes take the
+// maximum. It is the snapshot-merge used to aggregate per-fault solver
+// work into run-level totals (Summary.SolverTotals, the /metrics
+// counters).
 func (s *Stats) Add(o Stats) {
 	s.Nodes += o.Nodes
 	s.Decisions += o.Decisions
@@ -70,7 +83,13 @@ func (s *Stats) Add(o Stats) {
 	s.Conflicts += o.Conflicts
 	s.Learned += o.Learned
 	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 	s.CacheEntries += o.CacheEntries
+	s.CacheEvictions += o.CacheEvictions
+	s.CacheCollisions += o.CacheCollisions
+	if o.CacheBytes > s.CacheBytes {
+		s.CacheBytes = o.CacheBytes
+	}
 	if o.MaxDepth > s.MaxDepth {
 		s.MaxDepth = o.MaxDepth
 	}
@@ -153,30 +172,26 @@ func Verify(f *cnf.Formula, model []bool) error {
 	return nil
 }
 
-// identityOrder returns the ordering 0..n-1.
-func identityOrder(n int) []int {
-	ord := make([]int, n)
-	for i := range ord {
-		ord[i] = i
-	}
-	return ord
-}
-
 // checkOrder validates that order is a permutation covering all n
-// variables; a nil order means the identity.
-func checkOrder(order []int, n int) ([]int, error) {
+// variables; a nil order means the identity, materialized in the arena's
+// reusable buffer.
+func checkOrder(order []int, n int, a *Arena) ([]int, bool) {
 	if order == nil {
-		return identityOrder(n), nil
+		a.order = sized(a.order, n)
+		for i := range a.order {
+			a.order[i] = i
+		}
+		return a.order, true
 	}
 	if len(order) != n {
-		return nil, fmt.Errorf("sat: ordering covers %d of %d variables", len(order), n)
+		return nil, false
 	}
-	seen := make([]bool, n)
+	a.seen = zeroed(a.seen, n)
 	for _, v := range order {
-		if v < 0 || v >= n || seen[v] {
-			return nil, fmt.Errorf("sat: ordering is not a permutation (at %d)", v)
+		if v < 0 || v >= n || a.seen[v] {
+			return nil, false
 		}
-		seen[v] = true
+		a.seen[v] = true
 	}
-	return order, nil
+	return order, true
 }

@@ -43,10 +43,11 @@ func randomFormula(rng *rand.Rand, nVars, nClauses int) *cnf.Formula {
 
 func solvers() map[string]Solver {
 	return map[string]Solver{
-		"simple":       &Simple{},
-		"caching":      &Caching{},
-		"dpll":         &DPLL{},
-		"dpll-nolearn": &DPLL{DisableLearning: true},
+		"simple":        &Simple{},
+		"caching":       &Caching{},
+		"caching-exact": &Caching{VerifyKeys: true},
+		"dpll":          &DPLL{},
+		"dpll-nolearn":  &DPLL{DisableLearning: true},
 	}
 }
 
@@ -478,9 +479,9 @@ func itoa(i int) string {
 // the max depth.
 func TestStatsAdd(t *testing.T) {
 	var s Stats
-	s.Add(Stats{Nodes: 1, Decisions: 2, Propagations: 3, Conflicts: 4, Learned: 5, CacheHits: 6, CacheEntries: 7, MaxDepth: 8})
-	s.Add(Stats{Nodes: 10, Decisions: 20, Propagations: 30, Conflicts: 40, Learned: 50, CacheHits: 60, CacheEntries: 70, MaxDepth: 3})
-	want := Stats{Nodes: 11, Decisions: 22, Propagations: 33, Conflicts: 44, Learned: 55, CacheHits: 66, CacheEntries: 77, MaxDepth: 8}
+	s.Add(Stats{Nodes: 1, Decisions: 2, Propagations: 3, Conflicts: 4, Learned: 5, CacheHits: 6, CacheMisses: 7, CacheEntries: 8, CacheEvictions: 9, CacheCollisions: 10, CacheBytes: 500, MaxDepth: 8})
+	s.Add(Stats{Nodes: 10, Decisions: 20, Propagations: 30, Conflicts: 40, Learned: 50, CacheHits: 60, CacheMisses: 70, CacheEntries: 80, CacheEvictions: 90, CacheCollisions: 100, CacheBytes: 400, MaxDepth: 3})
+	want := Stats{Nodes: 11, Decisions: 22, Propagations: 33, Conflicts: 44, Learned: 55, CacheHits: 66, CacheMisses: 77, CacheEntries: 88, CacheEvictions: 99, CacheCollisions: 110, CacheBytes: 500, MaxDepth: 8}
 	if s != want {
 		t.Errorf("merged stats = %+v, want %+v", s, want)
 	}
