@@ -86,6 +86,15 @@ type (
 // Caching.CacheLimit of 0).
 const DefaultCacheLimit = sat.DefaultCacheLimit
 
+// Random-pattern pre-phase defaults (RunOptions.RPTBatches and
+// RPTIdleStop): up to DefaultRPTBatches 64-pattern batches, stopping
+// early after DefaultRPTIdleStop consecutive batches with no new
+// detections.
+const (
+	DefaultRPTBatches  = atpg.DefaultRPTBatches
+	DefaultRPTIdleStop = atpg.DefaultRPTIdleStop
+)
+
 // Observability types: attach a Telemetry to RunOptions to get live
 // metrics, a per-fault JSONL trace and periodic progress callbacks out of
 // an engine run. All hooks are optional and nil-safe; a nil Telemetry (the
@@ -191,10 +200,12 @@ func GenerateTest(c *Circuit, f Fault) (TestResult, error) {
 	return eng.TestFault(c, f)
 }
 
-// RunATPG generates tests for every collapsed stuck-at fault, dropping
-// faults covered by earlier vectors via fault simulation (the classic
-// TEGUS flow). It runs on GOMAXPROCS workers; use RunATPGParallel for
-// explicit worker counts, budgets or cancellation.
+// RunATPG generates tests for every collapsed stuck-at fault in the
+// classic TEGUS flow: equivalence + dominance collapsing, a seeded
+// random-pattern pre-phase that fault-simulates away the easy faults,
+// SAT-based generation for the survivors, and fault dropping of later
+// faults covered by earlier vectors. It runs on GOMAXPROCS workers; use
+// RunATPGParallel for explicit worker counts, budgets or cancellation.
 func RunATPG(c *Circuit) (*Summary, error) {
 	return RunATPGParallel(context.Background(), c, 0, 0)
 }
@@ -209,7 +220,10 @@ func RunATPGParallel(ctx context.Context, c *Circuit, workers int, perFaultBudge
 	eng := &atpg.Engine{VerifyTests: true, Workers: workers}
 	return eng.Run(ctx, c, atpg.RunOptions{
 		Collapse:       true,
+		Dominance:      true,
 		DropDetected:   true,
+		RPTBatches:     atpg.DefaultRPTBatches,
+		Seed:           1,
 		PerFaultBudget: perFaultBudget,
 	})
 }

@@ -57,6 +57,10 @@ func TestFacadeRunATPGParallel(t *testing.T) {
 	if sum.WallElapsed <= 0 {
 		t.Error("WallElapsed not recorded")
 	}
+	if sum.DetectedByRPT == 0 || sum.RPTBatches == 0 {
+		t.Errorf("random-pattern pre-phase inactive by default: rpt=%d batches=%d",
+			sum.DetectedByRPT, sum.RPTBatches)
+	}
 	// Serial reference must agree on the aggregate verdicts.
 	ref, err := RunATPGParallel(context.Background(), c, 1, 0)
 	if err != nil {

@@ -23,6 +23,11 @@ type benchRecord struct {
 	// AllocsPerOp is filled by benchmarks that measure allocation counts
 	// (the solver-cache and arena A/B benches); 0 means not measured.
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// SATCalls is filled by the end-to-end A/B benches that count SAT
+	// solver invocations per run (the RPT pre-phase ablation). A pointer
+	// so a measured zero — RPT detected every fault — still serializes,
+	// while rows that do not measure it omit the field.
+	SATCalls *int `json:"sat_calls,omitempty"`
 }
 
 var benchRecords struct {
@@ -42,21 +47,29 @@ func recordBench(b *testing.B, workers int) {
 // allocation count per operation (via testing.AllocsPerRun, outside the
 // timed loop).
 func recordBenchAllocs(b *testing.B, workers int, allocsPerOp float64) {
+	record(b, benchRecord{Workers: workers, AllocsPerOp: allocsPerOp})
+}
+
+// recordBenchSAT is recordBench for end-to-end benchmarks that also
+// counted SAT solver invocations per run — the RPT ablation's headline
+// number.
+func recordBenchSAT(b *testing.B, workers, satCalls int) {
+	record(b, benchRecord{Workers: workers, SATCalls: &satCalls})
+}
+
+func record(b *testing.B, r benchRecord) {
 	b.Helper()
 	if b.N == 0 {
 		return
 	}
+	r.Name = b.Name()
+	r.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	benchRecords.Lock()
 	defer benchRecords.Unlock()
 	if benchRecords.byName == nil {
 		benchRecords.byName = map[string]benchRecord{}
 	}
-	benchRecords.byName[b.Name()] = benchRecord{
-		Name:        b.Name(),
-		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		Workers:     workers,
-		AllocsPerOp: allocsPerOp,
-	}
+	benchRecords.byName[r.Name] = r
 }
 
 func TestMain(m *testing.M) {

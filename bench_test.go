@@ -379,6 +379,101 @@ func BenchmarkEngineArenaReuse(b *testing.B) {
 	b.Run("fresh-per-fault", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkRPTPhase is the tentpole A/B: the full engine run with and
+// without the random-pattern pre-phase, at equal coverage. The committed
+// BENCH_atpg.json rows must show the rpt-on case issuing ≤50% of the
+// rpt-off case's SAT solver calls (sat_calls) on every circuit.
+func BenchmarkRPTPhase(b *testing.B) {
+	const workers = 2
+	for _, tc := range []struct {
+		name string
+		c    func() *Circuit
+	}{
+		{"cla8", func() *Circuit { return gen.CarryLookaheadAdder(8) }},
+		{"mult5", func() *Circuit { return gen.ArrayMultiplier(5) }},
+	} {
+		c := tc.c()
+		base := atpg.RunOptions{Collapse: true, Dominance: true, DropDetected: true, Seed: 11}
+		run := func(b *testing.B, opt atpg.RunOptions) (calls int, cov float64) {
+			b.Helper()
+			eng := &atpg.Engine{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				sum, err := eng.Run(context.Background(), c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls, cov = len(sum.Results), sum.Coverage()
+			}
+			return calls, cov
+		}
+		var callsOff int
+		var covOff float64
+		b.Run(tc.name+"/rpt-off", func(b *testing.B) {
+			callsOff, covOff = run(b, base)
+			recordBenchSAT(b, workers, callsOff)
+		})
+		b.Run(tc.name+"/rpt-on", func(b *testing.B) {
+			opt := base
+			opt.RPTBatches = atpg.DefaultRPTBatches
+			callsOn, covOn := run(b, opt)
+			if callsOff > 0 { // rpt-off may be filtered out by -bench
+				if covOn != covOff {
+					b.Fatalf("coverage %v with RPT, %v without", covOn, covOff)
+				}
+				if callsOn*2 > callsOff {
+					b.Fatalf("RPT left %d of %d SAT calls (> 50%%)", callsOn, callsOff)
+				}
+			}
+			recordBenchSAT(b, workers, callsOn)
+		})
+	}
+}
+
+// BenchmarkEventDrivenFaultSim pits the event-driven simulator (fanout
+// cone only, lazy good-value reads) against the brute-force full-circuit
+// re-simulation it replaced, plus the early-exit query the fault-dropping
+// path uses.
+func BenchmarkEventDrivenFaultSim(b *testing.B) {
+	c := gen.CarryLookaheadAdder(32)
+	vecs := make([][]bool, 64)
+	for p := range vecs {
+		vecs[p] = make([]bool, len(c.Inputs))
+		for i := range vecs[p] {
+			vecs[p][i] = (p+i)%3 == 0
+		}
+	}
+	words, err := faultsim.PackPatterns(c, vecs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := faultsim.NewSimulator(c, words, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.AllFaults(c)
+	b.Run("event-driven", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := faults[i%len(faults)]
+			sim.Detects(f.Net, f.StuckAt)
+		}
+		recordBench(b, 1)
+	})
+	b.Run("early-exit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := faults[i%len(faults)]
+			sim.DetectsAny(f.Net, f.StuckAt)
+		}
+		recordBench(b, 1)
+	})
+	b.Run("full-resim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := faults[i%len(faults)]
+			faultsim.ReferenceDetects(c, words, 64, f.Net, f.StuckAt)
+		}
+		recordBench(b, 1)
+	})
+}
+
 // BenchmarkDPLLSolve is a micro-benchmark of the production solver on one
 // mid-size ATPG-SAT instance.
 func BenchmarkDPLLSolve(b *testing.B) {

@@ -6,14 +6,24 @@
 // Usage:
 //
 //	atpg -bench FILE | -blif FILE | -gen NAME
-//	     [-collapse] [-drop] [-solver dpll|caching|simple]
+//	     [-collapse] [-dominance] [-drop] [-solver dpll|caching|simple]
 //	     [-j WORKERS] [-budget DURATION] [-cache-limit BYTES]
+//	     [-rpt-batches N] [-rpt-idle N] [-seed N]
 //	     [-metrics-addr ADDR] [-trace FILE] [-progress DUR] [-json]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
 // Generated circuit names (NAME): ripple<N>, cla<N>, mult<N>, alu<N>,
 // parity<N>, dec<N>, mux<SEL>, cmp<N>, cell1d<N>, tree<K>x<D>,
 // rand<GATES>.
+//
+// The run opens with a random-pattern pre-phase (classic TEGUS flow): up
+// to -rpt-batches batches of 64 seeded random patterns are fault-simulated
+// against the whole fault list, keeping only patterns that detect a new
+// fault; the SAT engine then targets just the random-pattern-resistant
+// survivors. -rpt-batches 0 disables the phase, -rpt-idle stops it after
+// that many consecutive unproductive batches, and -seed makes the whole
+// run reproducible. -dominance adds dominance-based fault collapsing on
+// top of -collapse equivalence collapsing.
 //
 // Faults are dispatched to -j parallel workers (default: GOMAXPROCS);
 // -budget bounds the SAT time per fault, reporting over-budget faults as
@@ -64,8 +74,12 @@ func main() {
 	benchFile := flag.String("bench", "", "read an ISCAS .bench netlist")
 	blifFile := flag.String("blif", "", "read a BLIF model")
 	genName := flag.String("gen", "", "build a generated circuit (see -h)")
-	collapse := flag.Bool("collapse", true, "apply structural fault collapsing")
+	collapse := flag.Bool("collapse", true, "apply structural fault collapsing (gate-local equivalence)")
+	dominance := flag.Bool("dominance", true, "additionally apply dominance-based fault collapsing")
 	drop := flag.Bool("drop", true, "drop faults detected by earlier vectors (fault simulation)")
+	rptBatches := flag.Int("rpt-batches", atpg.DefaultRPTBatches, "random-pattern pre-phase: max 64-pattern batches (0 = disable)")
+	rptIdle := flag.Int("rpt-idle", atpg.DefaultRPTIdleStop, "stop the pre-phase after this many consecutive batches detecting nothing new")
+	seed := flag.Int64("seed", 1, "random-pattern generator seed (same seed = same run)")
 	solver := flag.String("solver", "dpll", "SAT engine: dpll, caching or simple")
 	workers := flag.Int("j", 0, "parallel fault workers (0 = GOMAXPROCS)")
 	budget := flag.Duration("budget", 0, "per-fault SAT time budget (0 = none); over-budget faults abort")
@@ -110,7 +124,7 @@ func main() {
 		fail(fmt.Errorf("unknown solver %q", *solver))
 	}
 	if *dimacsDir != "" {
-		if err := dumpDIMACS(c, *dimacsDir, *collapse, info); err != nil {
+		if err := dumpDIMACS(c, *dimacsDir, *collapse, *dominance, info); err != nil {
 			fail(err)
 		}
 	}
@@ -128,7 +142,11 @@ func main() {
 	defer stop()
 	sum, err := eng.Run(ctx, c, atpg.RunOptions{
 		Collapse:       *collapse,
+		Dominance:      *dominance,
 		DropDetected:   *drop,
+		RPTBatches:     *rptBatches,
+		RPTIdleStop:    *rptIdle,
+		Seed:           *seed,
 		PerFaultBudget: *budget,
 		Telemetry:      tel,
 		CacheLimit:     *cacheLimit,
@@ -149,11 +167,14 @@ func main() {
 				r.Fault.Name(c), r.Status, r.Vars, r.Clauses, r.Elapsed)
 		}
 	}
-	fmt.Fprintf(info, "faults: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
-		sum.Total, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
+	fmt.Fprintf(info, "faults: %d  rpt-detected: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
+		sum.Total, sum.DetectedByRPT, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
+	fmt.Fprintf(info, "rpt: %d batches, %d patterns kept, %d solver calls avoided\n",
+		sum.RPTBatches, sum.RPTVectors, sum.DetectedByRPT)
 	fmt.Fprintf(info, "fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v   wall: %v\n",
 		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed, sum.WallElapsed.Round(time.Microsecond))
-	fmt.Fprintf(info, "phases: build %v   solve %v   fault-sim %v\n",
+	fmt.Fprintf(info, "phases: rpt %v   build %v   solve %v   fault-sim %v\n",
+		sum.Phases.RPT.Round(time.Microsecond),
 		sum.Phases.Build.Round(time.Microsecond), sum.Phases.Solve.Round(time.Microsecond),
 		sum.Phases.FaultSim.Round(time.Microsecond))
 	if *jsonOut {
@@ -240,6 +261,7 @@ type runSummaryJSON struct {
 	Faults      faultCountsJSON `json:"faults"`
 	Coverage    float64         `json:"coverage"`
 	Vectors     int             `json:"vectors"`
+	RPT         rptJSON         `json:"rpt"`
 	Phases      atpg.PhaseTimes `json:"phases"`
 	SATTimeNS   int64           `json:"sat_time_ns"`
 	WallNS      int64           `json:"wall_ns"`
@@ -248,11 +270,17 @@ type runSummaryJSON struct {
 }
 
 type faultCountsJSON struct {
-	Total      int `json:"total"`
-	Detected   int `json:"detected"`
-	Untestable int `json:"untestable"`
-	Aborted    int `json:"aborted"`
-	Dropped    int `json:"dropped_by_sim"`
+	Total         int `json:"total"`
+	Detected      int `json:"detected"`
+	DetectedByRPT int `json:"detected_by_rpt"`
+	Untestable    int `json:"untestable"`
+	Aborted       int `json:"aborted"`
+	Dropped       int `json:"dropped_by_sim"`
+}
+
+type rptJSON struct {
+	Batches int `json:"batches"`
+	Vectors int `json:"vectors"`
 }
 
 const summarySchema = "atpgeasy/run-summary/v1"
@@ -270,14 +298,19 @@ func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time
 			return 0
 		}(),
 		Faults: faultCountsJSON{
-			Total:      sum.Total,
-			Detected:   sum.Detected,
-			Untestable: sum.Untestable,
-			Aborted:    sum.Aborted,
-			Dropped:    sum.DroppedByFaultSim,
+			Total:         sum.Total,
+			Detected:      sum.Detected,
+			DetectedByRPT: sum.DetectedByRPT,
+			Untestable:    sum.Untestable,
+			Aborted:       sum.Aborted,
+			Dropped:       sum.DroppedByFaultSim,
 		},
-		Coverage:    sum.Coverage(),
-		Vectors:     len(sum.Vectors),
+		Coverage: sum.Coverage(),
+		Vectors:  len(sum.Vectors),
+		RPT: rptJSON{
+			Batches: sum.RPTBatches,
+			Vectors: sum.RPTVectors,
+		},
 		Phases:      sum.Phases,
 		SATTimeNS:   sum.Elapsed.Nanoseconds(),
 		WallNS:      sum.WallElapsed.Nanoseconds(),
@@ -363,13 +396,16 @@ func generate(name string) (*logic.Circuit, error) {
 
 // dumpDIMACS writes one DIMACS CNF file per (collapsed) fault — the raw
 // ATPG-SAT instances, for use with external SAT solvers.
-func dumpDIMACS(c *logic.Circuit, dir string, collapse bool, info io.Writer) error {
+func dumpDIMACS(c *logic.Circuit, dir string, collapse, dominance bool, info io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	faults := atpg.AllFaults(c)
 	if collapse {
 		faults = atpg.Collapse(c, faults)
+	}
+	if dominance {
+		faults = atpg.CollapseDominance(c, faults)
 	}
 	n := 0
 	for _, f := range faults {

@@ -82,15 +82,19 @@ func TestLoadCircuit(t *testing.T) {
 func TestBuildJSONSummary(t *testing.T) {
 	sum := &atpg.Summary{
 		Circuit:           "c",
-		Total:             10,
+		Total:             14,
 		Detected:          6,
 		Untestable:        1,
 		Aborted:           1,
 		DroppedByFaultSim: 2,
-		Vectors:           make([][]bool, 6),
+		DetectedByRPT:     4,
+		RPTBatches:        3,
+		RPTVectors:        5,
+		Vectors:           make([][]bool, 11),
 		Elapsed:           3 * time.Millisecond,
 		WallElapsed:       2 * time.Millisecond,
 		Phases: atpg.PhaseTimes{
+			RPT:      250 * time.Microsecond,
 			Build:    time.Millisecond,
 			Solve:    3 * time.Millisecond,
 			FaultSim: 500 * time.Microsecond,
@@ -116,17 +120,24 @@ func TestBuildJSONSummary(t *testing.T) {
 		t.Fatalf("faults = %T", m["faults"])
 	}
 	for field, want := range map[string]float64{
-		"total": 10, "detected": 6, "untestable": 1, "aborted": 1, "dropped_by_sim": 2,
+		"total": 14, "detected": 6, "detected_by_rpt": 4, "untestable": 1, "aborted": 1, "dropped_by_sim": 2,
 	} {
 		if faults[field] != want {
 			t.Errorf("faults.%s = %v, want %v", field, faults[field], want)
 		}
 	}
+	rpt, ok := m["rpt"].(map[string]any)
+	if !ok {
+		t.Fatalf("rpt = %T", m["rpt"])
+	}
+	if rpt["batches"] != float64(3) || rpt["vectors"] != float64(5) {
+		t.Errorf("rpt = %v", rpt)
+	}
 	phases, ok := m["phases"].(map[string]any)
 	if !ok {
 		t.Fatalf("phases = %T", m["phases"])
 	}
-	if phases["build_ns"] != 1e6 || phases["solve_ns"] != 3e6 || phases["faultsim_ns"] != 5e5 {
+	if phases["rpt_ns"] != 2.5e5 || phases["build_ns"] != 1e6 || phases["solve_ns"] != 3e6 || phases["faultsim_ns"] != 5e5 {
 		t.Errorf("phases = %v", phases)
 	}
 	if m["sat_time_ns"] != 3e6 || m["wall_ns"] != 2e6 {

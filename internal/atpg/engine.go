@@ -3,6 +3,8 @@ package atpg
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -206,6 +208,14 @@ type Summary struct {
 	// DroppedByFaultSim counts faults covered by earlier vectors and
 	// skipped without invoking the solver.
 	DroppedByFaultSim int
+	// DetectedByRPT counts faults detected by the random-pattern pre-phase
+	// and never handed to the solver.
+	DetectedByRPT int
+	// RPTBatches is the number of 64-pattern random batches simulated;
+	// RPTVectors the number of random patterns that detected a new fault
+	// and were kept (they lead Vectors, in batch then pattern order).
+	RPTBatches int
+	RPTVectors int
 	// Vectors is the generated (compacted) test set, in fault-list order
 	// of the detecting fault.
 	Vectors [][]bool
@@ -227,8 +237,16 @@ type Summary struct {
 	SolverTotals sat.Stats
 }
 
-// PhaseTimes is the per-phase work breakdown of a run.
+// PhaseTimes is the per-phase work breakdown of a run. The phases
+// partition the measured work: each duration is accumulated on a disjoint
+// code path (RPT batch simulation, miter+CNF construction, SAT search,
+// drop-list flush simulation), so on a single worker their sum is at most
+// WallElapsed; in parallel runs Build/Solve/FaultSim sum over workers and
+// can exceed it.
 type PhaseTimes struct {
+	// RPT is the random-pattern pre-phase wall time (it runs before the
+	// worker pool starts, so it never overlaps the other phases).
+	RPT time.Duration `json:"rpt_ns"`
 	// Build is miter construction + CNF encoding time.
 	Build time.Duration `json:"build_ns"`
 	// Solve is SAT search time (equals Summary.Elapsed).
@@ -238,19 +256,49 @@ type PhaseTimes struct {
 }
 
 // Coverage returns detected/(total-untestable): fault coverage over
-// testable faults.
+// testable faults, counting faults dropped by fault simulation and
+// detected by the random-pattern pre-phase as covered.
 func (s Summary) Coverage() float64 {
 	testable := s.Total - s.Untestable
 	if testable == 0 {
 		return 1
 	}
-	return float64(s.Detected+s.DroppedByFaultSim) / float64(testable)
+	return float64(s.Detected+s.DroppedByFaultSim+s.DetectedByRPT) / float64(testable)
 }
+
+// Default random-pattern pre-phase parameters, used by the facade and the
+// CLI. 32 batches of 64 patterns saturate the easy faults of every
+// generated benchmark circuit; 4 idle batches is enough slack that the
+// phase does not give up on a cold streak while the fault list is still
+// shrinking fast.
+const (
+	DefaultRPTBatches  = 32
+	DefaultRPTIdleStop = 4
+)
 
 // RunOptions control a full-circuit run.
 type RunOptions struct {
-	// Collapse applies structural fault collapsing before generation.
+	// Collapse applies structural fault collapsing (gate-local
+	// equivalence) before generation.
 	Collapse bool
+	// Dominance additionally applies dominance-based collapsing
+	// (CollapseDominance) on top of equivalence, further shrinking the
+	// fault list while keeping every dropped fault covered by its
+	// justifier's tests.
+	Dominance bool
+	// RPTBatches enables the random-pattern pre-phase: up to RPTBatches
+	// batches of 64 seeded random patterns are fault-simulated against the
+	// whole undetected fault list before any SAT solving; patterns that
+	// detect a new fault are kept as test vectors. 0 disables the phase
+	// (use DefaultRPTBatches for the standard flow).
+	RPTBatches int
+	// RPTIdleStop stops the pre-phase early after this many consecutive
+	// batches that detect no new fault (0 = DefaultRPTIdleStop).
+	RPTIdleStop int
+	// Seed drives the random pattern generator. Runs with the same seed
+	// and options produce identical vectors and summaries, regardless of
+	// worker count.
+	Seed int64
 	// DropDetected fault-simulates each new vector against the remaining
 	// faults and skips the covered ones (classic TEGUS flow).
 	DropDetected bool
@@ -279,6 +327,9 @@ func (e *Engine) Run(ctx context.Context, c *logic.Circuit, opt RunOptions) (*Su
 	faults := AllFaults(c)
 	if opt.Collapse {
 		faults = Collapse(c, faults)
+	}
+	if opt.Dominance {
+		faults = CollapseDominance(c, faults)
 	}
 	return e.RunFaults(ctx, c, faults, opt)
 }
@@ -311,16 +362,26 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	workers := e.workers()
 	tel := opt.Telemetry
 	tel.begin(len(faults), workers)
+	// Per-worker scratch arenas are created up front so the RPT pre-phase
+	// and the SAT workers share the same fault simulators and buffers.
+	scratches := make([]*workerScratch, workers)
+	for w := range scratches {
+		scratches[w] = e.newScratch()
+	}
 	rep := obs.StartReporter(telProgressEvery(tel), func() {
 		tel.observeProgress(st.progress())
 	})
+	if err := e.runRPT(runCtx, st, scratches); err != nil {
+		rep.Stop()
+		return nil, err
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := e.runWorker(runCtx, st, w); err != nil {
+			if err := e.runWorker(runCtx, st, w, scratches[w]); err != nil {
 				st.setErr(err)
 				cancel()
 			}
@@ -335,15 +396,24 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		tel.observeProgress(st.progress()) // final snapshot: the 100% line
 	}
 
-	// Assemble deterministically: slot order is fault-list order.
-	sum := &Summary{Circuit: c.Name, Total: len(faults), DroppedByFaultSim: st.droppedCount}
+	// Assemble deterministically: RPT vectors first (batch then pattern
+	// order), then SAT results in fault-list order.
+	sum := &Summary{
+		Circuit: c.Name, Total: len(faults),
+		DroppedByFaultSim: st.droppedCount,
+		DetectedByRPT:     st.rptDetected,
+		RPTBatches:        st.rptBatches,
+		RPTVectors:        len(st.rptVectors),
+	}
+	sum.Vectors = append(sum.Vectors, st.rptVectors...)
 	for _, r := range st.results {
 		if r == nil {
-			continue // dropped by fault simulation, or never reached before cancellation
+			continue // detected by RPT, dropped by fault simulation, or never reached before cancellation
 		}
 		sum.Results = append(sum.Results, *r)
 		sum.Elapsed += r.Elapsed
 		sum.Phases.Build += r.BuildElapsed
+		sum.Phases.Solve += r.Elapsed
 		sum.SolverTotals.Add(r.SolverStats)
 		switch r.Status {
 		case Detected:
@@ -355,7 +425,7 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 			sum.Aborted++
 		}
 	}
-	sum.Phases.Solve = sum.Elapsed
+	sum.Phases.RPT = time.Duration(st.rptNS)
 	sum.Phases.FaultSim = time.Duration(st.simNS.Load())
 	sum.WallElapsed = time.Since(start)
 	return sum, ctx.Err()
@@ -378,15 +448,23 @@ type runState struct {
 	faults []Fault
 
 	mu           sync.Mutex
-	next         int    // dispatch cursor; slots below it are claimed or dropped
-	dropped      []bool // marked by fault-simulation flushes
-	droppedCount int
+	next         int       // dispatch cursor; slots below it are claimed or dropped
+	dropped      []bool    // marked by the RPT pre-phase and fault-simulation flushes
+	droppedCount int       // flush drops only; RPT detections count separately
 	results      []*Result // one slot per fault, filled on completion
 	pending      [][]bool  // vectors not yet batch-simulated
 	err          error
 	// Running verdict tallies for progress snapshots (kept under mu; the
 	// authoritative counts are recomputed from results at assembly time).
 	done, det, unt, abt int
+
+	// Random-pattern pre-phase outcome. Written by the (serial) RPT
+	// coordinator before the worker pool starts; the per-batch counters
+	// are updated under mu so progress snapshots see them live.
+	rptDetected int
+	rptBatches  int
+	rptVectors  [][]bool
+	rptNS       int64
 
 	// simNS accumulates fault-simulation flush time (atomic: flushes run
 	// outside the lock).
@@ -398,15 +476,16 @@ func (st *runState) progress() Progress {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return Progress{
-		Circuit:    st.c.Name,
-		Done:       st.done + st.droppedCount,
-		Total:      len(st.faults),
-		Detected:   st.det,
-		Untestable: st.unt,
-		Aborted:    st.abt,
-		Dropped:    st.droppedCount,
-		Vectors:    st.det,
-		Elapsed:    time.Since(st.start),
+		Circuit:     st.c.Name,
+		Done:        st.done + st.droppedCount + st.rptDetected,
+		Total:       len(st.faults),
+		Detected:    st.det,
+		Untestable:  st.unt,
+		Aborted:     st.abt,
+		Dropped:     st.droppedCount,
+		RPTDetected: st.rptDetected,
+		Vectors:     st.det + len(st.rptVectors),
+		Elapsed:     time.Since(st.start),
 	}
 }
 
@@ -418,12 +497,168 @@ func (st *runState) setErr(err error) {
 	st.mu.Unlock()
 }
 
+// runRPT is the random-pattern pre-phase: seeded 64-pattern batches are
+// fault-simulated against the whole undetected fault list, sharded across
+// the worker scratches' simulators; patterns that detect a new fault are
+// kept as test vectors and the detected faults never reach the solver.
+// The phase stops after opt.RPTBatches batches, after RPTIdleStop
+// consecutive batches detecting nothing new, or when the list is empty.
+//
+// Pattern generation and the greedy pattern keep run on the coordinator
+// with a seeded serial RNG, and each fault's detection mask is
+// independent of how the list is sharded — so the kept vector set and
+// the surviving fault list are identical for any worker count.
+func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerScratch) error {
+	opt := st.opt
+	if opt.RPTBatches <= 0 || len(st.faults) == 0 {
+		return nil
+	}
+	idleStop := opt.RPTIdleStop
+	if idleStop <= 0 {
+		idleStop = DefaultRPTIdleStop
+	}
+	phaseStart := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := st.c
+	tel := opt.Telemetry
+
+	// Live view of the fault list, compacted after every batch so later
+	// batches only simulate survivors.
+	live := make([]int, len(st.faults)) // indices into st.faults
+	nets := make([]int, len(st.faults))
+	sas := make([]bool, len(st.faults))
+	for i, f := range st.faults {
+		live[i], nets[i], sas[i] = i, f.Net, f.StuckAt
+	}
+	masks := make([]uint64, len(live))
+	words := make([]uint64, len(c.Inputs))
+	workers := len(scratches)
+	sims := make([]*faultsim.Simulator, workers)
+	simErrs := make([]error, workers)
+
+	idle := 0
+	for b := 0; b < opt.RPTBatches && len(live) > 0 && idle < idleStop; b++ {
+		if ctx.Err() != nil {
+			break
+		}
+		batchStart := time.Now()
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		// Shard the live list across the worker simulators. Each shard
+		// writes its slice of masks; full masks (not early-exit) because
+		// the greedy keep below needs every detecting pattern.
+		chunk := (len(live) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(live) {
+				break
+			}
+			hi := min(lo+chunk, len(live))
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				sim := sims[w]
+				if sim == nil && scratches[w] != nil {
+					sim = scratches[w].sim
+				}
+				var err error
+				if sim == nil {
+					sim, err = faultsim.NewSimulator(c, words, 64)
+				} else {
+					err = sim.Reset(words, 64)
+				}
+				if err != nil {
+					simErrs[w] = err
+					return
+				}
+				sims[w] = sim
+				if scratches[w] != nil {
+					scratches[w].sim = sim
+				}
+				sim.DetectAll(nets[lo:hi], sas[lo:hi], masks[lo:hi], false)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range simErrs {
+			if err != nil {
+				return err
+			}
+		}
+		// Greedy pattern keep, in fault-list order: a fault whose mask
+		// misses every kept pattern contributes its lowest detecting
+		// pattern, so every detected fault is covered by a kept pattern.
+		var kept uint64
+		detected := 0
+		for k := range live {
+			m := masks[k]
+			if m == 0 {
+				continue
+			}
+			if m&kept == 0 {
+				kept |= 1 << uint(bits.TrailingZeros64(m))
+			}
+			detected++
+		}
+		var newVecs [][]bool
+		for p := 0; p < 64; p++ {
+			if kept&(1<<uint(p)) == 0 {
+				continue
+			}
+			vec := make([]bool, len(c.Inputs))
+			for i := range vec {
+				vec[i] = words[i]&(1<<uint(p)) != 0
+			}
+			newVecs = append(newVecs, vec)
+		}
+		var detectedNames []string
+		if tel != nil && tel.Trace != nil {
+			for k := range live {
+				if masks[k] != 0 {
+					detectedNames = append(detectedNames, st.faults[live[k]].Name(c))
+				}
+			}
+		}
+		st.mu.Lock()
+		for k := range live {
+			if masks[k] != 0 {
+				st.dropped[live[k]] = true
+			}
+		}
+		st.rptDetected += detected
+		st.rptBatches++
+		st.rptVectors = append(st.rptVectors, newVecs...)
+		st.mu.Unlock()
+		tel.observeRPTBatch(detected, len(newVecs), detectedNames, time.Since(batchStart), time.Since(st.start))
+		// Compact the live list down to the survivors.
+		if detected == 0 {
+			idle++
+			continue
+		}
+		idle = 0
+		nw := 0
+		for k := range live {
+			if masks[k] != 0 {
+				continue
+			}
+			live[nw], nets[nw], sas[nw] = live[k], nets[k], sas[k]
+			nw++
+		}
+		live, nets, sas, masks = live[:nw], nets[:nw], sas[:nw], masks[:nw]
+	}
+	st.mu.Lock()
+	st.rptNS = time.Since(phaseStart).Nanoseconds()
+	st.mu.Unlock()
+	return nil
+}
+
 // runWorker claims and solves faults until the list is exhausted or the
 // context is cancelled. worker is the pool index, used to shard telemetry
-// counters and label trace events.
-func (e *Engine) runWorker(ctx context.Context, st *runState, worker int) error {
+// counters and label trace events; ws is the worker's scratch arena
+// (shared with the RPT pre-phase), nil when reuse is disabled.
+func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *workerScratch) error {
 	tel := st.opt.Telemetry
-	ws := e.newScratch()
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -525,7 +760,7 @@ func (st *runState) flush(batch [][]bool, worker int, ws *workerScratch) error {
 		if snap[j] {
 			continue
 		}
-		if sim.Detects(st.faults[j].Net, st.faults[j].StuckAt) != 0 {
+		if sim.DetectsAny(st.faults[j].Net, st.faults[j].StuckAt) != 0 {
 			hits = append(hits, j)
 		}
 	}

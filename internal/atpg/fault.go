@@ -124,3 +124,100 @@ func Collapse(c *logic.Circuit, faults []Fault) []Fault {
 	}
 	return out
 }
+
+// DominancePair records one dominance-collapsing decision: Dropped is a
+// gate-output fault removed from the list, Justifier the input-side fault
+// that dominates it — every test detecting Justifier also detects Dropped.
+type DominancePair struct {
+	Dropped   Fault
+	Justifier Fault
+}
+
+// DominancePairs finds the dominance relations CollapseDominance acts on.
+// For a gate g with an input net X read only by g (one pin, not a primary
+// output), a test for the X-side fault at g's non-controlled pin value
+// must drive every other pin non-controlling and propagate through g —
+// so it also detects the corresponding output fault:
+//
+//	AND:  X@1 dominates g/1    NAND: X@1 dominates g/0
+//	OR:   X@0 dominates g/0    NOR:  X@0 dominates g/1
+//
+// (X@s is the pin-side value; the net-side fault is X/(s XOR inv) when
+// the pin carries an inversion bubble.) The single-reader condition makes
+// g the only propagation path for the justifier, and X not being an
+// output keeps it unobservable except through g; under those conditions
+// the faulty circuits for Justifier and Dropped agree on every net
+// downstream of g, so detection coincides. XOR/XNOR gates have no
+// controlling value and admit no dominance. Both faults must be present
+// in the incoming list; chains (a justifier that is itself dropped at its
+// own gate) are safe because justifiers always lie strictly earlier in
+// topological order, terminating at a kept fault.
+func DominancePairs(c *logic.Circuit, faults []Fault) []DominancePair {
+	have := make(map[Fault]bool, len(faults))
+	for _, f := range faults {
+		have[f] = true
+	}
+	outSet := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		outSet[o] = true
+	}
+	var pairs []DominancePair
+	for id := range c.Nodes {
+		g := &c.Nodes[id]
+		var s, d bool // justifier pin value, dropped output stuck value
+		switch g.Type {
+		case logic.And:
+			s, d = true, true
+		case logic.Nand:
+			s, d = true, false
+		case logic.Or:
+			s, d = false, false
+		case logic.Nor:
+			s, d = false, true
+		default:
+			continue
+		}
+		dropped := Fault{Net: id, StuckAt: d}
+		if !have[dropped] {
+			continue
+		}
+		for pin, x := range g.Fanin {
+			// Fanout lists one entry per reading pin, so length 1 means g
+			// reads X on exactly this pin and nothing else reads it.
+			if len(c.Nodes[x].Fanout) != 1 || outSet[x] {
+				continue
+			}
+			j := Fault{Net: x, StuckAt: s != g.Negated(pin)}
+			if !have[j] {
+				continue
+			}
+			pairs = append(pairs, DominancePair{Dropped: dropped, Justifier: j})
+			break // one justifier suffices to drop the output fault
+		}
+	}
+	return pairs
+}
+
+// CollapseDominance performs dominance-based fault collapsing on top of
+// equivalence collapsing: each dominated gate-output fault found by
+// DominancePairs is dropped in favor of its justifier. Unlike
+// equivalence, dominance shrinks the fault list without changing which
+// tests the kept faults require — any complete test set for the collapsed
+// list still detects every dropped fault whose justifier is testable.
+func CollapseDominance(c *logic.Circuit, faults []Fault) []Fault {
+	pairs := DominancePairs(c, faults)
+	if len(pairs) == 0 {
+		return faults
+	}
+	drop := make(map[Fault]bool, len(pairs))
+	for _, p := range pairs {
+		drop[p.Dropped] = true
+	}
+	out := make([]Fault, 0, len(faults)-len(pairs))
+	for _, f := range faults {
+		if !drop[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

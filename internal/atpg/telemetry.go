@@ -29,21 +29,24 @@ type Telemetry struct {
 type Progress struct {
 	Circuit string
 	// Done counts faults with a verdict: solved (detected, untestable or
-	// aborted) plus dropped-by-simulation.
+	// aborted), dropped-by-simulation, or detected by the random-pattern
+	// pre-phase.
 	Done, Total                            int
 	Detected, Untestable, Aborted, Dropped int
-	Vectors                                int
-	Elapsed                                time.Duration
+	// RPTDetected counts faults detected by the random-pattern pre-phase.
+	RPTDetected int
+	Vectors     int
+	Elapsed     time.Duration
 }
 
 // Coverage returns the running fault coverage over testable faults,
-// counting dropped faults as covered.
+// counting dropped and RPT-detected faults as covered.
 func (p Progress) Coverage() float64 {
 	testable := p.Total - p.Untestable
 	if testable == 0 {
 		return 1
 	}
-	return float64(p.Detected+p.Dropped) / float64(testable)
+	return float64(p.Detected+p.Dropped+p.RPTDetected) / float64(testable)
 }
 
 // ETA linearly extrapolates the remaining wall time from the rate so far;
@@ -58,9 +61,9 @@ func (p Progress) ETA() time.Duration {
 
 // String renders the standard one-line progress report.
 func (p Progress) String() string {
-	return fmt.Sprintf("%d/%d faults (%.1f%%)  detected %d  dropped %d  untestable %d  aborted %d  coverage %.1f%%  elapsed %v  eta %v",
+	return fmt.Sprintf("%d/%d faults (%.1f%%)  detected %d  rpt %d  dropped %d  untestable %d  aborted %d  coverage %.1f%%  elapsed %v  eta %v",
 		p.Done, p.Total, 100*float64(p.Done)/float64(max(p.Total, 1)),
-		p.Detected, p.Dropped, p.Untestable, p.Aborted,
+		p.Detected, p.RPTDetected, p.Dropped, p.Untestable, p.Aborted,
 		100*p.Coverage(), p.Elapsed.Round(time.Millisecond), p.ETA())
 }
 
@@ -77,8 +80,11 @@ type Metrics struct {
 	FaultsUntestable *obs.Counter
 	FaultsAborted    *obs.Counter
 	FaultsDropped    *obs.Counter
+	RPTDetected      *obs.Counter
+	RPTBatches       *obs.Counter
 	Vectors          *obs.Counter
 
+	PhaseRPTNS      *obs.Counter
 	PhaseBuildNS    *obs.Counter
 	PhaseSolveNS    *obs.Counter
 	PhaseFaultSimNS *obs.Counter
@@ -118,8 +124,11 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		FaultsUntestable: reg.Counter("atpg_faults_untestable_total", "faults proved untestable"),
 		FaultsAborted:    reg.Counter("atpg_faults_aborted_total", "faults aborted on a resource limit"),
 		FaultsDropped:    reg.Counter("atpg_faults_dropped_total", "faults dropped by fault simulation"),
+		RPTDetected:      reg.Counter("atpg_rpt_detected_total", "faults detected by the random-pattern pre-phase"),
+		RPTBatches:       reg.Counter("atpg_rpt_batches_total", "random-pattern batches simulated"),
 		Vectors:          reg.Counter("atpg_vectors_total", "test vectors generated"),
 
+		PhaseRPTNS:      reg.Counter("atpg_phase_rpt_ns_total", "random-pattern pre-phase time"),
 		PhaseBuildNS:    reg.Counter("atpg_phase_build_ns_total", "miter construction + CNF encoding time"),
 		PhaseSolveNS:    reg.Counter("atpg_phase_solve_ns_total", "SAT solving time"),
 		PhaseFaultSimNS: reg.Counter("atpg_phase_faultsim_ns_total", "fault-simulation flush time"),
@@ -143,8 +152,8 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 }
 
 // TraceEvent is one line of the per-fault JSONL trace. Kind is "fault"
-// for a per-fault verdict (solved or dropped) and "faultsim" for one
-// fault-simulation flush.
+// for a per-fault verdict (solved, dropped or rpt-detected), "faultsim"
+// for one fault-simulation flush, and "rpt" for one random-pattern batch.
 type TraceEvent struct {
 	Kind   string `json:"kind"`
 	TimeNS int64  `json:"t_ns"` // wall time since the run started
@@ -159,10 +168,15 @@ type TraceEvent struct {
 	SolveNS int64      `json:"solve_ns,omitempty"`
 	Solver  *sat.Stats `json:"solver,omitempty"`
 
-	// Flush fields (Kind == "faultsim").
+	// Flush fields (Kind == "faultsim"); "rpt" batch events reuse Batch
+	// (patterns simulated), Dropped (faults newly detected) and SimNS.
 	Batch   int   `json:"batch,omitempty"`   // vectors simulated
 	Dropped int   `json:"dropped,omitempty"` // faults newly dropped
 	SimNS   int64 `json:"sim_ns,omitempty"`
+
+	// Kept is the number of patterns of an "rpt" batch that detected a
+	// new fault and were kept as test vectors.
+	Kept int `json:"kept,omitempty"`
 }
 
 // begin records the run shape at start time.
@@ -242,6 +256,33 @@ func (t *Telemetry) observeFlush(worker, batch int, droppedNames []string, simTi
 			_ = t.Trace.Emit(TraceEvent{
 				Kind: "fault", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
 				Fault: name, Status: "dropped",
+			})
+		}
+	}
+}
+
+// observeRPTBatch records one random-pattern batch: the faults it
+// detected, the patterns kept as vectors, and the batch simulation time.
+func (t *Telemetry) observeRPTBatch(detected, kept int, detectedNames []string, simTime, sinceStart time.Duration) {
+	if t == nil {
+		return
+	}
+	if m := t.Metrics; m != nil {
+		m.FaultsDone.Add(int64(detected))
+		m.RPTDetected.Add(int64(detected))
+		m.RPTBatches.Inc()
+		m.Vectors.Add(int64(kept))
+		m.PhaseRPTNS.Add(simTime.Nanoseconds())
+	}
+	if t.Trace != nil {
+		_ = t.Trace.Emit(TraceEvent{
+			Kind: "rpt", TimeNS: sinceStart.Nanoseconds(),
+			Batch: 64, Dropped: detected, Kept: kept, SimNS: simTime.Nanoseconds(),
+		})
+		for _, name := range detectedNames {
+			_ = t.Trace.Emit(TraceEvent{
+				Kind: "fault", TimeNS: sinceStart.Nanoseconds(),
+				Fault: name, Status: "rpt",
 			})
 		}
 	}

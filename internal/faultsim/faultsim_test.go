@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"atpgeasy/internal/gen"
 	"atpgeasy/internal/logic"
 )
 
@@ -142,16 +143,17 @@ func TestEpochWraparound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Populate coneMark with genuine stamps, then jump to the last epoch
-	// before overflow. The next query wraps: without the reset, stamps
-	// equal to the restarted epoch (and the zero default) would fake cone
-	// membership.
+	// Populate the stamp arrays with genuine stamps, then jump to the last
+	// epoch before overflow. The next query wraps: without the reset,
+	// stamps equal to the restarted epoch (and the zero default) would
+	// fake divergence or queue membership.
 	for net := 0; net < c.NumNodes(); net++ {
 		sim.Detects(net, true)
 	}
 	sim.epoch = ^uint32(0)
-	// Plant a stamp that aliases the post-wrap epoch value 1 exactly.
-	sim.coneMark[c.NumNodes()-1] = 1
+	// Plant stamps that alias the post-wrap epoch value 1 exactly.
+	sim.divergedAt[c.NumNodes()-1] = 1
+	sim.queuedAt[c.NumNodes()-1] = 1
 	fresh, err := NewSimulator(c, words, nPat)
 	if err != nil {
 		t.Fatal(err)
@@ -168,9 +170,14 @@ func TestEpochWraparound(t *testing.T) {
 	if sim.epoch == 0 || sim.epoch > uint32(6*c.NumNodes()) {
 		t.Errorf("epoch = %d after wrap, want a small restarted value", sim.epoch)
 	}
-	for id, m := range sim.coneMark {
+	for id, m := range sim.divergedAt {
 		if m > sim.epoch {
-			t.Errorf("node %d holds stale stamp %d > epoch %d after wrap", id, m, sim.epoch)
+			t.Errorf("node %d holds stale divergence stamp %d > epoch %d after wrap", id, m, sim.epoch)
+		}
+	}
+	for id, m := range sim.queuedAt {
+		if m > sim.epoch {
+			t.Errorf("node %d holds stale queue stamp %d > epoch %d after wrap", id, m, sim.epoch)
 		}
 	}
 }
@@ -184,6 +191,209 @@ func TestZeroPatterns(t *testing.T) {
 	}
 	if got := sim.Detects(c.MustLookup("f"), false); got != 0 {
 		t.Errorf("no patterns but Detects = %b", got)
+	}
+}
+
+// scalarDetects is the per-pattern oracle: one scalar simulation of the
+// good and faulty circuit per pattern.
+func scalarDetects(c *logic.Circuit, vecs [][]bool, net int, sa bool) uint64 {
+	var want uint64
+	for p := range vecs {
+		good := c.Simulate(vecs[p])
+		faulty := c.SimulateWith(vecs[p], map[int]bool{net: sa})
+		for _, o := range c.Outputs {
+			if good[o] != faulty[o] {
+				want |= 1 << uint(p)
+				break
+			}
+		}
+	}
+	return want
+}
+
+func randomVecs(rng *rand.Rand, c *logic.Circuit, nPat int) [][]bool {
+	vecs := make([][]bool, nPat)
+	for p := range vecs {
+		vecs[p] = make([]bool, len(c.Inputs))
+		for i := range vecs[p] {
+			vecs[p][i] = rng.Intn(2) == 1
+		}
+	}
+	return vecs
+}
+
+// allFaultsAgree checks Detects, DetectsAny, and ReferenceDetects against
+// the scalar oracle for every fault in the circuit.
+func allFaultsAgree(t *testing.T, c *logic.Circuit, vecs [][]bool) {
+	t.Helper()
+	words, err := PackPatterns(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c, words, len(vecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net := 0; net < c.NumNodes(); net++ {
+		for _, sa := range []bool{false, true} {
+			want := scalarDetects(c, vecs, net, sa)
+			if got := sim.Detects(net, sa); got != want {
+				t.Fatalf("%s: net %d (%s) sa%v: Detects %b, want %b",
+					c.Name, net, c.Nodes[net].Name, sa, got, want)
+			}
+			if got := ReferenceDetects(c, words, len(vecs), net, sa); got != want {
+				t.Fatalf("%s: net %d sa%v: ReferenceDetects %b, want %b", c.Name, net, sa, got, want)
+			}
+			any := sim.DetectsAny(net, sa)
+			if (any != 0) != (want != 0) {
+				t.Fatalf("%s: net %d sa%v: DetectsAny %b, Detects %b", c.Name, net, sa, any, want)
+			}
+			if any&^want != 0 {
+				t.Fatalf("%s: net %d sa%v: DetectsAny %b not a subset of %b", c.Name, net, sa, any, want)
+			}
+		}
+	}
+}
+
+// TestXorXnorGates exercises the event-driven wave through XOR/XNOR
+// gates, whose output flips on any single-input divergence — the gate
+// family where a "diverged value equals good value" stop is rarest.
+func TestXorXnorGates(t *testing.T) {
+	b := logic.NewBuilder("xorchain")
+	a := b.Input("a")
+	c0 := b.Input("b")
+	d := b.Input("c")
+	x1 := b.Gate(logic.Xor, "x1", a, c0)
+	x2 := b.Gate(logic.Xnor, "x2", x1, d)
+	x3 := b.GateN(logic.Xor, "x3", []int{x2, a, c0}, []bool{true, false, false})
+	x4 := b.Gate(logic.Xnor, "x4", x3, x1)
+	b.MarkOutput(x4)
+	b.MarkOutput(x2)
+	c := b.MustBuild()
+	rng := rand.New(rand.NewSource(7))
+	allFaultsAgree(t, c, randomVecs(rng, c, 8)) // all 8 input patterns
+}
+
+// TestConstantDrivers covers circuits with Const0/Const1 nodes: faults on
+// the constant nets themselves (only the opposite-polarity fault is ever
+// activatable) and on gates fed by constants.
+func TestConstantDrivers(t *testing.T) {
+	b := logic.NewBuilder("consts")
+	a := b.Input("a")
+	one := b.Const("one", true)
+	zero := b.Const("zero", false)
+	g1 := b.Gate(logic.And, "g1", a, one)
+	g2 := b.Gate(logic.Or, "g2", g1, zero)
+	g3 := b.GateN(logic.Nand, "g3", []int{g2, one}, []bool{false, true})
+	b.MarkOutput(g2)
+	b.MarkOutput(g3)
+	c := b.MustBuild()
+	vecs := [][]bool{{false}, {true}}
+	allFaultsAgree(t, c, vecs)
+	// Spot-check the polarity logic: forcing a constant net to its own
+	// value is never activated; the opposite value propagates.
+	words, _ := PackPatterns(c, vecs)
+	sim, _ := NewSimulator(c, words, len(vecs))
+	if got := sim.Detects(one, true); got != 0 {
+		t.Errorf("one/1 detected (%b) but the fault never activates", got)
+	}
+	if got := sim.Detects(one, false); got != 0b10 {
+		t.Errorf("one/0 mask = %b, want 0b10 (a=1 propagates through g1,g2)", got)
+	}
+}
+
+// TestFaultNetIsOutput covers fault nets that are themselves primary
+// outputs — both a PO with no fanout (divergence detected before any
+// event is queued) and a PO that also feeds further logic, plus a primary
+// input marked directly as an output.
+func TestFaultNetIsOutput(t *testing.T) {
+	b := logic.NewBuilder("pofaults")
+	a := b.Input("a")
+	x := b.Input("b")
+	g1 := b.Gate(logic.And, "g1", a, x) // PO with fanout
+	g2 := b.Gate(logic.Not, "g2", g1)   // PO, no fanout
+	b.MarkOutput(a)                     // input as output
+	b.MarkOutput(g1)
+	b.MarkOutput(g2)
+	c := b.MustBuild()
+	vecs := [][]bool{{false, false}, {false, true}, {true, false}, {true, true}}
+	allFaultsAgree(t, c, vecs)
+	// DetectsAny on an output fault net must exit before touching fanout.
+	words, _ := PackPatterns(c, vecs)
+	sim, _ := NewSimulator(c, words, len(vecs))
+	if got := sim.DetectsAny(g1, true); got == 0 {
+		t.Error("g1/1 on an output net not detected by DetectsAny")
+	}
+}
+
+// TestEventDrivenMatchesReference property-tests the event-driven
+// simulator against full-circuit forced re-simulation on generated
+// random circuits, over every fault and several seeds.
+func TestEventDrivenMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := gen.Random(gen.RandomParams{Inputs: 12, Gates: 150, Seed: seed})
+		rng := rand.New(rand.NewSource(seed * 100))
+		nPat := 1 + rng.Intn(64)
+		vecs := randomVecs(rng, c, nPat)
+		words, err := PackPatterns(c, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(c, words, nPat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for net := 0; net < c.NumNodes(); net++ {
+			for _, sa := range []bool{false, true} {
+				got := sim.Detects(net, sa)
+				want := ReferenceDetects(c, words, nPat, net, sa)
+				if got != want {
+					t.Fatalf("seed %d net %d sa%v: event-driven %b, reference %b", seed, net, sa, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDetectAll checks the batch API against per-fault queries and its
+// buffer-reuse contract.
+func TestDetectAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randomCircuit(rng, 50)
+	vecs := randomVecs(rng, c, 32)
+	words, err := PackPatterns(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(c, words, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nets []int
+	var sas []bool
+	for net := 0; net < c.NumNodes(); net++ {
+		nets = append(nets, net, net)
+		sas = append(sas, false, true)
+	}
+	buf := make([]uint64, len(nets))
+	got := sim.DetectAll(nets, sas, buf, false)
+	if &got[0] != &buf[0] {
+		t.Error("DetectAll did not reuse the provided buffer")
+	}
+	for i := range nets {
+		if want := sim.Detects(nets[i], sas[i]); got[i] != want {
+			t.Fatalf("fault %d (net %d sa%v): DetectAll %b, Detects %b", i, nets[i], sas[i], got[i], want)
+		}
+	}
+	// Early mode: nonzero agreement per fault.
+	early := sim.DetectAll(nets, sas, nil, true)
+	for i := range nets {
+		if (early[i] != 0) != (got[i] != 0) {
+			t.Fatalf("fault %d: early mask %b vs full %b", i, early[i], got[i])
+		}
+		if early[i]&^got[i] != 0 {
+			t.Fatalf("fault %d: early mask %b not a subset of %b", i, early[i], got[i])
+		}
 	}
 }
 
