@@ -42,6 +42,7 @@ import (
 	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/bench"
 	"atpgeasy/internal/blif"
+	"atpgeasy/internal/checkpoint"
 	"atpgeasy/internal/cnf"
 	"atpgeasy/internal/core"
 	"atpgeasy/internal/decomp"
@@ -160,12 +161,64 @@ const (
 	Xnor   = logic.Xnor
 )
 
-// Per-fault ATPG outcomes.
+// Per-fault ATPG outcomes. Errored marks a fault whose per-fault
+// pipeline panicked; the run isolates the panic (stack in
+// TestResult.Stack) and continues.
 const (
 	Detected   = atpg.Detected
 	Untestable = atpg.Untestable
 	Aborted    = atpg.Aborted
+	Errored    = atpg.Errored
 )
+
+// Resilience types: escalating retries for over-budget faults, and the
+// crash-recovery checkpoint journal (see internal/checkpoint and the
+// README's "Crash recovery & retries" section).
+type (
+	// RetryTier summarizes one escalation tier of the post-sweep retry
+	// phase (Summary.Retries).
+	RetryTier = atpg.RetryTier
+	// ResumeState pre-applies verdicts replayed from a previous run's
+	// journal (RunOptions.Resume).
+	ResumeState = atpg.ResumeState
+	// ResumeRPT restores a journaled random-pattern pre-phase outcome.
+	ResumeRPT = atpg.ResumeRPT
+	// JournalSink receives final fault verdicts as they are decided
+	// (RunOptions.Journal); *CheckpointJournal implements it.
+	JournalSink = atpg.JournalSink
+	// CheckpointJournal is an append-only JSONL crash-recovery journal.
+	CheckpointJournal = checkpoint.Journal
+	// CheckpointState is the replayed content of a journal.
+	CheckpointState = checkpoint.State
+	// CheckpointHeader binds a journal to one exact run.
+	CheckpointHeader = checkpoint.Header
+	// CheckpointOptions configure journal durability (per-record fsync,
+	// rotation threshold).
+	CheckpointOptions = checkpoint.Options
+)
+
+// Retry-phase defaults (RunOptions.RetryTiers / RetryBackoff): three
+// escalation tiers, each with four times the previous budget.
+const (
+	DefaultRetryTiers   = atpg.DefaultRetryTiers
+	DefaultRetryBackoff = atpg.DefaultRetryBackoff
+)
+
+// OpenCheckpoint creates (or, with a prior Load result, continues) a
+// crash-recovery journal; pass it as RunOptions.Journal.
+func OpenCheckpoint(path string, hdr CheckpointHeader, prior *CheckpointState, opt CheckpointOptions) (*CheckpointJournal, error) {
+	return checkpoint.New(path, hdr, prior, opt)
+}
+
+// LoadCheckpoint replays the journal at path, tolerating the truncated
+// trailing record a hard kill can leave.
+func LoadCheckpoint(path string) (*CheckpointState, error) { return checkpoint.Load(path) }
+
+// CheckpointFingerprint hashes everything that determines a run's
+// verdict and vector identity, for CheckpointHeader.FaultHash.
+func CheckpointFingerprint(c *Circuit, faults []Fault, opt RunOptions) uint64 {
+	return atpg.CheckpointFingerprint(c, faults, opt)
+}
 
 // NewBuilder returns an empty circuit builder.
 func NewBuilder(name string) *Builder { return logic.NewBuilder(name) }

@@ -9,6 +9,8 @@
 //	     [-collapse] [-dominance] [-drop] [-solver dpll|caching|simple]
 //	     [-j WORKERS] [-budget DURATION] [-cache-limit BYTES]
 //	     [-rpt-batches N] [-rpt-idle N] [-seed N]
+//	     [-retry-tiers N] [-retry-backoff F] [-mem-soft-limit BYTES]
+//	     [-checkpoint FILE] [-resume] [-checkpoint-sync] [-checkpoint-every DUR]
 //	     [-metrics-addr ADDR] [-trace FILE] [-progress DUR] [-json]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
@@ -31,6 +33,18 @@
 // solver's sub-formula table per worker (bytes, 0 = the 64 MiB default). Interrupting the run (SIGINT or
 // SIGTERM) drains the workers and prints the partial results.
 //
+// Robustness: with -budget, faults that exhaust their budget enter a
+// bounded retry queue re-run after the main sweep with geometrically
+// escalating budgets (-retry-tiers tiers, ×-retry-backoff each); a fault
+// is reported aborted only after the final tier. -checkpoint journals
+// every final verdict to an append-only JSONL file (flushed per record,
+// fsynced per record with -checkpoint-sync, and every -checkpoint-every
+// besides), so a killed run resumes with -resume: decided faults are
+// skipped and the random-pattern pre-phase is replayed from the journal,
+// reproducing the uninterrupted run's vector set. -mem-soft-limit arms a
+// heap watchdog that shrinks the per-worker solver caches under memory
+// pressure instead of growing toward an OOM kill.
+//
 // Observability: -metrics-addr serves Prometheus-text /metrics,
 // /debug/vars and net/http/pprof for the duration of the run; -trace
 // writes one JSONL event per fault (and per fault-simulation flush);
@@ -52,12 +66,14 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"atpgeasy/internal/atpg"
 	"atpgeasy/internal/bench"
 	"atpgeasy/internal/blif"
+	"atpgeasy/internal/checkpoint"
 	"atpgeasy/internal/decomp"
 	"atpgeasy/internal/gen"
 	"atpgeasy/internal/logic"
@@ -84,6 +100,13 @@ func main() {
 	workers := flag.Int("j", 0, "parallel fault workers (0 = GOMAXPROCS)")
 	budget := flag.Duration("budget", 0, "per-fault SAT time budget (0 = none); over-budget faults abort")
 	cacheLimit := flag.Int64("cache-limit", 0, "caching solver's sub-formula cache bound per worker, in bytes (0 = 64 MiB default)")
+	retryTiers := flag.Int("retry-tiers", atpg.DefaultRetryTiers, "escalation tiers re-running over-budget faults with growing budgets (0 = no retries)")
+	retryBackoff := flag.Float64("retry-backoff", atpg.DefaultRetryBackoff, "per-fault budget multiplier between retry tiers")
+	memSoftLimit := flag.Int64("mem-soft-limit", 0, "soft heap limit in bytes: above it, worker solver caches are halved between faults (0 = off)")
+	ckptPath := flag.String("checkpoint", "", "journal final fault verdicts to this JSONL file for crash recovery")
+	resumeRun := flag.Bool("resume", false, "replay the -checkpoint journal, skipping faults it already decided")
+	ckptSync := flag.Bool("checkpoint-sync", false, "fsync the checkpoint journal after every record (survives power loss, not just kill -9)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint fsync interval (0 = only on rotation and exit)")
 	decompose := flag.Bool("decompose", true, "tech-decompose to ≤3-input AND/OR first (as TEGUS requires)")
 	vectors := flag.Bool("vectors", false, "print the generated test vectors")
 	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
@@ -112,6 +135,16 @@ func main() {
 	}
 	fmt.Fprintf(info, "circuit: %s (depth %d, max fanout %d)\n", c, c.Depth(), c.MaxFanout())
 
+	// The collapsed fault list is computed here (not inside the engine) so
+	// the checkpoint header can fingerprint its exact content.
+	faults := atpg.AllFaults(c)
+	if *collapse {
+		faults = atpg.Collapse(c, faults)
+	}
+	if *dominance {
+		faults = atpg.CollapseDominance(c, faults)
+	}
+
 	eng := &atpg.Engine{VerifyTests: true, Workers: *workers}
 	switch *solver {
 	case "dpll":
@@ -124,7 +157,7 @@ func main() {
 		fail(fmt.Errorf("unknown solver %q", *solver))
 	}
 	if *dimacsDir != "" {
-		if err := dumpDIMACS(c, *dimacsDir, *collapse, *dominance, info); err != nil {
+		if err := dumpDIMACS(c, faults, *dimacsDir, info); err != nil {
 			fail(err)
 		}
 	}
@@ -138,11 +171,7 @@ func main() {
 		fail(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	sum, err := eng.Run(ctx, c, atpg.RunOptions{
-		Collapse:       *collapse,
-		Dominance:      *dominance,
+	opt := atpg.RunOptions{
 		DropDetected:   *drop,
 		RPTBatches:     *rptBatches,
 		RPTIdleStop:    *rptIdle,
@@ -150,13 +179,51 @@ func main() {
 		PerFaultBudget: *budget,
 		Telemetry:      tel,
 		CacheLimit:     *cacheLimit,
-	})
+		RetryTiers:     *retryTiers,
+		RetryBackoff:   *retryBackoff,
+		MemSoftLimit:   *memSoftLimit,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		journal, opt.Resume, err = openCheckpoint(*ckptPath, *resumeRun, c, faults, opt,
+			checkpoint.Options{Sync: *ckptSync})
+		if err != nil {
+			fail(err)
+		}
+		opt.Journal = journal
+		if opt.Resume != nil {
+			fmt.Fprintf(info, "checkpoint: resuming %s — %d of %d faults already decided\n",
+				*ckptPath, len(opt.Resume.Faults), len(faults))
+		}
+	}
+	stopSyncer := startCheckpointSyncer(ctx, journal, *ckptEvery)
+
+	sum, err := eng.RunFaults(ctx, c, faults, opt)
+
+	// Flush order matters on every exit path — including engine errors and
+	// interrupts: the trace sink and the journal hold buffered records that
+	// must reach disk before the process reports anything (or dies). The
+	// old code called fail() on engine errors before closing the trace,
+	// losing the tail of the event log.
+	stopSyncer()
+	telErr := closeTel()
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil {
+			// A sticky journal write error degraded the run to
+			// uncheckpointed; the results themselves are fine.
+			fmt.Fprintf(os.Stderr, "atpg: checkpoint journal: %v\n", cerr)
+		}
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fail(err)
 	}
-	if cerr := closeTel(); cerr != nil {
-		fail(cerr)
+	if telErr != nil {
+		fail(telErr)
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "atpg: interrupted — partial results follow")
@@ -167,10 +234,14 @@ func main() {
 				r.Fault.Name(c), r.Status, r.Vars, r.Clauses, r.Elapsed)
 		}
 	}
-	fmt.Fprintf(info, "faults: %d  rpt-detected: %d  detected: %d  untestable: %d  aborted: %d  dropped-by-sim: %d\n",
-		sum.Total, sum.DetectedByRPT, sum.Detected, sum.Untestable, sum.Aborted, sum.DroppedByFaultSim)
+	fmt.Fprintf(info, "faults: %d  rpt-detected: %d  detected: %d  untestable: %d  aborted: %d  errors: %d  dropped-by-sim: %d\n",
+		sum.Total, sum.DetectedByRPT, sum.Detected, sum.Untestable, sum.Aborted, sum.Errors, sum.DroppedByFaultSim)
 	fmt.Fprintf(info, "rpt: %d batches, %d patterns kept, %d solver calls avoided\n",
 		sum.RPTBatches, sum.RPTVectors, sum.DetectedByRPT)
+	for _, rt := range sum.Retries {
+		fmt.Fprintf(info, "retry tier %d: budget %v, attempted %d, recovered %d\n",
+			rt.Tier, rt.Budget, rt.Attempted, rt.Recovered)
+	}
 	fmt.Fprintf(info, "fault coverage (testable): %.2f%%   vectors: %d   SAT time: %v   wall: %v\n",
 		100*sum.Coverage(), len(sum.Vectors), sum.Elapsed, sum.WallElapsed.Round(time.Microsecond))
 	fmt.Fprintf(info, "phases: rpt %v   build %v   solve %v   fault-sim %v\n",
@@ -253,20 +324,21 @@ func setupTelemetry(metricsAddr, traceFile string, progressEvery time.Duration, 
 // format version; see README.md ("Observability") for the field-by-field
 // description.
 type runSummaryJSON struct {
-	Schema      string          `json:"schema"`
-	Circuit     string          `json:"circuit"`
-	Solver      string          `json:"solver"`
-	Workers     int             `json:"workers"`
-	BudgetNS    int64           `json:"budget_ns,omitempty"`
-	Faults      faultCountsJSON `json:"faults"`
-	Coverage    float64         `json:"coverage"`
-	Vectors     int             `json:"vectors"`
-	RPT         rptJSON         `json:"rpt"`
-	Phases      atpg.PhaseTimes `json:"phases"`
-	SATTimeNS   int64           `json:"sat_time_ns"`
-	WallNS      int64           `json:"wall_ns"`
-	SolverStats sat.Stats       `json:"solver_totals"`
-	Interrupted bool            `json:"interrupted,omitempty"`
+	Schema      string           `json:"schema"`
+	Circuit     string           `json:"circuit"`
+	Solver      string           `json:"solver"`
+	Workers     int              `json:"workers"`
+	BudgetNS    int64            `json:"budget_ns,omitempty"`
+	Faults      faultCountsJSON  `json:"faults"`
+	Coverage    float64          `json:"coverage"`
+	Vectors     int              `json:"vectors"`
+	RPT         rptJSON          `json:"rpt"`
+	Phases      atpg.PhaseTimes  `json:"phases"`
+	SATTimeNS   int64            `json:"sat_time_ns"`
+	WallNS      int64            `json:"wall_ns"`
+	SolverStats sat.Stats        `json:"solver_totals"`
+	Retries     []atpg.RetryTier `json:"retries,omitempty"`
+	Interrupted bool             `json:"interrupted,omitempty"`
 }
 
 type faultCountsJSON struct {
@@ -275,6 +347,7 @@ type faultCountsJSON struct {
 	DetectedByRPT int `json:"detected_by_rpt"`
 	Untestable    int `json:"untestable"`
 	Aborted       int `json:"aborted"`
+	Errors        int `json:"errors"`
 	Dropped       int `json:"dropped_by_sim"`
 }
 
@@ -303,6 +376,7 @@ func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time
 			DetectedByRPT: sum.DetectedByRPT,
 			Untestable:    sum.Untestable,
 			Aborted:       sum.Aborted,
+			Errors:        sum.Errors,
 			Dropped:       sum.DroppedByFaultSim,
 		},
 		Coverage: sum.Coverage(),
@@ -315,7 +389,138 @@ func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time
 		SATTimeNS:   sum.Elapsed.Nanoseconds(),
 		WallNS:      sum.WallElapsed.Nanoseconds(),
 		SolverStats: sum.SolverTotals,
+		Retries:     sum.Retries,
 		Interrupted: interrupted,
+	}
+}
+
+// openCheckpoint opens (or, with resume, continues) the journal at path
+// and converts any replayed state into the engine's resume form. The
+// header binds the journal to this exact run — circuit, collapsed fault
+// list, seed and the deterministic run options — so a stale or foreign
+// journal is rejected instead of silently corrupting verdicts.
+func openCheckpoint(path string, resume bool, c *logic.Circuit, faults []atpg.Fault, opt atpg.RunOptions, copt checkpoint.Options) (*checkpoint.Journal, *atpg.ResumeState, error) {
+	hdr := checkpoint.Header{
+		Circuit:   c.Name,
+		Faults:    len(faults),
+		FaultHash: atpg.CheckpointFingerprint(c, faults, opt),
+		Seed:      opt.Seed,
+	}
+	var prior *checkpoint.State
+	var rs *atpg.ResumeState
+	if resume {
+		st, err := checkpoint.Load(path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "atpg: -resume: no journal at %s, starting fresh\n", path)
+		case err != nil:
+			return nil, nil, err
+		default:
+			if rs, err = resumeState(st, c, faults); err != nil {
+				return nil, nil, err
+			}
+			prior = st
+		}
+	}
+	j, err := checkpoint.New(path, hdr, prior, copt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, rs, nil
+}
+
+// resumeState converts a loaded journal into the engine's resume form,
+// validating every index and vector against the current circuit and
+// fault list (the header hash makes a mismatch unlikely, but journal
+// content is still external input).
+func resumeState(st *checkpoint.State, c *logic.Circuit, faults []atpg.Fault) (*atpg.ResumeState, error) {
+	decode := func(s string, what string) ([]bool, error) {
+		v, err := checkpoint.DecodeVector(s)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != len(c.Inputs) {
+			return nil, fmt.Errorf("checkpoint: %s vector has %d bits for %d inputs", what, len(v), len(c.Inputs))
+		}
+		return v, nil
+	}
+	rs := &atpg.ResumeState{Faults: make(map[int]atpg.Result, len(st.Faults))}
+	if st.RPT != nil {
+		rpt := &atpg.ResumeRPT{
+			Detected: append([]int(nil), st.RPT.Detected...),
+			Vectors:  make([][]bool, len(st.RPT.Vectors)),
+			Batches:  st.RPT.Batches,
+		}
+		for _, i := range rpt.Detected {
+			if i < 0 || i >= len(faults) {
+				return nil, fmt.Errorf("checkpoint: rpt-detected fault index %d out of range", i)
+			}
+		}
+		for i, s := range st.RPT.Vectors {
+			v, err := decode(s, "rpt")
+			if err != nil {
+				return nil, err
+			}
+			rpt.Vectors[i] = v
+		}
+		rs.RPT = rpt
+	}
+	for i, fv := range st.Faults {
+		if i < 0 || i >= len(faults) {
+			return nil, fmt.Errorf("checkpoint: fault index %d out of range", i)
+		}
+		status, ok := atpg.ParseStatus(fv.Status)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: fault %d has unknown status %q", i, fv.Status)
+		}
+		res := atpg.Result{Fault: faults[i], Status: status, Err: fv.Err}
+		if fv.Vector != "" {
+			v, err := decode(fv.Vector, "fault")
+			if err != nil {
+				return nil, err
+			}
+			res.Vector = v
+		}
+		rs.Faults[i] = res
+	}
+	return rs, nil
+}
+
+// startCheckpointSyncer fsyncs the journal on the given period and once
+// more when ctx is cancelled (SIGINT/SIGTERM), so a signal-drained run's
+// verdicts are durable even if the process is then killed hard. The
+// returned stop function waits for the goroutine to exit; it is a no-op
+// without a journal.
+func startCheckpointSyncer(ctx context.Context, j *checkpoint.Journal, every time.Duration) func() {
+	if j == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var tick <-chan time.Time
+		if every > 0 {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-tick:
+				j.Sync()
+			case <-ctx.Done():
+				j.Sync()
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
 	}
 }
 
@@ -396,16 +601,9 @@ func generate(name string) (*logic.Circuit, error) {
 
 // dumpDIMACS writes one DIMACS CNF file per (collapsed) fault — the raw
 // ATPG-SAT instances, for use with external SAT solvers.
-func dumpDIMACS(c *logic.Circuit, dir string, collapse, dominance bool, info io.Writer) error {
+func dumpDIMACS(c *logic.Circuit, faults []atpg.Fault, dir string, info io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
-	}
-	faults := atpg.AllFaults(c)
-	if collapse {
-		faults = atpg.Collapse(c, faults)
-	}
-	if dominance {
-		faults = atpg.CollapseDominance(c, faults)
 	}
 	n := 0
 	for _, f := range faults {

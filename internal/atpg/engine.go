@@ -25,18 +25,36 @@ const (
 	Detected   Status = iota // a test vector was found and verified
 	Untestable               // the ATPG-SAT instance is unsatisfiable
 	Aborted                  // resource limit hit before a decision
+	Errored                  // the fault's processing panicked; run continued
 )
 
-// String returns "detected", "untestable" or "aborted".
+// String returns "detected", "untestable", "aborted" or "error".
 func (s Status) String() string {
 	switch s {
 	case Detected:
 		return "detected"
 	case Untestable:
 		return "untestable"
+	case Errored:
+		return "error"
 	default:
 		return "aborted"
 	}
+}
+
+// ParseStatus inverts Status.String, for replaying journaled verdicts.
+func ParseStatus(s string) (Status, bool) {
+	switch s {
+	case "detected":
+		return Detected, true
+	case "untestable":
+		return Untestable, true
+	case "aborted":
+		return Aborted, true
+	case "error":
+		return Errored, true
+	}
+	return 0, false
 }
 
 // Result is the outcome of test generation for one fault.
@@ -57,6 +75,10 @@ type Result struct {
 	BuildElapsed time.Duration
 	// SolverStats carries the solver's search counters.
 	SolverStats sat.Stats
+	// Err and Stack describe the recovered panic of an Errored fault: the
+	// panic value and the goroutine stack captured at recovery.
+	Err   string
+	Stack string
 }
 
 // Engine generates tests fault by fault. The zero value uses the DPLL
@@ -83,6 +105,14 @@ type Engine struct {
 	// table keeps its grown capacity across faults and therefore evicts
 	// less. The switch exists for A/B benchmarking and bisection.
 	DisableScratchReuse bool
+
+	// testHookPanic, when set by a test, is invoked with each fault just
+	// before it is processed and may panic — exercising the per-fault
+	// panic-isolation path without planting bugs in production code.
+	testHookPanic func(Fault)
+	// memCheckEvery overrides the memory watchdog's sampling period in
+	// tests (0 = the production 250ms).
+	memCheckEvery time.Duration
 }
 
 // workerScratch is one worker's allocation arena. A worker processes
@@ -205,6 +235,10 @@ type Summary struct {
 	Detected   int
 	Untestable int
 	Aborted    int
+	// Errors counts faults whose processing panicked; the panic was
+	// recovered, the fault reported with status "error", and the run
+	// continued.
+	Errors int
 	// DroppedByFaultSim counts faults covered by earlier vectors and
 	// skipped without invoking the solver.
 	DroppedByFaultSim int
@@ -235,6 +269,9 @@ type Summary struct {
 	// SolverTotals merges the per-fault solver statistics of every fault
 	// that reached the solver.
 	SolverTotals sat.Stats
+	// Retries describes the escalating-budget retry phase, one entry per
+	// tier that ran (nil when retries were disabled or nothing aborted).
+	Retries []RetryTier
 }
 
 // PhaseTimes is the per-phase work breakdown of a run. The phases
@@ -315,6 +352,29 @@ type RunOptions struct {
 	// per worker (0 = sat.DefaultCacheLimit). Ignored by solvers without a
 	// cache (Simple, DPLL).
 	CacheLimit int64
+	// RetryTiers, when positive together with PerFaultBudget, re-runs
+	// faults that exhausted their budget after the main sweep, up to this
+	// many escalation tiers with geometrically increasing budgets. A fault
+	// is reported Aborted only after the final tier also fails.
+	RetryTiers int
+	// RetryBackoff is the budget multiplier between tiers (values <= 1
+	// select DefaultRetryBackoff).
+	RetryBackoff float64
+	// MemSoftLimit, when positive, arms a watchdog that samples the Go
+	// heap and — while it exceeds this many bytes — has each worker halve
+	// its solver cache table (sat.Arena.Shrink) between faults, degrading
+	// pruning instead of letting the process grow toward an OOM kill.
+	MemSoftLimit int64
+	// Journal, when non-nil, receives every final fault verdict and the
+	// random-pattern pre-phase outcome as they are decided — the engine
+	// side of the crash-recovery checkpoint (see internal/checkpoint).
+	// Faults headed for the retry queue are journaled only once final.
+	Journal JournalSink
+	// Resume pre-applies verdicts replayed from a previous run's journal:
+	// decided faults are skipped (their verdicts and vectors enter the
+	// summary unchanged) and a journaled random-pattern pre-phase is
+	// restored instead of re-run, preserving the deterministic vector set.
+	Resume *ResumeState
 }
 
 // dropBatch is the pending-vector count that triggers a fault-simulation
@@ -358,7 +418,9 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		faults:  faults,
 		results: make([]*Result, len(faults)),
 		dropped: make([]bool, len(faults)),
+		resumed: make([]bool, len(faults)),
 	}
+	st.applyResume(opt.Resume)
 	workers := e.workers()
 	tel := opt.Telemetry
 	tel.begin(len(faults), workers)
@@ -368,12 +430,19 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	for w := range scratches {
 		scratches[w] = e.newScratch()
 	}
+	stopWatchdog := e.startMemWatchdog(runCtx, st)
+	defer stopWatchdog()
 	rep := obs.StartReporter(telProgressEvery(tel), func() {
 		tel.observeProgress(st.progress())
 	})
-	if err := e.runRPT(runCtx, st, scratches); err != nil {
-		rep.Stop()
-		return nil, err
+	if !st.rptRestored {
+		if err := e.runRPT(runCtx, st, scratches); err != nil {
+			rep.Stop()
+			return nil, err
+		}
+		if opt.Journal != nil && runCtx.Err() == nil {
+			opt.Journal.RecordRPT(st.rptDetectedIdx, st.rptVectors, st.rptBatches)
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -388,6 +457,7 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		}()
 	}
 	wg.Wait()
+	retries := e.runRetryTiers(runCtx, st, scratches)
 	rep.Stop()
 	if st.err != nil {
 		return nil, st.err
@@ -423,8 +493,11 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 			sum.Untestable++
 		case Aborted:
 			sum.Aborted++
+		case Errored:
+			sum.Errors++
 		}
 	}
+	sum.Retries = retries
 	sum.Phases.RPT = time.Duration(st.rptNS)
 	sum.Phases.FaultSim = time.Duration(st.simNS.Load())
 	sum.WallElapsed = time.Since(start)
@@ -449,22 +522,32 @@ type runState struct {
 
 	mu           sync.Mutex
 	next         int       // dispatch cursor; slots below it are claimed or dropped
-	dropped      []bool    // marked by the RPT pre-phase and fault-simulation flushes
+	dropped      []bool    // marked by the RPT pre-phase, flushes and resume replay
 	droppedCount int       // flush drops only; RPT detections count separately
 	results      []*Result // one slot per fault, filled on completion
+	resumed      []bool    // verdicts replayed from a journal: final, never retried
 	pending      [][]bool  // vectors not yet batch-simulated
 	err          error
 	// Running verdict tallies for progress snapshots (kept under mu; the
 	// authoritative counts are recomputed from results at assembly time).
-	done, det, unt, abt int
+	done, det, unt, abt, errs int
 
 	// Random-pattern pre-phase outcome. Written by the (serial) RPT
 	// coordinator before the worker pool starts; the per-batch counters
 	// are updated under mu so progress snapshots see them live.
-	rptDetected int
-	rptBatches  int
-	rptVectors  [][]bool
-	rptNS       int64
+	rptDetected    int
+	rptBatches     int
+	rptVectors     [][]bool
+	rptDetectedIdx []int // fault-list indices detected by the pre-phase
+	rptNS          int64
+	// rptRestored marks the pre-phase as replayed from a journal; runRPT
+	// is then skipped so the kept vector set stays exactly the journaled one.
+	rptRestored bool
+
+	// shrinkGen is bumped by the memory watchdog while the heap exceeds
+	// the soft limit; workers compare it to a local counter between faults
+	// and halve their arena's cache table when it advanced.
+	shrinkGen atomic.Int64
 
 	// simNS accumulates fault-simulation flush time (atomic: flushes run
 	// outside the lock).
@@ -482,6 +565,7 @@ func (st *runState) progress() Progress {
 		Detected:    st.det,
 		Untestable:  st.unt,
 		Aborted:     st.abt,
+		Errors:      st.errs,
 		Dropped:     st.droppedCount,
 		RPTDetected: st.rptDetected,
 		Vectors:     st.det + len(st.rptVectors),
@@ -524,11 +608,16 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 
 	// Live view of the fault list, compacted after every batch so later
 	// batches only simulate survivors.
-	live := make([]int, len(st.faults)) // indices into st.faults
-	nets := make([]int, len(st.faults))
-	sas := make([]bool, len(st.faults))
+	live := make([]int, 0, len(st.faults)) // indices into st.faults
+	nets := make([]int, 0, len(st.faults))
+	sas := make([]bool, 0, len(st.faults))
 	for i, f := range st.faults {
-		live[i], nets[i], sas[i] = i, f.Net, f.StuckAt
+		if st.dropped[i] {
+			continue // already decided by a resumed journal
+		}
+		live = append(live, i)
+		nets = append(nets, f.Net)
+		sas = append(sas, f.StuckAt)
 	}
 	masks := make([]uint64, len(live))
 	words := make([]uint64, len(c.Inputs))
@@ -624,6 +713,7 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 		for k := range live {
 			if masks[k] != 0 {
 				st.dropped[live[k]] = true
+				st.rptDetectedIdx = append(st.rptDetectedIdx, live[k])
 			}
 		}
 		st.rptDetected += detected
@@ -659,10 +749,13 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 // (shared with the RPT pre-phase), nil when reuse is disabled.
 func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *workerScratch) error {
 	tel := st.opt.Telemetry
+	retryable := st.opt.RetryTiers > 0 && st.opt.PerFaultBudget > 0
+	var shrinkSeen int64
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
+		st.maybeShrink(ws, worker, &shrinkSeen)
 		st.mu.Lock()
 		for st.next < len(st.faults) && st.dropped[st.next] {
 			st.next++
@@ -679,7 +772,7 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 		if st.opt.PerFaultBudget > 0 {
 			lim.Deadline = time.Now().Add(st.opt.PerFaultBudget)
 		}
-		res, err := e.testFault(st.c, st.faults[i], lim, ws, st.opt.CacheLimit)
+		res, err := e.safeTestFault(st.c, st.faults[i], lim, ws, st.opt.CacheLimit)
 		if err != nil {
 			return err
 		}
@@ -698,6 +791,8 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 			st.unt++
 		case Aborted:
 			st.abt++
+		case Errored:
+			st.errs++
 		}
 		if res.Status == Detected && st.opt.DropDetected {
 			st.pending = append(st.pending, res.Vector)
@@ -708,6 +803,12 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 		st.mu.Unlock()
 		if tel != nil {
 			tel.observeFault(worker, st.faults[i].Name(st.c), &res, time.Since(st.start))
+		}
+		// An aborted fault headed for the retry queue is not final yet;
+		// journaling it now would make a resume skip a fault the retry
+		// tiers might still decide.
+		if st.opt.Journal != nil && (res.Status != Aborted || !retryable) {
+			st.opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
 		}
 		if batch != nil {
 			if err := st.flush(batch, worker, ws); err != nil {

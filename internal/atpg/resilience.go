@@ -1,0 +1,332 @@
+package atpg
+
+// This file is the engine's resilience layer: per-fault panic isolation,
+// the checkpoint/resume plumbing (the journal itself lives in
+// internal/checkpoint), the escalating-budget retry tiers for faults
+// that exhaust PerFaultBudget, and the soft-memory watchdog that shrinks
+// solver caches instead of letting the process grow toward an OOM kill.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/sat"
+)
+
+// Default retry escalation: three tiers, each with four times the
+// previous budget, so a fault gets up to 1+4+16+64 = 85x the base budget
+// before it is finally reported aborted.
+const (
+	DefaultRetryTiers   = 3
+	DefaultRetryBackoff = 4.0
+)
+
+// memWatchdogEvery is the production sampling period of the soft-memory
+// watchdog.
+const memWatchdogEvery = 250 * time.Millisecond
+
+// JournalSink receives a run's durable progress: the random-pattern
+// pre-phase outcome once, then every fault's final verdict as it is
+// decided. *checkpoint.Journal implements it; the indirection keeps the
+// engine free of a persistence dependency.
+type JournalSink interface {
+	RecordRPT(detected []int, vectors [][]bool, batches int)
+	RecordFault(i int, status string, vector []bool, errMsg string)
+}
+
+// ResumeRPT is a journaled random-pattern pre-phase to restore instead
+// of re-running: the fault-list indices it detected, the kept vectors in
+// batch-then-pattern order, and the batch count.
+type ResumeRPT struct {
+	Detected []int
+	Vectors  [][]bool
+	Batches  int
+}
+
+// ResumeState is a previous run's journaled progress, replayed into a
+// new run via RunOptions.Resume. Fault indices refer to the current
+// fault list — callers must verify the list matches the journaled run
+// (CheckpointFingerprint) before resuming.
+type ResumeState struct {
+	RPT *ResumeRPT
+	// Faults maps fault-list index to its final verdict; only Status,
+	// Vector and Err are meaningful on the Results.
+	Faults map[int]Result
+}
+
+// RetryTier summarizes one escalation tier of the retry phase.
+type RetryTier struct {
+	Tier      int           `json:"tier"`
+	Budget    time.Duration `json:"budget_ns"`
+	Attempted int           `json:"attempted"`
+	Recovered int           `json:"recovered"`
+}
+
+// CheckpointFingerprint hashes everything that determines a run's
+// verdict/vector identity — circuit, exact fault list, seed and the
+// deterministic run options — so a journal from a different run is
+// rejected instead of silently mis-applied. Worker count and budgets are
+// deliberately excluded: verdicts are worker-independent, and budgets
+// only move faults between decided and aborted.
+func CheckpointFingerprint(c *logic.Circuit, faults []Fault, opt RunOptions) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%t|", c.Name, len(c.Inputs),
+		opt.Seed, opt.RPTBatches, opt.RPTIdleStop, opt.DropDetected)
+	for _, f := range faults {
+		fmt.Fprintf(h, "%d:%t;", f.Net, f.StuckAt)
+	}
+	return h.Sum64()
+}
+
+// safeTestFault is testFault behind a recover barrier: a panic anywhere
+// in the per-fault pipeline (miter build, CNF encode, SAT search, vector
+// extraction) becomes an Errored result carrying the panic message and
+// stack, and the run continues with the next fault.
+func (e *Engine) safeTestFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *workerScratch, cacheLimit int64) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Fault:  f,
+				Status: Errored,
+				Err:    fmt.Sprintf("panic: %v", r),
+				Stack:  string(debug.Stack()),
+			}
+			err = nil
+			if ws != nil {
+				// The panic may have left the scratch arena mid-solve; a
+				// fresh one costs a few allocations on a path taken at most
+				// once per faulty cone, and guarantees the next fault starts
+				// from clean state. A sticky watchdog cap carries over.
+				prevCap := ws.arena.CacheCap()
+				ws.arena = sat.NewArena()
+				if prevCap > 0 {
+					for ws.arena.Shrink() > prevCap {
+					}
+				}
+			}
+		}
+	}()
+	if e.testHookPanic != nil {
+		e.testHookPanic(f)
+	}
+	return e.testFault(c, f, lim, ws, cacheLimit)
+}
+
+// applyResume pre-fills the run state with a previous run's journaled
+// progress: decided faults are marked dropped (workers skip them) with
+// their verdicts installed verbatim, and a completed pre-phase is
+// restored so it is not re-run.
+func (st *runState) applyResume(rs *ResumeState) {
+	if rs == nil {
+		return
+	}
+	if rs.RPT != nil {
+		for _, i := range rs.RPT.Detected {
+			if i >= 0 && i < len(st.dropped) {
+				st.dropped[i] = true
+			}
+		}
+		st.rptDetectedIdx = append([]int(nil), rs.RPT.Detected...)
+		st.rptDetected = len(rs.RPT.Detected)
+		st.rptBatches = rs.RPT.Batches
+		st.rptVectors = rs.RPT.Vectors
+		st.rptRestored = true
+	}
+	for i, r := range rs.Faults {
+		if i < 0 || i >= len(st.results) {
+			continue
+		}
+		rc := r
+		st.results[i] = &rc
+		st.dropped[i] = true
+		st.resumed[i] = true
+		st.done++
+		switch r.Status {
+		case Detected:
+			st.det++
+		case Untestable:
+			st.unt++
+		case Aborted:
+			st.abt++
+		case Errored:
+			st.errs++
+		}
+	}
+}
+
+// maybeShrink halves the worker's solver cache when the watchdog
+// generation advanced since the worker last looked. Runs between faults
+// on the worker's own goroutine, so the arena is quiescent.
+func (st *runState) maybeShrink(ws *workerScratch, worker int, seen *int64) {
+	if ws == nil {
+		return
+	}
+	gen := st.shrinkGen.Load()
+	if gen == *seen {
+		return
+	}
+	*seen = gen
+	newCap := ws.arena.Shrink()
+	st.opt.Telemetry.observeShrink(worker, newCap, time.Since(st.start))
+}
+
+// startMemWatchdog arms the soft-memory watchdog when the run has a
+// MemSoftLimit: a sampler reads the Go heap size on a period and, while
+// it exceeds the limit, bumps the shrink generation — at most one cache
+// halving per worker per sample. The returned stop function blocks until
+// the sampler exits.
+func (e *Engine) startMemWatchdog(ctx context.Context, st *runState) func() {
+	if st.opt.MemSoftLimit <= 0 {
+		return func() {}
+	}
+	every := e.memCheckEvery
+	if every <= 0 {
+		every = memWatchdogEvery
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if int64(ms.HeapAlloc) > st.opt.MemSoftLimit {
+				st.shrinkGen.Add(1)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// runRetryTiers is the escalation phase: after the main sweep, faults
+// that hit PerFaultBudget are re-run on the worker pool for up to
+// RetryTiers rounds with geometrically increasing budgets, reusing the
+// per-worker scratch arenas. A fault leaves the queue as soon as a tier
+// decides it; survivors of the final tier stay Aborted and only then
+// reach the journal. Returns one summary entry per tier that ran.
+func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*workerScratch) []RetryTier {
+	opt := st.opt
+	if opt.RetryTiers <= 0 || opt.PerFaultBudget <= 0 {
+		return nil
+	}
+	st.mu.Lock()
+	var queue []int
+	for i, r := range st.results {
+		if r != nil && r.Status == Aborted && !st.resumed[i] {
+			queue = append(queue, i)
+		}
+	}
+	failed := st.err != nil
+	st.mu.Unlock()
+	if failed {
+		return nil
+	}
+
+	backoff := opt.RetryBackoff
+	if backoff <= 1 {
+		backoff = DefaultRetryBackoff
+	}
+	tel := opt.Telemetry
+	budget := opt.PerFaultBudget
+	var tiers []RetryTier
+	for tier := 1; tier <= opt.RetryTiers && len(queue) > 0 && ctx.Err() == nil; tier++ {
+		budget = time.Duration(float64(budget) * backoff)
+		entry := RetryTier{Tier: tier, Budget: budget, Attempted: len(queue)}
+		decided := make([]bool, len(queue)) // each slot written by one worker only
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := range scratches {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := scratches[w]
+				var shrinkSeen int64
+				for {
+					k := int(cursor.Add(1)) - 1
+					if k >= len(queue) || ctx.Err() != nil {
+						return
+					}
+					st.maybeShrink(ws, w, &shrinkSeen)
+					i := queue[k]
+					lim := sat.Limits{Cancel: ctx.Done(), Deadline: time.Now().Add(budget)}
+					res, err := e.safeTestFault(st.c, st.faults[i], lim, ws, opt.CacheLimit)
+					if err != nil {
+						st.setErr(err)
+						return
+					}
+					if ctx.Err() != nil {
+						return
+					}
+					if res.Status != Aborted {
+						decided[k] = true
+					}
+					st.mu.Lock()
+					st.results[i] = &res
+					if res.Status != Aborted {
+						st.abt--
+						switch res.Status {
+						case Detected:
+							st.det++
+						case Untestable:
+							st.unt++
+						case Errored:
+							st.errs++
+						}
+					}
+					st.mu.Unlock()
+					if tel != nil {
+						tel.observeRetry(w, st.faults[i].Name(st.c), &res, tier, time.Since(st.start))
+					}
+					if opt.Journal != nil && res.Status != Aborted {
+						opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var still []int
+		for k, i := range queue {
+			if !decided[k] {
+				still = append(still, i)
+			}
+		}
+		entry.Recovered = entry.Attempted - len(still)
+		tiers = append(tiers, entry)
+		queue = still
+		st.mu.Lock()
+		failed = st.err != nil
+		st.mu.Unlock()
+		if failed {
+			return tiers
+		}
+	}
+	// Whatever is still queued is finally Aborted — journal it now, unless
+	// the run is draining (a later resume should get another shot).
+	if opt.Journal != nil && ctx.Err() == nil {
+		for _, i := range queue {
+			opt.Journal.RecordFault(i, Aborted.String(), nil, "")
+		}
+	}
+	return tiers
+}

@@ -1,0 +1,346 @@
+package atpg
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/obs"
+	"atpgeasy/internal/sat"
+)
+
+// recordingSink is a JournalSink capturing records in memory, with an
+// optional context cancel fired once `cancelAfter` fault verdicts have
+// landed — simulating a run killed mid-flight.
+type recordingSink struct {
+	mu          sync.Mutex
+	cancel      context.CancelFunc
+	cancelAfter int
+	rpt         *ResumeRPT
+	faults      map[int]Result
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{faults: make(map[int]Result)}
+}
+
+func (s *recordingSink) RecordRPT(detected []int, vectors [][]bool, batches int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rpt := &ResumeRPT{Detected: append([]int(nil), detected...), Batches: batches}
+	for _, v := range vectors {
+		rpt.Vectors = append(rpt.Vectors, append([]bool(nil), v...))
+	}
+	s.rpt = rpt
+}
+
+func (s *recordingSink) RecordFault(i int, status string, vector []bool, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := ParseStatus(status)
+	if !ok {
+		panic("journal sink got unknown status " + status)
+	}
+	s.faults[i] = Result{Status: st, Vector: append([]bool(nil), vector...), Err: errMsg}
+	if s.cancel != nil && len(s.faults) >= s.cancelAfter {
+		s.cancel()
+	}
+}
+
+func (s *recordingSink) state() *ResumeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := make(map[int]Result, len(s.faults))
+	for i, r := range s.faults {
+		fs[i] = r
+	}
+	return &ResumeState{RPT: s.rpt, Faults: fs}
+}
+
+// TestPanicIsolation injects a panic into one fault's processing and
+// requires the run to survive it: every other fault gets its verdict,
+// the panicked fault reports status "error", Summary.Errors counts it,
+// and the trace carries the panic message plus a captured stack.
+func TestPanicIsolation(t *testing.T) {
+	c := gen.CarryLookaheadAdder(4)
+	faults := Collapse(c, AllFaults(c))
+	victim := faults[len(faults)/2]
+
+	var buf bytes.Buffer
+	trace := obs.NewTrace(&buf)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, 2)
+	eng := &Engine{Workers: 2}
+	eng.testHookPanic = func(f Fault) {
+		if f == victim {
+			panic("injected cone explosion")
+		}
+	}
+	sum, err := eng.RunFaults(context.Background(), c, faults, RunOptions{
+		Telemetry: &Telemetry{Metrics: met, Trace: trace},
+	})
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if sum.Errors != 1 {
+		t.Fatalf("Summary.Errors = %d, want 1", sum.Errors)
+	}
+	if got := sum.Detected + sum.Untestable + sum.Aborted + sum.Errors; got != sum.Total {
+		t.Fatalf("faults lost to the panic: %d accounted of %d", got, sum.Total)
+	}
+	if met.FaultPanics.Value() != 1 {
+		t.Fatalf("atpg_fault_panics_total = %d, want 1", met.FaultPanics.Value())
+	}
+	var errored *Result
+	for i := range sum.Results {
+		if sum.Results[i].Status == Errored {
+			errored = &sum.Results[i]
+		}
+	}
+	if errored == nil {
+		t.Fatal("no Errored result in the summary")
+	}
+	if !strings.Contains(errored.Err, "injected cone explosion") {
+		t.Fatalf("Result.Err = %q", errored.Err)
+	}
+	if !strings.Contains(errored.Stack, "goroutine") {
+		t.Fatalf("Result.Stack missing a goroutine stack: %.80q", errored.Stack)
+	}
+	if err := trace.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	var found bool
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Status == "error" {
+			found = true
+			if !strings.Contains(ev.Error, "injected cone explosion") || !strings.Contains(ev.Stack, "goroutine") {
+				t.Fatalf("error trace event lacks panic context: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no status:error event in the trace")
+	}
+}
+
+// budgetSolver aborts with Unknown whenever its per-call deadline allows
+// less than `need` of solving time, and otherwise delegates to a real
+// solver — making "this fault needs a bigger budget" deterministic
+// instead of wall-clock-dependent.
+type budgetSolver struct {
+	inner sat.Solver
+	need  time.Duration
+	lim   sat.Limits
+}
+
+func (s *budgetSolver) Solve(f *cnf.Formula) sat.Solution {
+	if !s.lim.Deadline.IsZero() && time.Until(s.lim.Deadline) < s.need {
+		return sat.Solution{Status: sat.Unknown}
+	}
+	return s.inner.Solve(f)
+}
+
+func (s *budgetSolver) WithLimits(lim sat.Limits) sat.Solver {
+	cp := *s
+	cp.lim = lim
+	return &cp
+}
+
+// TestRetryTiersRecoverAbortedFaults runs with a budget every fault
+// "exceeds" until the second escalation tier, and requires the retry
+// phase to decide all of them — with the per-tier story in
+// Summary.Retries and the labeled metrics.
+func TestRetryTiersRecoverAbortedFaults(t *testing.T) {
+	c := gen.CarryLookaheadAdder(4)
+	faults := Collapse(c, AllFaults(c))
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, 2)
+	eng := &Engine{
+		Workers: 2,
+		Solver:  &budgetSolver{inner: &sat.DPLL{}, need: 100 * time.Millisecond},
+	}
+	sink := newRecordingSink()
+	sum, err := eng.RunFaults(context.Background(), c, faults, RunOptions{
+		PerFaultBudget: 10 * time.Millisecond, // tiers: 40ms, 160ms, 640ms
+		RetryTiers:     3,
+		RetryBackoff:   4,
+		Telemetry:      &Telemetry{Metrics: met},
+		Journal:        sink,
+	})
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if sum.Aborted != 0 {
+		t.Fatalf("Aborted = %d after retries, want 0", sum.Aborted)
+	}
+	if len(sum.Retries) < 2 {
+		t.Fatalf("Retries = %+v, want at least 2 tiers", sum.Retries)
+	}
+	// Faults decided without a solver call (structurally unobservable)
+	// never abort, so the tiers see the solver-bound population.
+	t1, t2 := sum.Retries[0], sum.Retries[1]
+	if t1.Tier != 1 || t1.Attempted == 0 || t1.Recovered != 0 {
+		t.Fatalf("tier 1 = %+v, want attempts and no recoveries", t1)
+	}
+	if t2.Tier != 2 || t2.Attempted != t1.Attempted || t2.Recovered != t2.Attempted {
+		t.Fatalf("tier 2 = %+v, want all %d recovered", t2, t1.Attempted)
+	}
+	if got := met.RetryRecovered.Values(); got["2"] != int64(t2.Recovered) || got["1"] != 0 {
+		t.Fatalf("atpg_retry_recovered_total = %v", got)
+	}
+	if got := met.RetryAttempts.Values(); got["1"] != int64(t1.Attempted) || got["2"] != int64(t2.Attempted) {
+		t.Fatalf("atpg_retry_attempts_total = %v", got)
+	}
+	// Only final verdicts reach the journal, each exactly once.
+	if len(sink.faults) != sum.Total {
+		t.Fatalf("journal has %d verdicts for %d faults", len(sink.faults), sum.Total)
+	}
+	for i, r := range sink.faults {
+		if r.Status == Aborted {
+			t.Fatalf("fault %d journaled as aborted despite recovery", i)
+		}
+	}
+	// The budget gate is deterministic, so the recovered run must decide
+	// exactly what an unbudgeted run decides.
+	plain, err := (&Engine{Workers: 2, Solver: &sat.DPLL{}}).RunFaults(context.Background(), c, faults, RunOptions{})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if sum.Detected != plain.Detected || sum.Untestable != plain.Untestable {
+		t.Fatalf("retried verdicts diverge: got %d/%d, want %d/%d",
+			sum.Detected, sum.Untestable, plain.Detected, plain.Untestable)
+	}
+	if !reflect.DeepEqual(sum.Vectors, plain.Vectors) {
+		t.Fatal("retried vector set differs from the unbudgeted run")
+	}
+}
+
+// TestCrashResumeEquivalence cancels a run mid-sweep (the in-process
+// stand-in for kill -9: only journaled verdicts survive), resumes from
+// the journal, and requires byte-identical vectors and coverage versus
+// an uninterrupted run — at 1 and 8 workers.
+func TestCrashResumeEquivalence(t *testing.T) {
+	// A random circuit rather than the multiplier: RPT detects every
+	// multiplier fault, leaving nothing for the SAT phase to journal. This
+	// one leaves ~185 solver verdicts (redundant + hard faults), so the
+	// cancel lands mid-sweep.
+	c := gen.Random(gen.RandomParams{Inputs: 20, Gates: 200, Seed: 3})
+	faults := CollapseDominance(c, Collapse(c, AllFaults(c)))
+	opt := RunOptions{RPTBatches: DefaultRPTBatches, Seed: 42}
+
+	for _, workers := range []int{1, 8} {
+		baseline, err := (&Engine{Workers: workers}).RunFaults(context.Background(), c, faults, opt)
+		if err != nil {
+			t.Fatalf("workers=%d baseline: %v", workers, err)
+		}
+
+		// Interrupted run: cancel after a handful of journaled verdicts.
+		ctx, cancel := context.WithCancel(context.Background())
+		sink := newRecordingSink()
+		sink.cancel, sink.cancelAfter = cancel, 5
+		iopt := opt
+		iopt.Journal = sink
+		_, err = (&Engine{Workers: workers}).RunFaults(ctx, c, faults, iopt)
+		cancel()
+		if err == nil {
+			t.Fatalf("workers=%d: interrupted run finished before the cancel", workers)
+		}
+		prior := sink.state()
+		if prior.RPT == nil {
+			t.Fatalf("workers=%d: pre-phase missing from the journal", workers)
+		}
+		if len(prior.Faults) >= len(baseline.Results) {
+			t.Fatalf("workers=%d: nothing left to resume (%d of %d already decided)",
+				workers, len(prior.Faults), len(baseline.Results))
+		}
+
+		ropt := opt
+		ropt.Resume = prior
+		resumed, err := (&Engine{Workers: workers}).RunFaults(context.Background(), c, faults, ropt)
+		if err != nil {
+			t.Fatalf("workers=%d resume: %v", workers, err)
+		}
+		if !reflect.DeepEqual(resumed.Vectors, baseline.Vectors) {
+			t.Fatalf("workers=%d: resumed vector set differs from uninterrupted run", workers)
+		}
+		if resumed.Coverage() != baseline.Coverage() {
+			t.Fatalf("workers=%d: coverage %v after resume, want %v",
+				workers, resumed.Coverage(), baseline.Coverage())
+		}
+		if resumed.Detected != baseline.Detected || resumed.Untestable != baseline.Untestable ||
+			resumed.DetectedByRPT != baseline.DetectedByRPT {
+			t.Fatalf("workers=%d: resumed tallies %d/%d/%d, want %d/%d/%d", workers,
+				resumed.Detected, resumed.Untestable, resumed.DetectedByRPT,
+				baseline.Detected, baseline.Untestable, baseline.DetectedByRPT)
+		}
+	}
+}
+
+// TestMemWatchdogShrinksCaches arms the watchdog with an impossible
+// 1-byte soft limit and a 1ms sampling period: workers must halve their
+// solver caches as they go, visible in atpg_cache_shrinks_total.
+func TestMemWatchdogShrinksCaches(t *testing.T) {
+	c := gen.Random(gen.RandomParams{Inputs: 10, Gates: 60, Seed: 7})
+	faults := AllFaults(c)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, 2)
+	eng := &Engine{Workers: 2, Solver: &sat.Caching{}, memCheckEvery: time.Millisecond}
+	sum, err := eng.RunFaults(context.Background(), c, faults, RunOptions{
+		MemSoftLimit: 1,
+		Telemetry:    &Telemetry{Metrics: met},
+	})
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if sum.Detected == 0 {
+		t.Fatal("run decided nothing")
+	}
+	if met.CacheShrinks.Value() == 0 {
+		t.Fatal("watchdog never shrank a cache (atpg_cache_shrinks_total = 0)")
+	}
+}
+
+// TestResumeSkipsDecidedFaults checks the dispatch plumbing directly: a
+// resumed verdict must keep its journaled vector verbatim and never be
+// re-solved.
+func TestResumeSkipsDecidedFaults(t *testing.T) {
+	c := gen.CarryLookaheadAdder(4)
+	faults := Collapse(c, AllFaults(c))
+	base, err := (&Engine{Workers: 2}).RunFaults(context.Background(), c, faults, RunOptions{})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	// Resume with fault 0 pre-decided to a sentinel (wrong) vector: if the
+	// engine re-solved it, the sentinel would be overwritten.
+	sentinel := make([]bool, len(c.Inputs))
+	for i := range sentinel {
+		sentinel[i] = true
+	}
+	rs := &ResumeState{Faults: map[int]Result{0: {Status: Detected, Vector: sentinel}}}
+	resumed, err := (&Engine{Workers: 2}).RunFaults(context.Background(), c, faults, RunOptions{Resume: rs})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Total != base.Total || resumed.Detected != base.Detected {
+		t.Fatalf("resumed run shape changed: %d/%d vs %d/%d",
+			resumed.Detected, resumed.Total, base.Detected, base.Total)
+	}
+	if !reflect.DeepEqual(resumed.Results[0].Vector, sentinel) {
+		t.Fatal("resumed verdict was re-solved instead of replayed")
+	}
+}

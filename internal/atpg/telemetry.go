@@ -33,6 +33,9 @@ type Progress struct {
 	// pre-phase.
 	Done, Total                            int
 	Detected, Untestable, Aborted, Dropped int
+	// Errors counts faults whose processing panicked (recovered, run
+	// continued).
+	Errors int
 	// RPTDetected counts faults detected by the random-pattern pre-phase.
 	RPTDetected int
 	Vectors     int
@@ -79,10 +82,18 @@ type Metrics struct {
 	FaultsDetected   *obs.Counter
 	FaultsUntestable *obs.Counter
 	FaultsAborted    *obs.Counter
+	FaultsErrored    *obs.Counter
 	FaultsDropped    *obs.Counter
 	RPTDetected      *obs.Counter
 	RPTBatches       *obs.Counter
 	Vectors          *obs.Counter
+
+	// Resilience counters: recovered per-fault panics, watchdog-driven
+	// cache halvings, and the retry escalation broken down by tier.
+	FaultPanics    *obs.Counter
+	CacheShrinks   *obs.Counter
+	RetryAttempts  *obs.LabeledCounter
+	RetryRecovered *obs.LabeledCounter
 
 	PhaseRPTNS      *obs.Counter
 	PhaseBuildNS    *obs.Counter
@@ -123,10 +134,16 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		FaultsDetected:   reg.Counter("atpg_faults_detected_total", "faults with a generated test vector"),
 		FaultsUntestable: reg.Counter("atpg_faults_untestable_total", "faults proved untestable"),
 		FaultsAborted:    reg.Counter("atpg_faults_aborted_total", "faults aborted on a resource limit"),
+		FaultsErrored:    reg.Counter("atpg_faults_errored_total", "faults whose processing panicked (recovered)"),
 		FaultsDropped:    reg.Counter("atpg_faults_dropped_total", "faults dropped by fault simulation"),
 		RPTDetected:      reg.Counter("atpg_rpt_detected_total", "faults detected by the random-pattern pre-phase"),
 		RPTBatches:       reg.Counter("atpg_rpt_batches_total", "random-pattern batches simulated"),
 		Vectors:          reg.Counter("atpg_vectors_total", "test vectors generated"),
+
+		FaultPanics:    reg.Counter("atpg_fault_panics_total", "per-fault panics recovered by the worker barrier"),
+		CacheShrinks:   reg.Counter("atpg_cache_shrinks_total", "solver cache halvings forced by the memory watchdog"),
+		RetryAttempts:  reg.LabeledCounter("atpg_retry_attempts_total", "aborted faults re-run by the retry phase", "tier"),
+		RetryRecovered: reg.LabeledCounter("atpg_retry_recovered_total", "faults decided by a retry tier", "tier"),
 
 		PhaseRPTNS:      reg.Counter("atpg_phase_rpt_ns_total", "random-pattern pre-phase time"),
 		PhaseBuildNS:    reg.Counter("atpg_phase_build_ns_total", "miter construction + CNF encoding time"),
@@ -177,6 +194,16 @@ type TraceEvent struct {
 	// Kept is the number of patterns of an "rpt" batch that detected a
 	// new fault and were kept as test vectors.
 	Kept int `json:"kept,omitempty"`
+
+	// Error and Stack carry a recovered per-fault panic (Status "error"):
+	// the panic message and the captured goroutine stack.
+	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
+	// Tier labels a "fault" event re-solved by the retry phase with its
+	// escalation tier (0 = main sweep).
+	Tier int `json:"tier,omitempty"`
+	// CacheCap is the new per-worker cache byte cap of a "shrink" event.
+	CacheCap int64 `json:"cache_cap,omitempty"`
 }
 
 // begin records the run shape at start time.
@@ -204,24 +231,15 @@ func (t *Telemetry) observeFault(worker int, name string, res *Result, sinceStar
 			m.FaultsUntestable.Inc()
 		case Aborted:
 			m.FaultsAborted.Inc()
+		case Errored:
+			m.FaultsErrored.Inc()
+			m.FaultPanics.Inc()
 		}
-		m.PhaseBuildNS.Add(res.BuildElapsed.Nanoseconds())
-		m.PhaseSolveNS.Add(res.Elapsed.Nanoseconds())
-		st := res.SolverStats
-		m.SolverNodes.Add(worker, st.Nodes)
-		m.SolverDecisions.Add(worker, st.Decisions)
-		m.SolverPropagations.Add(worker, st.Propagations)
-		m.SolverConflicts.Add(worker, st.Conflicts)
-		m.SolverCacheHits.Add(worker, st.CacheHits)
-		m.SolverCacheMisses.Add(worker, st.CacheMisses)
-		m.SolverCacheEvictions.Add(worker, st.CacheEvictions)
-		if st.CacheBytes > 0 {
-			m.SolverCacheBytes.SetMax(st.CacheBytes)
-		}
+		t.observeSolverWork(worker, res)
 		m.HistSolveNS.Observe(res.Elapsed.Nanoseconds())
-		m.HistSolverNodes.Observe(st.Nodes)
-		if st.Nodes > 0 {
-			m.HistCacheHitPermill.Observe(1000 * st.CacheHits / st.Nodes)
+		m.HistSolverNodes.Observe(res.SolverStats.Nodes)
+		if res.SolverStats.Nodes > 0 {
+			m.HistCacheHitPermill.Observe(1000 * res.SolverStats.CacheHits / res.SolverStats.Nodes)
 		}
 	}
 	if t.Trace != nil {
@@ -232,6 +250,78 @@ func (t *Telemetry) observeFault(worker int, name string, res *Result, sinceStar
 			Vars: res.Vars, Clauses: res.Clauses,
 			BuildNS: res.BuildElapsed.Nanoseconds(), SolveNS: res.Elapsed.Nanoseconds(),
 			Solver: &st,
+			Error:  res.Err, Stack: res.Stack,
+		})
+	}
+}
+
+// observeSolverWork records a result's phase timings and solver search
+// counters (shared by the main sweep and the retry phase).
+func (t *Telemetry) observeSolverWork(worker int, res *Result) {
+	m := t.Metrics
+	m.PhaseBuildNS.Add(res.BuildElapsed.Nanoseconds())
+	m.PhaseSolveNS.Add(res.Elapsed.Nanoseconds())
+	st := res.SolverStats
+	m.SolverNodes.Add(worker, st.Nodes)
+	m.SolverDecisions.Add(worker, st.Decisions)
+	m.SolverPropagations.Add(worker, st.Propagations)
+	m.SolverConflicts.Add(worker, st.Conflicts)
+	m.SolverCacheHits.Add(worker, st.CacheHits)
+	m.SolverCacheMisses.Add(worker, st.CacheMisses)
+	m.SolverCacheEvictions.Add(worker, st.CacheEvictions)
+	if st.CacheBytes > 0 {
+		m.SolverCacheBytes.SetMax(st.CacheBytes)
+	}
+}
+
+// observeRetry records one retry-tier re-solve. Verdict counters from
+// the main sweep are left alone (the fault was already counted done and
+// aborted there); the per-tier counters carry the escalation story, and
+// a recovered detection still counts its new vector.
+func (t *Telemetry) observeRetry(worker int, name string, res *Result, tier int, sinceStart time.Duration) {
+	if t == nil {
+		return
+	}
+	if m := t.Metrics; m != nil {
+		label := fmt.Sprintf("%d", tier)
+		m.RetryAttempts.With(label).Inc()
+		if res.Status != Aborted {
+			m.RetryRecovered.With(label).Inc()
+		}
+		if res.Status == Detected {
+			m.Vectors.Inc()
+		}
+		if res.Status == Errored {
+			m.FaultsErrored.Inc()
+			m.FaultPanics.Inc()
+		}
+		t.observeSolverWork(worker, res)
+	}
+	if t.Trace != nil {
+		st := res.SolverStats
+		_ = t.Trace.Emit(TraceEvent{
+			Kind: "fault", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
+			Fault: name, Status: res.Status.String(), Tier: tier,
+			Vars: res.Vars, Clauses: res.Clauses,
+			BuildNS: res.BuildElapsed.Nanoseconds(), SolveNS: res.Elapsed.Nanoseconds(),
+			Solver: &st,
+			Error:  res.Err, Stack: res.Stack,
+		})
+	}
+}
+
+// observeShrink records one watchdog-forced cache halving.
+func (t *Telemetry) observeShrink(worker int, newCap int64, sinceStart time.Duration) {
+	if t == nil {
+		return
+	}
+	if t.Metrics != nil {
+		t.Metrics.CacheShrinks.Inc()
+	}
+	if t.Trace != nil {
+		_ = t.Trace.Emit(TraceEvent{
+			Kind: "shrink", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
+			CacheCap: newCap,
 		})
 	}
 }

@@ -41,8 +41,24 @@ var nameByGate = map[logic.GateType]string{
 	logic.Buf:  "BUFF",
 }
 
-// Read parses a .bench netlist.
-func Read(r io.Reader, name string) (*logic.Circuit, error) {
+// recoverParse converts a panic escaping a parser — e.g. a circuit
+// builder invariant violated by pathological input the explicit checks
+// missed — into an ordinary parse error. Malformed files must never take
+// down the caller.
+func recoverParse(prefix string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%s: malformed netlist: %v", prefix, r)
+	}
+}
+
+// Read parses a .bench netlist. Malformed input yields an error with the
+// offending line; it never panics.
+func Read(r io.Reader, name string) (c *logic.Circuit, err error) {
+	defer recoverParse("bench", &err)
+	return read(r, name)
+}
+
+func read(r io.Reader, name string) (*logic.Circuit, error) {
 	type gateLine struct {
 		out, fn string
 		ins     []string
@@ -78,6 +94,9 @@ func Read(r io.Reader, name string) (*logic.Circuit, error) {
 				return nil, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
 			}
 			out := strings.TrimSpace(line[:eq])
+			if out == "" {
+				return nil, fmt.Errorf("bench: line %d: assignment with empty net name", lineNo)
+			}
 			rhs := strings.TrimSpace(line[eq+1:])
 			open := strings.Index(rhs, "(")
 			close_ := strings.LastIndex(rhs, ")")
@@ -127,6 +146,19 @@ func Read(r io.Reader, name string) (*logic.Circuit, error) {
 			gt, ok := gateByName[g.fn]
 			if !ok {
 				return nil, fmt.Errorf("bench: line %d: unsupported gate type %q (sequential netlists are not supported)", g.lineNo, g.fn)
+			}
+			// Arity validation before construction: the circuit builder
+			// treats wrong arity as a programmer error and panics, but here
+			// it is just a malformed file.
+			switch gt {
+			case logic.Not, logic.Buf:
+				if len(g.ins) != 1 {
+					return nil, fmt.Errorf("bench: line %d: %s takes exactly one input, got %d", g.lineNo, g.fn, len(g.ins))
+				}
+			default:
+				if len(g.ins) == 0 {
+					return nil, fmt.Errorf("bench: line %d: %s with no inputs", g.lineNo, g.fn)
+				}
 			}
 			if _, dup := ids[g.out]; dup {
 				return nil, fmt.Errorf("bench: line %d: net %q driven twice", g.lineNo, g.out)

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedBenchErrors pins the parser's no-panic contract on the
+// inputs that used to reach the circuit builder's panics.
+func TestMalformedBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"not-arity":     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n",
+		"buf-arity":     "INPUT(a)\nOUTPUT(y)\ny = BUFF(a, a)\n",
+		"zero-fanin":    "INPUT(a)\nOUTPUT(y)\ny = AND()\n",
+		"empty-out":     "INPUT(a)\n = AND(a)\n",
+		"no-assignment": "INPUT(a)\njunk line\n",
+		"double-driven": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n",
+		"cycle":         "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = AND(a, y)\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), name); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzParseBench hunts for panics and round-trip breaks: any netlist the
+// parser accepts must re-emit and re-parse with the same interface.
+func FuzzParseBench(f *testing.F) {
+	seeds, err := filepath.Glob("../../examples/netlists/*.bench")
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("no seed corpus: %v", err)
+	}
+	for _, p := range seeds {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("y = AND()\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Read(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected cleanly — exactly what malformed input should get
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return // e.g. constant drivers, honestly unrepresentable
+		}
+		c2, err := Read(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("accepted netlist fails to re-parse after Write: %v\n%s", err, buf.String())
+		}
+		if !SameInterface(c, c2) {
+			t.Fatalf("interface changed across a write/read round trip\n%s", buf.String())
+		}
+	})
+}

@@ -24,8 +24,22 @@ type namesBlock struct {
 	lineNo int
 }
 
-// Read parses a BLIF model into a circuit.
-func Read(r io.Reader) (*logic.Circuit, error) {
+// Read parses a BLIF model into a circuit. Malformed input yields an
+// error with the offending line; it never panics.
+func Read(r io.Reader) (c *logic.Circuit, err error) {
+	// A panic escaping the parser — e.g. a circuit-builder invariant
+	// violated by pathological input (a net name colliding with the
+	// parser's generated auxiliary names, say) — is a parse error, not a
+	// reason to take down the caller.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("blif: malformed model: %v", r)
+		}
+	}()
+	return read(r)
+}
+
+func read(r io.Reader) (*logic.Circuit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var model string

@@ -1,0 +1,423 @@
+// Package checkpoint persists the progress of a long ATPG run as an
+// append-only JSONL journal, so a run killed mid-flight (crash, OOM kill,
+// kill -9) can be resumed without re-deciding the faults it already
+// settled.
+//
+// The journal is a sequence of JSON lines: a header identifying the run
+// (circuit, fault list hash, seed), at most one random-pattern-pre-phase
+// record, and one record per finally-decided fault. Records are appended
+// and flushed to the OS as they happen, so a hard kill loses at most the
+// trailing partial line — which Load tolerates and discards. When the
+// segment grows past Options.RotateBytes the journal compacts itself:
+// the full state is rewritten to <path>.tmp, fsynced, and atomically
+// renamed over the journal, so readers (and crashes) only ever observe a
+// complete old segment or a complete new one.
+//
+// Durability policy: every record is flushed to the operating system
+// immediately (surviving process death); fsync — surviving power loss —
+// happens on rotation and Close always, on every record when
+// Options.Sync is set, and whenever the caller invokes Sync (the CLI
+// does so periodically and on SIGINT/SIGTERM).
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Schema is the journal format version, stored in the header record.
+const Schema = "atpgeasy/checkpoint/v1"
+
+// DefaultRotateBytes is the segment size that triggers compaction when
+// Options.RotateBytes is zero.
+const DefaultRotateBytes = 8 << 20
+
+// Header identifies the run a journal belongs to. Resume refuses to
+// apply a journal whose header does not match the current run, so stale
+// checkpoints can never silently corrupt verdicts.
+type Header struct {
+	Schema  string `json:"schema"`
+	Circuit string `json:"circuit"`
+	// Faults is the length of the (collapsed) fault list; FaultHash
+	// fingerprints its exact content plus the determinism-relevant run
+	// options (seed, RPT shape).
+	Faults    int    `json:"faults"`
+	FaultHash uint64 `json:"fault_hash"`
+	Seed      int64  `json:"seed"`
+}
+
+// RPTState is the journaled outcome of the random-pattern pre-phase:
+// the indices (into the fault list) it detected, the kept pattern
+// vectors in order, and the number of batches simulated.
+type RPTState struct {
+	Detected []int    `json:"detected"`
+	Vectors  []string `json:"vectors"` // "0101…" over the circuit inputs
+	Batches  int      `json:"batches"`
+}
+
+// FaultVerdict is one finally-decided fault. Status uses the engine's
+// strings: detected, untestable, aborted, error, dropped.
+type FaultVerdict struct {
+	Status string `json:"status"`
+	Vector string `json:"vector,omitempty"` // bit string, detected faults only
+	Err    string `json:"err,omitempty"`    // panic/internal-error message
+}
+
+// State is the replayed content of a journal.
+type State struct {
+	Header Header
+	RPT    *RPTState
+	// Faults maps fault-list index to its final verdict.
+	Faults map[int]FaultVerdict
+}
+
+// record is one JSONL line. Kind discriminates: "header", "rpt",
+// "fault". Index uses a pointer so index 0 survives omitempty-style
+// encodings symmetric with decoding.
+type record struct {
+	Kind   string        `json:"kind"`
+	Header *Header       `json:"header,omitempty"`
+	RPT    *RPTState     `json:"rpt,omitempty"`
+	Index  *int          `json:"i,omitempty"`
+	Fault  *FaultVerdict `json:"fault,omitempty"`
+}
+
+// Options configure journal durability.
+type Options struct {
+	// Sync fsyncs after every appended record. Off (the default), records
+	// still reach the OS immediately — surviving kill -9 — and are fsynced
+	// on rotation, Close and explicit Sync calls.
+	Sync bool
+	// RotateBytes compacts the journal once a segment exceeds this size
+	// (0 = DefaultRotateBytes).
+	RotateBytes int64
+}
+
+// Journal is an open checkpoint journal. All methods are safe for
+// concurrent use; write errors are sticky and reported by Err and Close
+// while the Record methods stay callable, so a full disk degrades a run
+// to uncheckpointed rather than killing it.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	bw    *bufio.Writer
+	opt   Options
+	state State // mirror of everything appended, for compaction
+	seg   int64 // bytes appended since the last rotation
+	err   error
+}
+
+// EncodeVector renders a test vector as the journal's bit-string form.
+func EncodeVector(v []bool) string {
+	b := make([]byte, len(v))
+	for i, x := range v {
+		b[i] = '0'
+		if x {
+			b[i] = '1'
+		}
+	}
+	return string(b)
+}
+
+// DecodeVector parses a journal bit string back into a vector.
+func DecodeVector(s string) ([]bool, error) {
+	v := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v[i] = true
+		default:
+			return nil, fmt.Errorf("checkpoint: bad vector character %q at column %d", s[i], i+1)
+		}
+	}
+	return v, nil
+}
+
+// Load replays the journal at path. A truncated final line — the
+// signature of a hard kill mid-append — is discarded; any other malformed
+// content is an error. The returned state carries every record that made
+// it to disk.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &State{Faults: make(map[int]FaultVerdict)}
+	sawHeader := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No terminating newline: the append was cut mid-line. Everything
+			// before it is intact; drop the partial tail.
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			if len(data) == 0 {
+				break // corrupt final line: same treatment as a missing newline
+			}
+			return nil, fmt.Errorf("checkpoint: %s: malformed record: %v", path, err)
+		}
+		switch r.Kind {
+		case "header":
+			if r.Header == nil {
+				return nil, fmt.Errorf("checkpoint: %s: header record without header", path)
+			}
+			if r.Header.Schema != Schema {
+				return nil, fmt.Errorf("checkpoint: %s: schema %q, want %q", path, r.Header.Schema, Schema)
+			}
+			st.Header = *r.Header
+			sawHeader = true
+		case "rpt":
+			st.RPT = r.RPT
+		case "fault":
+			if r.Index == nil || r.Fault == nil {
+				return nil, fmt.Errorf("checkpoint: %s: incomplete fault record", path)
+			}
+			st.Faults[*r.Index] = *r.Fault
+		default:
+			return nil, fmt.Errorf("checkpoint: %s: unknown record kind %q", path, r.Kind)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("checkpoint: %s: no header record (empty or foreign file)", path)
+	}
+	return st, nil
+}
+
+// New creates (or, with prior, continues) a journal at path. hdr
+// identifies the current run; when prior — a Load result — is given, its
+// header must match hdr exactly or New refuses, and the journal is
+// immediately compacted so the on-disk file is a clean snapshot of the
+// resumed state. Without prior, any existing file at path is replaced
+// atomically.
+func New(path string, hdr Header, prior *State, opt Options) (*Journal, error) {
+	hdr.Schema = Schema
+	if prior != nil && prior.Header != hdr {
+		return nil, fmt.Errorf("checkpoint: %s does not match this run: journal %+v, run %+v",
+			path, prior.Header, hdr)
+	}
+	j := &Journal{path: path, opt: opt}
+	if j.opt.RotateBytes <= 0 {
+		j.opt.RotateBytes = DefaultRotateBytes
+	}
+	j.state = State{Header: hdr, Faults: make(map[int]FaultVerdict)}
+	if prior != nil {
+		j.state.RPT = prior.RPT
+		for i, v := range prior.Faults {
+			j.state.Faults[i] = v
+		}
+	}
+	if err := j.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Err returns the first write error seen over the journal's lifetime.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of finally-decided faults recorded so far.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.state.Faults)
+}
+
+// RecordRPT journals the random-pattern pre-phase outcome.
+func (j *Journal) RecordRPT(detected []int, vectors [][]bool, batches int) {
+	rpt := &RPTState{
+		Detected: append([]int(nil), detected...),
+		Vectors:  make([]string, len(vectors)),
+		Batches:  batches,
+	}
+	for i, v := range vectors {
+		rpt.Vectors[i] = EncodeVector(v)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state.RPT = rpt
+	j.appendLocked(record{Kind: "rpt", RPT: rpt})
+}
+
+// RecordFault journals one fault's final verdict. vector may be nil for
+// non-detected statuses; errMsg carries a panic or internal-error
+// message for status "error".
+func (j *Journal) RecordFault(i int, status string, vector []bool, errMsg string) {
+	fv := FaultVerdict{Status: status, Err: errMsg}
+	if vector != nil {
+		fv.Vector = EncodeVector(vector)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state.Faults[i] = fv
+	idx := i
+	j.appendLocked(record{Kind: "fault", Index: &idx, Fault: &fv})
+}
+
+// appendLocked encodes one record, flushes it to the OS, applies the
+// fsync policy, and rotates when the segment outgrows the limit. Called
+// with j.mu held.
+func (j *Journal) appendLocked(r record) {
+	if j.err != nil || j.bw == nil {
+		return
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		j.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.bw.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.err = err
+		return
+	}
+	if j.opt.Sync {
+		if err := j.f.Sync(); err != nil {
+			j.err = err
+			return
+		}
+	}
+	j.seg += int64(len(line))
+	if j.seg > j.opt.RotateBytes {
+		j.err = j.rotateLocked()
+	}
+}
+
+// rotateLocked writes the compacted state to <path>.tmp, fsyncs it, and
+// renames it over the journal — the atomic segment rotation. The journal
+// then continues appending to the new segment.
+func (j *Journal) rotateLocked() error {
+	if j.f != nil {
+		j.bw.Flush()
+		j.f.Close()
+		j.f, j.bw = nil, nil
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	enc := json.NewEncoder(bw)
+	hdr := j.state.Header
+	werr := enc.Encode(record{Kind: "header", Header: &hdr})
+	if j.state.RPT != nil && werr == nil {
+		werr = enc.Encode(record{Kind: "rpt", RPT: j.state.RPT})
+	}
+	if werr == nil {
+		// Deterministic segment content: fault records in index order.
+		idxs := make([]int, 0, len(j.state.Faults))
+		for i := range j.state.Faults {
+			idxs = append(idxs, i)
+		}
+		sortInts(idxs)
+		for _, i := range idxs {
+			fv := j.state.Faults[i]
+			idx := i
+			if werr = enc.Encode(record{Kind: "fault", Index: &idx, Fault: &fv}); werr != nil {
+				break
+			}
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(j.path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = nf
+	j.bw = bufio.NewWriterSize(nf, 1<<16)
+	j.seg = 0
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the journal file. The CLI
+// calls it periodically and when draining on SIGINT/SIGTERM.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.f == nil {
+		return nil
+	}
+	if err := j.bw.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the journal, reporting the first
+// error seen over its lifetime.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if err := j.f.Sync(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if err := j.f.Close(); err != nil && j.err == nil {
+		j.err = err
+	}
+	j.f, j.bw = nil, nil
+	return j.err
+}
+
+// sortInts is sort.Ints without pulling the sort package's interface
+// machinery into the hot path (rotation is rare; this keeps imports
+// minimal).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k] < a[k-1]; k-- {
+			a[k], a[k-1] = a[k-1], a[k]
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{Schema: Schema, Circuit: "c17", Faults: 22, FaultHash: 0xdeadbeef, Seed: 42}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.RecordRPT([]int{0, 3}, [][]bool{{true, false, true}, {false, false, true}}, 7)
+	j.RecordFault(1, "detected", []bool{true, true, false}, "")
+	j.RecordFault(2, "untestable", nil, "")
+	j.RecordFault(4, "error", nil, "solver panic: boom")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st.Header != testHeader() {
+		t.Fatalf("header mismatch: %+v", st.Header)
+	}
+	if st.RPT == nil || st.RPT.Batches != 7 {
+		t.Fatalf("rpt not replayed: %+v", st.RPT)
+	}
+	if !reflect.DeepEqual(st.RPT.Detected, []int{0, 3}) {
+		t.Fatalf("rpt detected = %v", st.RPT.Detected)
+	}
+	if !reflect.DeepEqual(st.RPT.Vectors, []string{"101", "001"}) {
+		t.Fatalf("rpt vectors = %v", st.RPT.Vectors)
+	}
+	want := map[int]FaultVerdict{
+		1: {Status: "detected", Vector: "110"},
+		2: {Status: "untestable"},
+		4: {Status: "error", Err: "solver panic: boom"},
+	}
+	if !reflect.DeepEqual(st.Faults, want) {
+		t.Fatalf("faults = %+v, want %+v", st.Faults, want)
+	}
+}
+
+func TestLoadToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.RecordFault(0, "detected", []bool{true}, "")
+	j.RecordFault(1, "untestable", nil, "")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a kill -9 mid-append: chop bytes off the final line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after truncation: %v", err)
+	}
+	if len(st.Faults) != 1 {
+		t.Fatalf("want 1 intact fault record, got %d", len(st.Faults))
+	}
+	if _, ok := st.Faults[0]; !ok {
+		t.Fatalf("fault 0 lost: %+v", st.Faults)
+	}
+}
+
+func TestResumeCompactsAndContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.RecordFault(0, "detected", []bool{true, false}, "")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	prior, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	j2, err := New(path, testHeader(), prior, Options{})
+	if err != nil {
+		t.Fatalf("New with prior: %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("resumed journal lost records: len=%d", j2.Len())
+	}
+	j2.RecordFault(1, "aborted", nil, "")
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if len(st.Faults) != 2 {
+		t.Fatalf("want both faults after resume, got %+v", st.Faults)
+	}
+}
+
+func TestResumeRejectsMismatchedHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.Close()
+	prior, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	other := testHeader()
+	other.FaultHash++
+	if _, err := New(path, other, prior, Options{}); err == nil {
+		t.Fatal("New accepted a journal from a different run")
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRotationCompactsSupersededRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	// Tiny rotation threshold: every few appends trigger a compaction.
+	j, err := New(path, testHeader(), nil, Options{RotateBytes: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for rewrite := 0; rewrite < 20; rewrite++ {
+		j.RecordFault(0, "aborted", nil, "")
+	}
+	j.RecordFault(0, "detected", []bool{true}, "")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 21 appends at ~50 bytes each would exceed 1KiB without compaction.
+	if info.Size() > 512 {
+		t.Fatalf("journal did not compact: %d bytes", info.Size())
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := st.Faults[0].Status; got != "detected" {
+		t.Fatalf("last-writer-wins violated: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp segment left behind: %v", err)
+	}
+}
+
+func TestLoadRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("{\"kind\":\"fault\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a file with no header")
+	}
+}
+
+func TestVectorCodec(t *testing.T) {
+	v := []bool{true, false, false, true, true}
+	s := EncodeVector(v)
+	if s != "10011" {
+		t.Fatalf("EncodeVector = %q", s)
+	}
+	back, err := DecodeVector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, v) {
+		t.Fatalf("DecodeVector = %v", back)
+	}
+	if _, err := DecodeVector("10x"); err == nil {
+		t.Fatal("DecodeVector accepted a bad character")
+	}
+}
+
+func TestSyncAfterCloseReportsStickyError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{Sync: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.RecordFault(0, "detected", []bool{true}, "")
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Records after close are dropped but must not panic.
+	j.RecordFault(1, "detected", nil, "")
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync after close: %v", err)
+	}
+}

@@ -275,6 +275,62 @@ func (r *Registry) ShardedCounter(name, help string, shards int) *ShardedCounter
 	return c
 }
 
+// LabeledCounter is a family of counters distinguished by one label —
+// the minimal form of a Prometheus counter vector, used for small,
+// bounded label sets (e.g. retry tiers). Series are created lazily by
+// With and render as name{label="value"} lines.
+type LabeledCounter struct {
+	label string
+	mu    sync.Mutex
+	cells map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating the
+// series on first use. Counters are safe for concurrent use; With itself
+// takes a lock, so hot paths should hold on to the returned counter.
+func (c *LabeledCounter) With(value string) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr := c.cells[value]
+	if ctr == nil {
+		ctr = &Counter{}
+		c.cells[value] = ctr
+	}
+	return ctr
+}
+
+// Values returns the current count of every series keyed by label value.
+func (c *LabeledCounter) Values() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.cells))
+	for v, ctr := range c.cells {
+		out[v] = ctr.Value()
+	}
+	return out
+}
+
+// LabeledCounter registers and returns a one-label counter family.
+func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
+	c := &LabeledCounter{label: label, cells: make(map[string]*Counter)}
+	r.register(metric{
+		name: name, help: help, typ: "counter",
+		prom: func(w io.Writer) {
+			vals := c.Values()
+			keys := make([]string, 0, len(vals))
+			for v := range vals {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			for _, v := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", name, c.label, v, vals[v])
+			}
+		},
+		value: func() any { return c.Values() },
+	})
+	return c
+}
+
 // Histogram registers and returns a new log2-bucketed histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := NewHistogram()

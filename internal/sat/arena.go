@@ -24,10 +24,49 @@ type Arena struct {
 	litDig     []digest
 
 	table cacheTable
+	// cacheCap, when non-zero, is a sticky byte cap imposed by Shrink:
+	// every subsequent solve clamps its configured cache limit to it, so a
+	// table halved under memory pressure stays halved instead of being
+	// regrown by the next solve's reset.
+	cacheCap int64
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// cacheShrinkFloor is the smallest cap Shrink will impose — enough for a
+// minimum-size table, so shrinking degrades pruning rather than
+// disabling the solver.
+var cacheShrinkFloor = int64(cacheMinSlots) * cacheSlotBytes
+
+// Shrink halves the arena's sub-formula cache budget and releases the
+// excess table slab immediately. The new budget is sticky (see cacheCap)
+// and bottoms out at a minimum-size table. Cached entries are dropped —
+// costing only lost pruning opportunities, never wrong answers. Shrink
+// must be called from the goroutine that owns the arena, between solves;
+// it returns the new byte cap.
+func (a *Arena) Shrink() int64 {
+	cur := a.cacheCap
+	if cur <= 0 {
+		cur = a.table.limit
+	}
+	if cur <= 0 {
+		cur = DefaultCacheLimit
+	}
+	c := cur / 2
+	if c < cacheShrinkFloor {
+		c = cacheShrinkFloor
+	}
+	a.cacheCap = c
+	a.table.shrinkTo(c)
+	return c
+}
+
+// CacheCap reports the sticky cache byte cap (0 = uncapped).
+func (a *Arena) CacheCap() int64 { return a.cacheCap }
+
+// CacheBytes reports the cache table's current accounted footprint.
+func (a *Arena) CacheBytes() int64 { return a.table.bytes() }
 
 // ArenaSolver is implemented by solvers whose per-solve scratch can be
 // reused across consecutive solves via an Arena.

@@ -234,6 +234,9 @@ func newBacktracker(f *cnf.Formula, order []int, a *Arena, cfg btConfig) (*backt
 			bt.clsContrib[ci] = contrib
 			bt.dig.add(contrib)
 		}
+		if a.cacheCap > 0 && (cfg.cacheLimit <= 0 || cfg.cacheLimit > a.cacheCap) {
+			cfg.cacheLimit = a.cacheCap
+		}
 		a.table.reset(cfg.cacheLimit)
 	}
 	return bt, true
