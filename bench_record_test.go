@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -28,6 +30,14 @@ type benchRecord struct {
 	// so a measured zero — RPT detected every fault — still serializes,
 	// while rows that do not measure it omit the field.
 	SATCalls *int `json:"sat_calls,omitempty"`
+	// SpeedupVsWorkers1 is filled post-merge on workers-N rows (N > 1)
+	// whose benchmark family also has a workers-1 row: the ratio of the
+	// workers-1 ns/op to this row's ns/op. cmd/scalecheck gates on it.
+	SpeedupVsWorkers1 float64 `json:"speedup_vs_workers1,omitempty"`
+	// CPUs is runtime.NumCPU() at record time, on rows with a worker
+	// count: a speedup measured on a single-core box says nothing about
+	// scaling, so consumers (cmd/scalecheck) skip rows with CPUs < 2.
+	CPUs int `json:"cpus,omitempty"`
 }
 
 var benchRecords struct {
@@ -64,12 +74,50 @@ func record(b *testing.B, r benchRecord) {
 	}
 	r.Name = b.Name()
 	r.NsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if r.Workers > 0 {
+		r.CPUs = runtime.NumCPU()
+	}
 	benchRecords.Lock()
 	defer benchRecords.Unlock()
 	if benchRecords.byName == nil {
 		benchRecords.byName = map[string]benchRecord{}
 	}
 	benchRecords.byName[r.Name] = r
+}
+
+// benchFamily splits a "<family>/workers-N" row name; ok is false for
+// rows that are not part of a worker-scaling family.
+func benchFamily(r benchRecord) (family string, ok bool) {
+	if r.Workers <= 0 {
+		return "", false
+	}
+	suffix := fmt.Sprintf("/workers-%d", r.Workers)
+	if !strings.HasSuffix(r.Name, suffix) {
+		return "", false
+	}
+	return strings.TrimSuffix(r.Name, suffix), true
+}
+
+// fillSpeedups computes SpeedupVsWorkers1 on every workers-N row (N > 1)
+// whose family has a workers-1 baseline. Runs after the on-disk merge so
+// a partial -bench run that only refreshed some rows still gets ratios
+// against the surviving baseline.
+func fillSpeedups(recs []benchRecord) {
+	base := map[string]float64{}
+	for _, r := range recs {
+		if fam, ok := benchFamily(r); ok && r.Workers == 1 {
+			base[fam] = r.NsPerOp
+		}
+	}
+	for i := range recs {
+		fam, ok := benchFamily(recs[i])
+		if !ok || recs[i].Workers == 1 {
+			continue
+		}
+		if b1, have := base[fam]; have && recs[i].NsPerOp > 0 {
+			recs[i].SpeedupVsWorkers1 = b1 / recs[i].NsPerOp
+		}
+	}
 }
 
 func TestMain(m *testing.M) {
@@ -98,6 +146,7 @@ func TestMain(m *testing.M) {
 				}
 			}
 		}
+		fillSpeedups(recs)
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
 		buf, err := json.MarshalIndent(recs, "", "  ")
 		if err == nil {

@@ -10,6 +10,7 @@ package atpgeasy
 import (
 	"context"
 	"io"
+	"reflect"
 	"testing"
 
 	"atpgeasy/internal/atpg"
@@ -193,26 +194,52 @@ func BenchmarkFaultCollapsing(b *testing.B) {
 	})
 }
 
-// BenchmarkParallelATPG measures fault-sharded worker scaling on a full
-// collapse+drop run (wall-clock; summed SAT time is worker-count
-// invariant).
+// BenchmarkParallelATPG measures worker scaling on a full collapse+drop
+// run (wall-clock; summed SAT time is worker-count invariant). Two
+// workloads large enough for per-fault solves to dominate dispatch:
+// mult8 (deep multiplier cones, uneven effort) and cla32 (wide, shallow,
+// drop-heavy). The workers-2/4 cases also assert the run is bit-for-bit
+// identical to workers-1 — same vectors, same verdict counts — which is
+// the determinism contract the speculative-commit dispatcher guarantees.
 func BenchmarkParallelATPG(b *testing.B) {
-	c := gen.ArrayMultiplier(6)
-	for _, workers := range []int{1, 2, 4} {
-		workers := workers
-		b.Run(map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
-			eng := &atpg.Engine{Workers: workers}
-			for i := 0; i < b.N; i++ {
-				sum, err := eng.Run(context.Background(), c, atpg.RunOptions{Collapse: true, DropDetected: true})
-				if err != nil {
-					b.Fatal(err)
+	for _, tc := range []struct {
+		name string
+		c    *Circuit
+	}{
+		{"mult8", gen.ArrayMultiplier(8)},
+		{"cla32", gen.CarryLookaheadAdder(32)},
+	} {
+		var baseVecs [][]bool
+		var baseDet, baseDrop int
+		for _, workers := range []int{1, 2, 4} {
+			workers := workers
+			b.Run(tc.name+"/"+map[int]string{1: "workers-1", 2: "workers-2", 4: "workers-4"}[workers], func(b *testing.B) {
+				eng := &atpg.Engine{Workers: workers}
+				var sum *atpg.Summary
+				for i := 0; i < b.N; i++ {
+					s, err := eng.Run(context.Background(), tc.c, atpg.RunOptions{Collapse: true, DropDetected: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s.Coverage() != 1 {
+						b.Fatalf("coverage %v", s.Coverage())
+					}
+					sum = s
 				}
-				if sum.Coverage() != 1 {
-					b.Fatalf("coverage %v", sum.Coverage())
+				if workers == 1 {
+					baseVecs, baseDet, baseDrop = sum.Vectors, sum.Detected, sum.DroppedByFaultSim
+				} else if baseVecs != nil { // workers-1 may be filtered out by -bench
+					if sum.Detected != baseDet || sum.DroppedByFaultSim != baseDrop {
+						b.Fatalf("workers-%d verdicts (det %d, dropped %d) differ from workers-1 (det %d, dropped %d)",
+							workers, sum.Detected, sum.DroppedByFaultSim, baseDet, baseDrop)
+					}
+					if !reflect.DeepEqual(sum.Vectors, baseVecs) {
+						b.Fatalf("workers-%d vectors differ from workers-1", workers)
+					}
 				}
-			}
-			recordBench(b, workers)
-		})
+				recordBench(b, workers)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,120 @@
+// Command scalecheck is the CI worker-scaling regression gate: it reads
+// the committed BENCH_atpg.json, finds every benchmark family under
+// -family that recorded both a workers-1 and a workers-4 row, recomputes
+// the 1→4 speedup from the raw ns/op, and exits non-zero when any family
+// falls below -min-speedup.
+//
+// The threshold is deliberately generous (default 1.25x, far under the
+// ideal 4x): the gate exists to catch the engine regressing to flat
+// scaling — the bug where every worker funnels through one mutex and
+// four workers run no faster than one — not to pin an exact parallel
+// efficiency, which varies with runner load.
+//
+// Rows measured on a single-CPU box (cpus < 2) are skipped with a note:
+// a speedup measured without parallel hardware says nothing about
+// scaling. CI runners have multiple cores, so the gate is live there.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// row mirrors the BENCH_atpg.json fields scalecheck consumes; extra
+// fields are ignored.
+type row struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Workers int     `json:"workers"`
+	CPUs    int     `json:"cpus"`
+}
+
+func main() {
+	bench := flag.String("bench", "BENCH_atpg.json", "path to the benchmark record file")
+	family := flag.String("family", "BenchmarkParallelATPG", "benchmark name prefix to gate on")
+	minSpeedup := flag.Float64("min-speedup", 1.25, "minimum workers-1 / workers-4 ns ratio")
+	flag.Parse()
+	if err := run(*bench, *family, *minSpeedup, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, family string, minSpeedup float64, out io.Writer) error {
+	buf, err := os.ReadFile(benchPath)
+	if err != nil {
+		return err
+	}
+	var rows []row
+	if err := json.Unmarshal(buf, &rows); err != nil {
+		return fmt.Errorf("parsing %s: %w", benchPath, err)
+	}
+
+	// Group "<fam>/workers-N" rows by fam, keeping the two endpoints the
+	// gate compares.
+	type endpoints struct {
+		w1, w4 *row
+	}
+	fams := map[string]*endpoints{}
+	var order []string
+	for i := range rows {
+		r := &rows[i]
+		if !strings.HasPrefix(r.Name, family) {
+			continue
+		}
+		suffix := fmt.Sprintf("/workers-%d", r.Workers)
+		if (r.Workers != 1 && r.Workers != 4) || !strings.HasSuffix(r.Name, suffix) {
+			continue
+		}
+		fam := strings.TrimSuffix(r.Name, suffix)
+		e := fams[fam]
+		if e == nil {
+			e = &endpoints{}
+			fams[fam] = e
+			order = append(order, fam)
+		}
+		if r.Workers == 1 {
+			e.w1 = r
+		} else {
+			e.w4 = r
+		}
+	}
+
+	checked, skipped, failed := 0, 0, 0
+	for _, fam := range order {
+		e := fams[fam]
+		if e.w1 == nil || e.w4 == nil {
+			continue
+		}
+		if e.w1.CPUs < 2 || e.w4.CPUs < 2 {
+			fmt.Fprintf(out, "skip %s: measured with %d CPU(s); scaling needs >= 2\n",
+				fam, min(e.w1.CPUs, e.w4.CPUs))
+			skipped++
+			continue
+		}
+		if e.w1.NsPerOp <= 0 || e.w4.NsPerOp <= 0 {
+			return fmt.Errorf("%s: non-positive ns_per_op", fam)
+		}
+		speedup := e.w1.NsPerOp / e.w4.NsPerOp
+		checked++
+		status := "ok"
+		if speedup < minSpeedup {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "%-4s %s: %.2fx at 4 workers (%.1fms -> %.1fms, floor %.2fx)\n",
+			status, fam, speedup, e.w1.NsPerOp/1e6, e.w4.NsPerOp/1e6, minSpeedup)
+	}
+
+	if checked == 0 && skipped == 0 {
+		return fmt.Errorf("no %q families with both workers-1 and workers-4 rows in %s — did the bench run record anything?", family, benchPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d families below %.2fx speedup at 4 workers", failed, checked, minSpeedup)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_atpg.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fam = "BenchmarkParallelATPG"
+
+func TestPassingFamily(t *testing.T) {
+	path := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/mult8/workers-4", "ns_per_op": 40e6, "workers": 4, "cpus": 4}
+	]`)
+	var out strings.Builder
+	if err := run(path, fam, 1.25, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2.50x") {
+		t.Fatalf("expected recomputed 2.50x speedup in output, got:\n%s", out.String())
+	}
+}
+
+func TestFailingFamily(t *testing.T) {
+	// Flat scaling: workers-4 barely faster than workers-1. One healthy
+	// family must not mask the regressed one.
+	path := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/mult8/workers-4", "ns_per_op": 95e6, "workers": 4, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/cla32/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/cla32/workers-4", "ns_per_op": 30e6, "workers": 4, "cpus": 4}
+	]`)
+	var out strings.Builder
+	err := run(path, fam, 1.25, &out)
+	if err == nil {
+		t.Fatalf("expected failure for flat family, got pass:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("expected '1 of 2 families' in error, got: %v", err)
+	}
+}
+
+func TestSpeedupRecomputedFromNs(t *testing.T) {
+	// A stale speedup_vs_workers1 field must be ignored: the gate trusts
+	// only the raw ns/op.
+	path := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/mult8/workers-4", "ns_per_op": 99e6, "workers": 4, "cpus": 4, "speedup_vs_workers1": 3.0}
+	]`)
+	if err := run(path, fam, 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("expected failure: stored speedup field should not override ns ratio")
+	}
+}
+
+func TestSkipsSingleCPURows(t *testing.T) {
+	path := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkParallelATPG/mult8/workers-4", "ns_per_op": 120e6, "workers": 4, "cpus": 1}
+	]`)
+	var out strings.Builder
+	if err := run(path, fam, 1.25, &out); err != nil {
+		t.Fatalf("single-CPU rows must be skipped, not failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("expected a skip note, got:\n%s", out.String())
+	}
+}
+
+func TestIgnoresOtherWorkerCountsAndFamilies(t *testing.T) {
+	// workers-2 rows and unrelated benchmarks must not form families.
+	path := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-2", "ns_per_op": 60e6, "workers": 2, "cpus": 4},
+		{"name": "BenchmarkTelemetryOverhead/off", "ns_per_op": 50e6, "workers": 4, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4},
+		{"name": "BenchmarkParallelATPG/mult8/workers-4", "ns_per_op": 50e6, "workers": 4, "cpus": 4}
+	]`)
+	var out strings.Builder
+	if err := run(path, fam, 1.25, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "TelemetryOverhead") {
+		t.Fatalf("unrelated benchmark leaked into the gate:\n%s", out.String())
+	}
+}
+
+func TestNoFamiliesIsAnError(t *testing.T) {
+	path := writeBench(t, `[
+		{"name": "BenchmarkCachingSolver/hashed", "ns_per_op": 1e6}
+	]`)
+	if err := run(path, fam, 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("expected error when no scaling families exist")
+	}
+	// Incomplete family (missing workers-4) is also no gate.
+	path = writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4}
+	]`)
+	if err := run(path, fam, 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("expected error when the family has no workers-4 row")
+	}
+}
+
+func TestMissingAndMalformedFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), fam, 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	path := writeBench(t, `{not json`)
+	if err := run(path, fam, 1.25, &strings.Builder{}); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+}

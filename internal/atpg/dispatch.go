@@ -1,0 +1,181 @@
+package atpg
+
+// This file is the engine's contention-free dispatch layer: the atomic
+// drop bitset shared by claims and flushes, the effort-ordered dispatch
+// array (largest fanout cone first), and the chunked claim protocol the
+// worker pool and the retry tiers pull faults through. None of these
+// paths take a lock: claims advance an atomic cursor and read drop bits,
+// flushes set drop bits, and the deterministic commit frontier in
+// engine.go is the only serialized section.
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"atpgeasy/internal/logic"
+)
+
+// bitset is a fixed-size concurrent bitset. Readers and writers
+// synchronize through the word atomics alone, so claim-path reads never
+// contend with flush-path writes (the old design copied an O(faults)
+// []bool snapshot under the run mutex on every flush).
+type bitset []atomic.Uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+// get reports whether bit i is set.
+func (b bitset) get(i int) bool {
+	return b[i>>6].Load()&(1<<(uint(i)&63)) != 0
+}
+
+// set sets bit i and reports whether this call flipped it from clear to
+// set — the caller that wins the flip owns the transition (used to count
+// each dropped fault exactly once).
+func (b bitset) set(i int) bool {
+	w := &b[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// effortOrder builds the dispatch order of the undecided faults: indices
+// into faults, largest fanout cone first, fault-list order among equals.
+// The fanout-cone size is a cheap structural proxy for solver effort (the
+// miter is built from the fanin of the fanout cone, so a bigger cone
+// means a bigger ATPG-SAT instance): scheduling the expensive faults
+// first keeps one hard fault from serializing the tail of a parallel
+// run. skip marks faults already decided (RPT pre-phase or a resumed
+// journal); they get no dispatch slot at all.
+func effortOrder(c *logic.Circuit, faults []Fault, skip []bool) []int32 {
+	cone := make(map[int]int32) // net -> fanout-cone node count
+	mark := make([]int, len(c.Nodes))
+	stamp := 0
+	var stack []int
+	coneOf := func(net int) int32 {
+		if s, ok := cone[net]; ok {
+			return s
+		}
+		stamp++
+		stack = append(stack[:0], net)
+		mark[net] = stamp
+		size := int32(0)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, f := range c.Nodes[n].Fanout {
+				if mark[f] != stamp {
+					mark[f] = stamp
+					stack = append(stack, f)
+				}
+			}
+		}
+		cone[net] = size
+		return size
+	}
+	effort := make([]int32, len(faults))
+	order := make([]int32, 0, len(faults))
+	for i, f := range faults {
+		if skip != nil && skip[i] {
+			continue
+		}
+		effort[i] = coneOf(f.Net)
+		order = append(order, int32(i))
+	}
+	// Full tie-break on the fault index makes the order deterministic
+	// without a stable sort.
+	sort.Slice(order, func(a, b int) bool {
+		if ea, eb := effort[order[a]], effort[order[b]]; ea != eb {
+			return ea > eb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Claim chunking: a worker reserves a small run of dispatch slots with
+// one atomic add instead of one per fault, guided-self-scheduling style —
+// chunks shrink as the list drains so the tail still balances across
+// workers.
+const (
+	maxClaimChunk = 8
+	claimChunkDiv = 4 // chunk ≈ remaining / (claimChunkDiv · workers)
+)
+
+// chunkClaimer hands out the positions [0, n) of a shared work list,
+// reserving them in chunks off an atomic cursor. One instance per worker,
+// all pointing at the same cursor; the main sweep wraps it in claimer and
+// the retry tiers drive it directly over their per-tier queues.
+type chunkClaimer struct {
+	cursor  *atomic.Int64
+	n       int
+	workers int
+	lo, hi  int // reserved, not yet popped
+}
+
+// next returns the next reserved position, or -1 at exhaustion. Lock-free:
+// one CAS per chunk.
+func (cl *chunkClaimer) next() int {
+	for cl.lo >= cl.hi {
+		cur := cl.cursor.Load()
+		remaining := cl.n - int(cur)
+		if remaining <= 0 {
+			return -1
+		}
+		chunk := remaining / (claimChunkDiv * cl.workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > maxClaimChunk {
+			chunk = maxClaimChunk
+		}
+		if cl.workers == 1 {
+			// A single worker commits after every solve; claiming one slot
+			// at a time lets each flush drop faults before they are
+			// claimed, so a serial run never solves a fault redundantly.
+			chunk = 1
+		}
+		if cl.cursor.CompareAndSwap(cur, cur+int64(chunk)) {
+			cl.lo, cl.hi = int(cur), int(cur)+chunk
+		}
+	}
+	p := cl.lo
+	cl.lo++
+	return p
+}
+
+// claimer is one worker's view of the main-sweep dispatch order.
+type claimer struct {
+	ck chunkClaimer
+}
+
+func (st *runState) newClaimer() claimer {
+	return claimer{ck: chunkClaimer{cursor: &st.cursor, n: len(st.order), workers: st.workers}}
+}
+
+// claim returns the next fault index for this worker to solve, or -1 when
+// the dispatch order is exhausted. Faults whose drop bit was set after
+// they were reserved are skipped without a solve — the redundant-solve
+// guard the regression tests pin down.
+func (st *runState) claim(cl *claimer) int {
+	for {
+		p := cl.ck.next()
+		if p < 0 {
+			return -1
+		}
+		i := int(st.order[p])
+		if st.droppedF.get(i) {
+			continue // dropped by a committed vector since reservation
+		}
+		return i
+	}
+}

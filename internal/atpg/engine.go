@@ -242,6 +242,12 @@ type Summary struct {
 	// DroppedByFaultSim counts faults covered by earlier vectors and
 	// skipped without invoking the solver.
 	DroppedByFaultSim int
+	// WastedSolves counts speculative solves discarded at commit: faults a
+	// worker solved in flight that an earlier (dispatch-order) vector then
+	// dropped. The deterministic commit discards such results, so they
+	// appear nowhere in Results; the count is the price of running workers
+	// ahead of the commit frontier. Always 0 on a single worker.
+	WastedSolves int
 	// DetectedByRPT counts faults detected by the random-pattern pre-phase
 	// and never handed to the solver.
 	DetectedByRPT int
@@ -377,10 +383,19 @@ type RunOptions struct {
 	Resume *ResumeState
 }
 
-// dropBatch is the pending-vector count that triggers a fault-simulation
+// dropBatch is the committed-vector count that triggers a fault-simulation
 // flush. Well below the 64-pattern word width: dropping early saves
 // solver calls on the remaining fault list.
 const dropBatch = 16
+
+// tailFlushWindow is the flush policy's end-game: once fewer than this
+// many dispatch slots remain uncommitted, every committed vector is
+// flushed immediately instead of waiting for a full dropBatch. Without
+// it the final sub-batch of vectors was never fault-simulated, so tail
+// faults lost their chance to be dropped and were solved redundantly.
+// The window depends only on the commit frontier, so the drop set stays
+// identical at any worker count.
+const tailFlushWindow = 64
 
 // Run generates tests for every stuck-at fault of the circuit.
 func (e *Engine) Run(ctx context.Context, c *logic.Circuit, opt RunOptions) (*Summary, error) {
@@ -395,11 +410,14 @@ func (e *Engine) Run(ctx context.Context, c *logic.Circuit, opt RunOptions) (*Su
 }
 
 // RunFaults generates tests for the given fault list on a pool of
-// e.Workers workers. Faults are sharded dynamically: each worker claims
-// the next live fault, solves it under the per-fault budget, and — with
-// opt.DropDetected — publishes found vectors to a shared drop list that is
-// batch fault-simulated (one faultsim.Simulator per flushing worker; the
-// simulator itself is single-threaded by design) to skip covered faults.
+// e.Workers workers. Dispatch is contention-free: faults are ordered
+// largest-fanout-cone-first and claimed in small chunks off an atomic
+// cursor, solved speculatively, and committed by a deterministic frontier
+// that walks the dispatch order. With opt.DropDetected, committed vectors
+// are batch fault-simulated against the uncommitted tail (drop marks live
+// in an atomic bitset read lock-free by claims) — so the detected/dropped
+// split, the vector set and the whole summary are identical at any worker
+// count, unlike a racy first-come drop list.
 //
 // Cancelling ctx drains the run: in-flight solves abort at the next limit
 // check, no new faults are claimed, and the partial summary is returned
@@ -411,17 +429,20 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	workers := e.workers()
 	st := &runState{
-		c:       c,
-		opt:     opt,
-		start:   start,
-		faults:  faults,
-		results: make([]*Result, len(faults)),
-		dropped: make([]bool, len(faults)),
-		resumed: make([]bool, len(faults)),
+		c:          c,
+		opt:        opt,
+		start:      start,
+		faults:     faults,
+		workers:    workers,
+		results:    make([]*Result, len(faults)),
+		published:  make([]atomic.Pointer[specResult], len(faults)),
+		droppedF:   newBitset(len(faults)),
+		preDecided: make([]bool, len(faults)),
+		resumed:    make([]bool, len(faults)),
 	}
 	st.applyResume(opt.Resume)
-	workers := e.workers()
 	tel := opt.Telemetry
 	tel.begin(len(faults), workers)
 	// Per-worker scratch arenas are created up front so the RPT pre-phase
@@ -444,6 +465,9 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 			opt.Journal.RecordRPT(st.rptDetectedIdx, st.rptVectors, st.rptBatches)
 		}
 	}
+	// The dispatch order covers exactly the faults still undecided after
+	// resume replay and the pre-phase.
+	st.order = effortOrder(c, faults, st.preDecided)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -457,6 +481,13 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		}()
 	}
 	wg.Wait()
+	// Drain the commit frontier: on a clean run every result is already
+	// committed, but a cancelled run may leave published results behind the
+	// first unsolved slot — commit the reachable prefix so the partial
+	// summary is a deterministic function of how far the run got.
+	if err := st.kickCommit(scratches[0], 0); err != nil {
+		st.setErr(err)
+	}
 	retries := e.runRetryTiers(runCtx, st, scratches)
 	rep.Stop()
 	if st.err != nil {
@@ -470,7 +501,8 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	// order), then SAT results in fault-list order.
 	sum := &Summary{
 		Circuit: c.Name, Total: len(faults),
-		DroppedByFaultSim: st.droppedCount,
+		DroppedByFaultSim: int(st.droppedN.Load()),
+		WastedSolves:      int(st.wastedN.Load()),
 		DetectedByRPT:     st.rptDetected,
 		RPTBatches:        st.rptBatches,
 		RPTVectors:        len(st.rptVectors),
@@ -513,24 +545,52 @@ func telProgressEvery(t *Telemetry) time.Duration {
 	return t.ProgressEvery
 }
 
+// specResult is one worker's speculative solve, published lock-free and
+// adopted (or discarded) by the deterministic commit frontier.
+type specResult struct {
+	res    Result
+	worker int32 // solving worker, for telemetry labels
+}
+
 // runState is the state shared by the fault workers of one RunFaults call.
+//
+// Concurrency layout: the per-fault hot path is lock-free — workers claim
+// dispatch slots off the atomic cursor, read drop bits from the atomic
+// bitset, and publish results through atomic pointers. commitMu guards
+// the only serialized section, the commit frontier (verdict adoption,
+// vector keeping, flush simulation, journaling); workers never block on
+// it (kickCommit uses TryLock — whoever holds the lock picks up newly
+// published results). mu is left guarding only the cold state: the RPT
+// pre-phase tallies and the first worker error.
 type runState struct {
 	c      *logic.Circuit
 	opt    RunOptions
 	start  time.Time
 	faults []Fault
 
-	mu           sync.Mutex
-	next         int       // dispatch cursor; slots below it are claimed or dropped
-	dropped      []bool    // marked by the RPT pre-phase, flushes and resume replay
-	droppedCount int       // flush drops only; RPT detections count separately
-	results      []*Result // one slot per fault, filled on completion
-	resumed      []bool    // verdicts replayed from a journal: final, never retried
-	pending      [][]bool  // vectors not yet batch-simulated
-	err          error
-	// Running verdict tallies for progress snapshots (kept under mu; the
-	// authoritative counts are recomputed from results at assembly time).
-	done, det, unt, abt, errs int
+	workers    int
+	order      []int32 // dispatch order: undecided fault indices, biggest cone first
+	cursor     atomic.Int64
+	droppedF   bitset                       // officially dropped by a committed vector flush
+	preDecided []bool                       // decided before dispatch: RPT detection or resume replay
+	published  []atomic.Pointer[specResult] // speculative solves, one slot per fault
+
+	// Commit frontier state, all under commitMu.
+	commitMu    sync.Mutex
+	commitDirty atomic.Bool
+	frontier    int       // next position in order to commit
+	results     []*Result // official verdicts, one slot per fault
+	resumed     []bool    // verdicts replayed from a journal: final, never retried
+	pendingVecs [][]bool  // committed vectors not yet batch-simulated
+
+	// Committed tallies, written under commitMu (or by the retry tiers),
+	// read lock-free by progress snapshots.
+	doneN, detN, untN, abtN, errsN atomic.Int64
+	droppedN                       atomic.Int64 // flush drops only; RPT detections count separately
+	wastedN                        atomic.Int64 // speculative solves discarded at commit
+
+	mu  sync.Mutex
+	err error
 
 	// Random-pattern pre-phase outcome. Written by the (serial) RPT
 	// coordinator before the worker pool starts; the per-batch counters
@@ -549,26 +609,28 @@ type runState struct {
 	// and halve their arena's cache table when it advanced.
 	shrinkGen atomic.Int64
 
-	// simNS accumulates fault-simulation flush time (atomic: flushes run
-	// outside the lock).
+	// simNS accumulates fault-simulation flush time.
 	simNS atomic.Int64
 }
 
-// progress snapshots the run under the lock.
+// progress snapshots the run: worker-phase tallies from the commit
+// atomics, pre-phase tallies under the cold mutex.
 func (st *runState) progress() Progress {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	rptDetected, rptVectors := st.rptDetected, len(st.rptVectors)
+	st.mu.Unlock()
+	det := int(st.detN.Load())
 	return Progress{
 		Circuit:     st.c.Name,
-		Done:        st.done + st.droppedCount + st.rptDetected,
+		Done:        int(st.doneN.Load()+st.droppedN.Load()) + rptDetected,
 		Total:       len(st.faults),
-		Detected:    st.det,
-		Untestable:  st.unt,
-		Aborted:     st.abt,
-		Errors:      st.errs,
-		Dropped:     st.droppedCount,
-		RPTDetected: st.rptDetected,
-		Vectors:     st.det + len(st.rptVectors),
+		Detected:    det,
+		Untestable:  int(st.untN.Load()),
+		Aborted:     int(st.abtN.Load()),
+		Errors:      int(st.errsN.Load()),
+		Dropped:     int(st.droppedN.Load()),
+		RPTDetected: rptDetected,
+		Vectors:     det + rptVectors,
 		Elapsed:     time.Since(st.start),
 	}
 }
@@ -583,15 +645,26 @@ func (st *runState) setErr(err error) {
 
 // runRPT is the random-pattern pre-phase: seeded 64-pattern batches are
 // fault-simulated against the whole undetected fault list, sharded across
-// the worker scratches' simulators; patterns that detect a new fault are
-// kept as test vectors and the detected faults never reach the solver.
-// The phase stops after opt.RPTBatches batches, after RPTIdleStop
-// consecutive batches detecting nothing new, or when the list is empty.
+// per-batch simulator sets; patterns that detect a new fault are kept as
+// test vectors and the detected faults never reach the solver. The phase
+// stops after opt.RPTBatches batches, after RPTIdleStop consecutive
+// batches detecting nothing new, or when the list is empty.
 //
-// Pattern generation and the greedy pattern keep run on the coordinator
-// with a seeded serial RNG, and each fault's detection mask is
-// independent of how the list is sharded — so the kept vector set and
-// the surviving fault list are identical for any worker count.
+// The phase is pipelined: while the coordinator runs the greedy
+// pattern-keep loop of batch b, batch b+1 is already simulating on a
+// second simulator set (the old coordinator-serial keep/compact loop left
+// every worker idle between batches, capping default-mode runs at ~1
+// worker). Speculation never changes the outcome: a fault's detection
+// mask depends only on the circuit and the pattern words, so masks
+// computed against a stale live list are still valid — entries detected
+// by an earlier batch are skipped by flag, and the arrays are compacted
+// lazily (taking a one-batch pipeline bubble) once a quarter of them is
+// dead. Pattern generation stays on the coordinator with a seeded serial
+// RNG, and every issue/stop/compact decision is a function of
+// deterministically consumed batch outcomes alone — so the kept vector
+// set and the surviving fault list are identical for any worker count,
+// and a speculative batch discarded at the stopping point is never
+// counted.
 func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerScratch) error {
 	opt := st.opt
 	if opt.RPTBatches <= 0 || len(st.faults) == 0 {
@@ -605,88 +678,170 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 	rng := rand.New(rand.NewSource(opt.Seed))
 	c := st.c
 	tel := opt.Telemetry
+	workers := len(scratches)
 
-	// Live view of the fault list, compacted after every batch so later
-	// batches only simulate survivors.
+	// Live view of the fault list. det flags entries detected by an
+	// already-consumed batch (skipped until the next compaction);
+	// liveCount tracks the true survivor count.
 	live := make([]int, 0, len(st.faults)) // indices into st.faults
 	nets := make([]int, 0, len(st.faults))
 	sas := make([]bool, 0, len(st.faults))
 	for i, f := range st.faults {
-		if st.dropped[i] {
+		if st.preDecided[i] {
 			continue // already decided by a resumed journal
 		}
 		live = append(live, i)
 		nets = append(nets, f.Net)
 		sas = append(sas, f.StuckAt)
 	}
-	masks := make([]uint64, len(live))
-	words := make([]uint64, len(c.Inputs))
-	workers := len(scratches)
-	sims := make([]*faultsim.Simulator, workers)
-	simErrs := make([]error, workers)
+	det := make([]bool, len(live))
+	liveCount := len(live)
+	detSince := 0 // detections since the last compaction
 
-	idle := 0
-	for b := 0; b < opt.RPTBatches && len(live) > 0 && idle < idleStop; b++ {
-		if ctx.Err() != nil {
-			break
+	// batchRun is one 64-pattern batch in flight: its pattern words, the
+	// per-fault detection masks its shards fill in, and its own simulator
+	// set (two batches overlap, so they cannot share simulators).
+	type batchRun struct {
+		words   []uint64
+		masks   []uint64
+		n       int // live-array length at issue time; masks[:n] are valid
+		started time.Time
+		wg      sync.WaitGroup
+		errs    []error
+		sims    []*faultsim.Simulator
+	}
+	newRun := func() *batchRun {
+		return &batchRun{
+			words: make([]uint64, len(c.Inputs)),
+			masks: make([]uint64, len(live)),
+			errs:  make([]error, workers),
+			sims:  make([]*faultsim.Simulator, workers),
 		}
-		batchStart := time.Now()
-		for i := range words {
-			words[i] = rng.Uint64()
+	}
+	bufs := [2]*batchRun{newRun(), newRun()}
+	// Slot 0 borrows the worker-scratch simulators (shared with the SAT
+	// phase's flush path) and returns them when the phase ends.
+	for w, ws := range scratches {
+		if ws != nil {
+			bufs[0].sims[w] = ws.sim
 		}
-		// Shard the live list across the worker simulators. Each shard
+	}
+	defer func() {
+		for w, ws := range scratches {
+			if ws != nil && bufs[0].sims[w] != nil {
+				ws.sim = bufs[0].sims[w]
+			}
+		}
+	}()
+
+	issue := func(br *batchRun) {
+		br.started = time.Now()
+		for i := range br.words {
+			br.words[i] = rng.Uint64()
+		}
+		br.n = len(live)
+		masks := br.masks[:br.n]
+		// Shard the live list across the batch's simulators. Each shard
 		// writes its slice of masks; full masks (not early-exit) because
 		// the greedy keep below needs every detecting pattern.
-		chunk := (len(live) + workers - 1) / workers
-		var wg sync.WaitGroup
+		chunk := (br.n + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
-			if lo >= len(live) {
+			if lo >= br.n {
 				break
 			}
-			hi := min(lo+chunk, len(live))
-			wg.Add(1)
+			hi := min(lo+chunk, br.n)
+			br.wg.Add(1)
 			go func(w, lo, hi int) {
-				defer wg.Done()
-				sim := sims[w]
-				if sim == nil && scratches[w] != nil {
-					sim = scratches[w].sim
-				}
+				defer br.wg.Done()
+				sim := br.sims[w]
 				var err error
 				if sim == nil {
-					sim, err = faultsim.NewSimulator(c, words, 64)
+					sim, err = faultsim.NewSimulator(c, br.words, 64)
 				} else {
-					err = sim.Reset(words, 64)
+					err = sim.Reset(br.words, 64)
 				}
 				if err != nil {
-					simErrs[w] = err
+					br.errs[w] = err
 					return
 				}
-				sims[w] = sim
-				if scratches[w] != nil {
-					scratches[w].sim = sim
-				}
+				br.sims[w] = sim
 				sim.DetectAll(nets[lo:hi], sas[lo:hi], masks[lo:hi], false)
 			}(w, lo, hi)
 		}
-		wg.Wait()
-		for _, err := range simErrs {
+	}
+
+	issued, consumed, idle := 0, 0, 0
+	compactPending := false
+	// canIssue gates the first issue and every speculation alike; all of
+	// its inputs are deterministic functions of the consumed batches.
+	canIssue := func() bool {
+		return issued < opt.RPTBatches && liveCount > 0 && idle < idleStop &&
+			!compactPending && ctx.Err() == nil
+	}
+	// Any batch still in flight when the loop decides to stop is
+	// discarded: waited on (the shards reference the live arrays) but
+	// never counted or consumed.
+	drain := func() {
+		for consumed < issued {
+			bufs[consumed%2].wg.Wait()
+			consumed++
+		}
+	}
+	defer drain()
+
+	for {
+		if consumed == issued {
+			if compactPending {
+				// Pipeline bubble: nothing in flight references the live
+				// arrays, so compact them down to the survivors.
+				nw := 0
+				for k := range live {
+					if det[k] {
+						continue
+					}
+					live[nw], nets[nw], sas[nw] = live[k], nets[k], sas[k]
+					det[nw] = false
+					nw++
+				}
+				live, nets, sas, det = live[:nw], nets[:nw], sas[:nw], det[:nw]
+				detSince = 0
+				compactPending = false
+			}
+			if !canIssue() {
+				break
+			}
+			issue(bufs[issued%2])
+			issued++
+		}
+		// Speculate: start the next batch before consuming the current one.
+		if consumed+1 == issued && canIssue() {
+			issue(bufs[issued%2])
+			issued++
+		}
+		br := bufs[consumed%2]
+		br.wg.Wait()
+		for _, err := range br.errs {
 			if err != nil {
 				return err
 			}
 		}
+		if ctx.Err() != nil {
+			consumed++ // discard uncounted; drain handles any speculative batch
+			break
+		}
 		// Greedy pattern keep, in fault-list order: a fault whose mask
 		// misses every kept pattern contributes its lowest detecting
 		// pattern, so every detected fault is covered by a kept pattern.
+		masks := br.masks[:br.n]
 		var kept uint64
 		detected := 0
-		for k := range live {
-			m := masks[k]
-			if m == 0 {
+		for k := 0; k < br.n; k++ {
+			if det[k] || masks[k] == 0 {
 				continue
 			}
-			if m&kept == 0 {
-				kept |= 1 << uint(bits.TrailingZeros64(m))
+			if masks[k]&kept == 0 {
+				kept |= 1 << uint(bits.TrailingZeros64(masks[k]))
 			}
 			detected++
 		}
@@ -697,22 +852,22 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 			}
 			vec := make([]bool, len(c.Inputs))
 			for i := range vec {
-				vec[i] = words[i]&(1<<uint(p)) != 0
+				vec[i] = br.words[i]&(1<<uint(p)) != 0
 			}
 			newVecs = append(newVecs, vec)
 		}
 		var detectedNames []string
 		if tel != nil && tel.Trace != nil {
-			for k := range live {
-				if masks[k] != 0 {
+			for k := 0; k < br.n; k++ {
+				if !det[k] && masks[k] != 0 {
 					detectedNames = append(detectedNames, st.faults[live[k]].Name(c))
 				}
 			}
 		}
 		st.mu.Lock()
-		for k := range live {
-			if masks[k] != 0 {
-				st.dropped[live[k]] = true
+		for k := 0; k < br.n; k++ {
+			if !det[k] && masks[k] != 0 {
+				st.preDecided[live[k]] = true
 				st.rptDetectedIdx = append(st.rptDetectedIdx, live[k])
 			}
 		}
@@ -720,22 +875,23 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 		st.rptBatches++
 		st.rptVectors = append(st.rptVectors, newVecs...)
 		st.mu.Unlock()
-		tel.observeRPTBatch(detected, len(newVecs), detectedNames, time.Since(batchStart), time.Since(st.start))
-		// Compact the live list down to the survivors.
+		for k := 0; k < br.n; k++ {
+			if masks[k] != 0 {
+				det[k] = true
+			}
+		}
+		consumed++
+		tel.observeRPTBatch(detected, len(newVecs), detectedNames, time.Since(br.started), time.Since(st.start))
 		if detected == 0 {
 			idle++
 			continue
 		}
 		idle = 0
-		nw := 0
-		for k := range live {
-			if masks[k] != 0 {
-				continue
-			}
-			live[nw], nets[nw], sas[nw] = live[k], nets[k], sas[k]
-			nw++
+		liveCount -= detected
+		detSince += detected
+		if detSince*4 >= len(live) {
+			compactPending = true
 		}
-		live, nets, sas, masks = live[:nw], nets[:nw], sas[:nw], masks[:nw]
 	}
 	st.mu.Lock()
 	st.rptNS = time.Since(phaseStart).Nanoseconds()
@@ -743,31 +899,25 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 	return nil
 }
 
-// runWorker claims and solves faults until the list is exhausted or the
-// context is cancelled. worker is the pool index, used to shard telemetry
-// counters and label trace events; ws is the worker's scratch arena
-// (shared with the RPT pre-phase), nil when reuse is disabled.
+// runWorker claims and solves faults until the dispatch order is
+// exhausted or the context is cancelled. Claims are lock-free (see
+// claim); each solve is published speculatively and the worker then
+// offers to advance the shared commit frontier. worker is the pool
+// index, used to shard telemetry counters and label trace events; ws is
+// the worker's scratch arena (shared with the RPT pre-phase), nil when
+// reuse is disabled.
 func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *workerScratch) error {
-	tel := st.opt.Telemetry
-	retryable := st.opt.RetryTiers > 0 && st.opt.PerFaultBudget > 0
+	cl := st.newClaimer()
 	var shrinkSeen int64
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
 		st.maybeShrink(ws, worker, &shrinkSeen)
-		st.mu.Lock()
-		for st.next < len(st.faults) && st.dropped[st.next] {
-			st.next++
-		}
-		if st.next >= len(st.faults) {
-			st.mu.Unlock()
+		i := st.claim(&cl)
+		if i < 0 {
 			return nil
 		}
-		i := st.next
-		st.next++
-		st.mu.Unlock()
-
 		lim := sat.Limits{Cancel: ctx.Done()}
 		if st.opt.PerFaultBudget > 0 {
 			lim.Deadline = time.Now().Add(st.opt.PerFaultBudget)
@@ -780,29 +930,91 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 			// The abort is a draining artifact, not a verdict on the fault.
 			return nil
 		}
-		var batch [][]bool
-		st.mu.Lock()
+		if st.droppedF.get(i) {
+			// A flush dropped the fault while its solve was in flight; the
+			// official verdict is "dropped", so the solve is discarded.
+			st.countWasted(1)
+			continue
+		}
+		st.published[i].Store(&specResult{res: res, worker: int32(worker)})
+		if err := st.kickCommit(ws, worker); err != nil {
+			return err
+		}
+	}
+}
+
+// countWasted tallies speculative solves discarded because a committed
+// vector dropped the fault first.
+func (st *runState) countWasted(n int) {
+	st.wastedN.Add(int64(n))
+	if tel := st.opt.Telemetry; tel != nil && tel.Metrics != nil {
+		tel.Metrics.SolvesWasted.Add(int64(n))
+	}
+}
+
+// kickCommit offers to advance the deterministic commit frontier. Every
+// publisher calls it after storing a result; the dirty-flag/TryLock
+// pairing makes the section effectively single-threaded without ever
+// blocking a worker. No publish can be missed: a caller that loses the
+// TryLock has already set the flag, the holder clears it before each
+// scan, and re-checks it after unlocking — so either the holder's scan
+// observes the publish, or the flag survives and someone re-enters.
+func (st *runState) kickCommit(ws *workerScratch, worker int) error {
+	st.commitDirty.Store(true)
+	for st.commitDirty.Load() {
+		if !st.commitMu.TryLock() {
+			return nil // the current holder will observe the flag
+		}
+		st.commitDirty.Store(false)
+		err := st.commitLocked(ws, worker)
+		st.commitMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitLocked walks the dispatch order from the frontier, adopting each
+// slot's published result as the official verdict, in order: tallies,
+// telemetry, journaling and vector flushing all happen here — so their
+// order, and with DropDetected the entire drop set, is a deterministic
+// function of the dispatch order alone, independent of worker count and
+// solve timing. A slot whose solve is still in flight blocks the
+// frontier; a dropped slot is skipped, discarding any speculative result
+// as wasted. Called with commitMu held.
+func (st *runState) commitLocked(ws *workerScratch, worker int) error {
+	tel := st.opt.Telemetry
+	retryable := st.opt.RetryTiers > 0 && st.opt.PerFaultBudget > 0
+	for st.frontier < len(st.order) {
+		i := int(st.order[st.frontier])
+		if st.droppedF.get(i) {
+			if st.published[i].Load() != nil {
+				st.countWasted(1)
+			}
+			st.frontier++
+			continue
+		}
+		sr := st.published[i].Load()
+		if sr == nil {
+			return nil // frontier blocked on an in-flight solve
+		}
+		st.frontier++
+		res := sr.res
 		st.results[i] = &res
-		st.done++
+		st.doneN.Add(1)
 		switch res.Status {
 		case Detected:
-			st.det++
+			st.detN.Add(1)
 		case Untestable:
-			st.unt++
+			st.untN.Add(1)
 		case Aborted:
-			st.abt++
+			st.abtN.Add(1)
 		case Errored:
-			st.errs++
+			st.errsN.Add(1)
 		}
-		if res.Status == Detected && st.opt.DropDetected {
-			st.pending = append(st.pending, res.Vector)
-			if len(st.pending) >= dropBatch {
-				batch, st.pending = st.pending, nil
-			}
-		}
-		st.mu.Unlock()
 		if tel != nil {
-			tel.observeFault(worker, st.faults[i].Name(st.c), &res, time.Since(st.start))
+			tel.observeFault(int(sr.worker), st.faults[i].Name(st.c), &res, time.Since(st.start))
 		}
 		// An aborted fault headed for the retry queue is not final yet;
 		// journaling it now would make a resume skip a fault the retry
@@ -810,21 +1022,31 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 		if st.opt.Journal != nil && (res.Status != Aborted || !retryable) {
 			st.opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
 		}
-		if batch != nil {
-			if err := st.flush(batch, worker, ws); err != nil {
-				return err
+		if res.Status == Detected && st.opt.DropDetected {
+			st.pendingVecs = append(st.pendingVecs, res.Vector)
+			if len(st.pendingVecs) >= dropBatch || len(st.order)-st.frontier <= tailFlushWindow {
+				if err := st.flushLocked(ws, worker); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }
 
-// flush batch-simulates a vector batch against the not-yet-claimed faults
-// and marks the detected ones dropped. Simulation runs outside the lock on
-// a simulator owned by the flushing worker (reused across flushes via the
-// worker's scratch); only the final marking needs the lock, re-checking
-// that each hit is still unclaimed so a fault being solved concurrently is
-// never double-counted.
-func (st *runState) flush(batch [][]bool, worker int, ws *workerScratch) error {
+// flushLocked batch fault-simulates the pending committed vectors against
+// the uncommitted tail of the dispatch order and sets the drop bits of
+// the detected faults. Called with commitMu held. The atomic bitset is
+// the only state shared with the claim path, so flushes never make
+// claims wait — and with a scratch the flush allocates nothing: the pack
+// buffer, the simulator and the vector batch itself are all reused (the
+// old implementation copied an O(faults) dropped-snapshot under the run
+// mutex on every flush).
+func (st *runState) flushLocked(ws *workerScratch, worker int) error {
+	batch := st.pendingVecs
+	if len(batch) == 0 {
+		return nil
+	}
 	simStart := time.Now()
 	var words []uint64
 	var err error
@@ -852,36 +1074,27 @@ func (st *runState) flush(batch [][]bool, worker int, ws *workerScratch) error {
 			ws.sim = sim
 		}
 	}
-	st.mu.Lock()
-	from := st.next
-	snap := append([]bool(nil), st.dropped...)
-	st.mu.Unlock()
-	var hits []int
-	for j := from; j < len(st.faults); j++ {
-		if snap[j] {
-			continue
-		}
-		if sim.DetectsAny(st.faults[j].Net, st.faults[j].StuckAt) != 0 {
-			hits = append(hits, j)
-		}
-	}
 	tel := st.opt.Telemetry
 	var droppedNames []string
-	st.mu.Lock()
-	for _, j := range hits {
-		if j >= st.next && !st.dropped[j] {
-			st.dropped[j] = true
-			st.droppedCount++
-			if tel != nil {
+	dropped := 0
+	for p := st.frontier; p < len(st.order); p++ {
+		j := int(st.order[p])
+		if st.droppedF.get(j) {
+			continue
+		}
+		if sim.DetectsAny(st.faults[j].Net, st.faults[j].StuckAt) != 0 && st.droppedF.set(j) {
+			dropped++
+			if tel != nil && tel.Trace != nil {
 				droppedNames = append(droppedNames, st.faults[j].Name(st.c))
 			}
 		}
 	}
-	st.mu.Unlock()
+	st.droppedN.Add(int64(dropped))
+	st.pendingVecs = st.pendingVecs[:0]
 	simTime := time.Since(simStart)
 	st.simNS.Add(simTime.Nanoseconds())
 	if tel != nil {
-		tel.observeFlush(worker, len(batch), droppedNames, simTime, time.Since(st.start))
+		tel.observeFlush(worker, len(batch), dropped, droppedNames, simTime, time.Since(st.start))
 	}
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package atpg
+
+// raceEnabled reports whether the test binary was built with -race;
+// allocation-count assertions are skipped there because the race
+// runtime's instrumentation allocates.
+const raceEnabled = false

@@ -120,17 +120,17 @@ func (e *Engine) safeTestFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *wo
 }
 
 // applyResume pre-fills the run state with a previous run's journaled
-// progress: decided faults are marked dropped (workers skip them) with
-// their verdicts installed verbatim, and a completed pre-phase is
-// restored so it is not re-run.
+// progress: decided faults are marked pre-decided (they get no dispatch
+// slot) with their verdicts installed verbatim, and a completed pre-phase
+// is restored so it is not re-run.
 func (st *runState) applyResume(rs *ResumeState) {
 	if rs == nil {
 		return
 	}
 	if rs.RPT != nil {
 		for _, i := range rs.RPT.Detected {
-			if i >= 0 && i < len(st.dropped) {
-				st.dropped[i] = true
+			if i >= 0 && i < len(st.preDecided) {
+				st.preDecided[i] = true
 			}
 		}
 		st.rptDetectedIdx = append([]int(nil), rs.RPT.Detected...)
@@ -145,18 +145,18 @@ func (st *runState) applyResume(rs *ResumeState) {
 		}
 		rc := r
 		st.results[i] = &rc
-		st.dropped[i] = true
+		st.preDecided[i] = true
 		st.resumed[i] = true
-		st.done++
+		st.doneN.Add(1)
 		switch r.Status {
 		case Detected:
-			st.det++
+			st.detN.Add(1)
 		case Untestable:
-			st.unt++
+			st.untN.Add(1)
 		case Aborted:
-			st.abt++
+			st.abtN.Add(1)
 		case Errored:
-			st.errs++
+			st.errsN.Add(1)
 		}
 	}
 }
@@ -229,13 +229,15 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 	if opt.RetryTiers <= 0 || opt.PerFaultBudget <= 0 {
 		return nil
 	}
-	st.mu.Lock()
+	// The main sweep's pool has exited and its frontier is drained, so the
+	// results array is quiescent here.
 	var queue []int
 	for i, r := range st.results {
 		if r != nil && r.Status == Aborted && !st.resumed[i] {
 			queue = append(queue, i)
 		}
 	}
+	st.mu.Lock()
 	failed := st.err != nil
 	st.mu.Unlock()
 	if failed {
@@ -261,10 +263,13 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 			go func() {
 				defer wg.Done()
 				ws := scratches[w]
+				// The tier reuses the main sweep's chunked claim protocol
+				// over its own queue.
+				cl := chunkClaimer{cursor: &cursor, n: len(queue), workers: len(scratches)}
 				var shrinkSeen int64
 				for {
-					k := int(cursor.Add(1)) - 1
-					if k >= len(queue) || ctx.Err() != nil {
+					k := cl.next()
+					if k < 0 || ctx.Err() != nil {
 						return
 					}
 					st.maybeShrink(ws, w, &shrinkSeen)
@@ -278,23 +283,21 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 					if ctx.Err() != nil {
 						return
 					}
-					if res.Status != Aborted {
-						decided[k] = true
-					}
-					st.mu.Lock()
+					// Queue slots are claimed exclusively, so the result
+					// write is disjoint from every other worker's.
 					st.results[i] = &res
 					if res.Status != Aborted {
-						st.abt--
+						decided[k] = true
+						st.abtN.Add(-1)
 						switch res.Status {
 						case Detected:
-							st.det++
+							st.detN.Add(1)
 						case Untestable:
-							st.unt++
+							st.untN.Add(1)
 						case Errored:
-							st.errs++
+							st.errsN.Add(1)
 						}
 					}
-					st.mu.Unlock()
 					if tel != nil {
 						tel.observeRetry(w, st.faults[i].Name(st.c), &res, tier, time.Since(st.start))
 					}

@@ -87,6 +87,9 @@ type Metrics struct {
 	RPTDetected      *obs.Counter
 	RPTBatches       *obs.Counter
 	Vectors          *obs.Counter
+	// SolvesWasted counts speculative solves discarded at commit because
+	// an earlier vector dropped the fault (see Summary.WastedSolves).
+	SolvesWasted *obs.Counter
 
 	// Resilience counters: recovered per-fault panics, watchdog-driven
 	// cache halvings, and the retry escalation broken down by tier.
@@ -139,6 +142,7 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		RPTDetected:      reg.Counter("atpg_rpt_detected_total", "faults detected by the random-pattern pre-phase"),
 		RPTBatches:       reg.Counter("atpg_rpt_batches_total", "random-pattern batches simulated"),
 		Vectors:          reg.Counter("atpg_vectors_total", "test vectors generated"),
+		SolvesWasted:     reg.Counter("atpg_solves_wasted_total", "speculative solves discarded because the fault was dropped first"),
 
 		FaultPanics:    reg.Counter("atpg_fault_panics_total", "per-fault panics recovered by the worker barrier"),
 		CacheShrinks:   reg.Counter("atpg_cache_shrinks_total", "solver cache halvings forced by the memory watchdog"),
@@ -327,20 +331,22 @@ func (t *Telemetry) observeShrink(worker int, newCap int64, sinceStart time.Dura
 }
 
 // observeFlush records one fault-simulation flush and the faults it
-// dropped.
-func (t *Telemetry) observeFlush(worker, batch int, droppedNames []string, simTime, sinceStart time.Duration) {
+// dropped. droppedNames is populated only when tracing (the flush path
+// stays allocation-free otherwise), so the metric counters take the
+// dropped count separately.
+func (t *Telemetry) observeFlush(worker, batch, dropped int, droppedNames []string, simTime, sinceStart time.Duration) {
 	if t == nil {
 		return
 	}
 	if m := t.Metrics; m != nil {
-		m.FaultsDone.Add(int64(len(droppedNames)))
-		m.FaultsDropped.Add(int64(len(droppedNames)))
+		m.FaultsDone.Add(int64(dropped))
+		m.FaultsDropped.Add(int64(dropped))
 		m.PhaseFaultSimNS.Add(simTime.Nanoseconds())
 	}
 	if t.Trace != nil {
 		_ = t.Trace.Emit(TraceEvent{
 			Kind: "faultsim", TimeNS: sinceStart.Nanoseconds(), Worker: worker,
-			Batch: batch, Dropped: len(droppedNames), SimNS: simTime.Nanoseconds(),
+			Batch: batch, Dropped: dropped, SimNS: simTime.Nanoseconds(),
 		})
 		for _, name := range droppedNames {
 			_ = t.Trace.Emit(TraceEvent{

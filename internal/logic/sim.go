@@ -149,7 +149,11 @@ func (c *Circuit) Simulate64Into(dst []uint64, inputs []uint64) []uint64 {
 	for i, in := range c.Inputs {
 		vals[in] = inputs[i]
 	}
-	var buf []uint64
+	// Stack-backed fanin buffer: Eval64 never retains its argument, so
+	// gates with fanin <= 8 (all of them, in practice) evaluate without
+	// touching the heap.
+	var bufArr [8]uint64
+	buf := bufArr[:0]
 	for _, id := range c.topo {
 		n := &c.Nodes[id]
 		switch n.Type {
