@@ -120,7 +120,30 @@ type (
 	// MetricsServer serves /metrics, /debug/vars and /debug/pprof for a
 	// registry.
 	MetricsServer = obs.Server
+	// SpanTracer emits hierarchical span records (run → phase → chunk →
+	// fault) into a Trace sink; wire one into Telemetry.Spans.
+	SpanTracer = obs.Tracer
+	// SpanContext identifies an in-flight span for parenting children.
+	SpanContext = obs.SpanContext
+	// FlightRing is the engine's always-on flight recorder: a fixed-size
+	// lock-free ring of recent dispatch/solve/commit events, dumped on
+	// panics and interrupts.
+	FlightRing = obs.Ring
+	// EffortLog is the append-only JSONL sink for per-fault effort
+	// records (schema EffortSchema); wire one into RunOptions.EffortLog.
+	EffortLog = atpg.EffortLog
+	// EffortRecord joins one fault's structural features with the solver
+	// effort its verdict took.
+	EffortRecord = atpg.EffortRecord
+	// EffortHeader is the first record of an effort log.
+	EffortHeader = atpg.EffortHeader
+	// FaultFeatures is the cheap structural feature vector of one fault
+	// (fanout cone, sub-circuit gates, SCOAP, optional cut-width).
+	FaultFeatures = atpg.FaultFeatures
 )
+
+// EffortSchema versions the effort-log record format.
+const EffortSchema = atpg.EffortSchema
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
@@ -138,6 +161,25 @@ func NewTrace(w io.Writer) *Trace { return obs.NewTrace(w) }
 
 // CreateTrace creates path and returns a JSONL trace sink writing to it.
 func CreateTrace(path string) (*Trace, error) { return obs.CreateTrace(path) }
+
+// NewSpanTracer returns a span tracer emitting into sink.
+func NewSpanTracer(sink *Trace) *SpanTracer { return obs.NewTracer(sink) }
+
+// NewFlightRing returns a flight-recorder ring holding the most recent n
+// events (rounded up to a power of two, minimum 16).
+func NewFlightRing(n int) *FlightRing { return obs.NewRing(n) }
+
+// NewEffortLog wraps w in a buffered effort-record sink.
+func NewEffortLog(w io.Writer) *EffortLog { return atpg.NewEffortLog(w) }
+
+// CreateEffortLog opens (truncating) an effort log file at path.
+func CreateEffortLog(path string) (*EffortLog, error) { return atpg.CreateEffortLog(path) }
+
+// DecodeEffortLog parses an effort-log stream into its header and
+// records, tolerating a truncated final line.
+func DecodeEffortLog(r io.Reader) (EffortHeader, []EffortRecord, error) {
+	return atpg.DecodeEffortLog(r)
+}
 
 // ServeMetrics starts an HTTP server on addr (host:port, port 0 picks one)
 // exposing reg on /metrics (Prometheus text format), expvar on /debug/vars

@@ -282,6 +282,47 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkEffortLogOverhead pits an effort-log-free parallel run
+// against the same run streaming one structured record per fault (with
+// the up-front feature extraction that implies). The disabled case is a
+// single nil check per fault; the enabled case must stay within a few
+// percent — cmd/scalecheck gates the ratio at 3%.
+func BenchmarkEffortLogOverhead(b *testing.B) {
+	c := gen.ArrayMultiplier(6)
+	const workers = 4
+	run := func(b *testing.B, makeLog func() *atpg.EffortLog) {
+		eng := &atpg.Engine{Workers: workers}
+		for i := 0; i < b.N; i++ {
+			log := makeLog()
+			sum, err := eng.Run(context.Background(), c, atpg.RunOptions{
+				Collapse: true, DropDetected: true, EffortLog: log,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Coverage() != 1 {
+				b.Fatalf("coverage %v", sum.Coverage())
+			}
+			if log != nil {
+				if log.Records() == 0 {
+					b.Fatal("effort log stayed empty")
+				}
+				if err := log.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, func() *atpg.EffortLog { return nil })
+		recordBench(b, workers)
+	})
+	b.Run("on", func(b *testing.B) {
+		run(b, func() *atpg.EffortLog { return atpg.NewEffortLog(io.Discard) })
+		recordBench(b, workers)
+	})
+}
+
 // BenchmarkResidualKey compares the two residual-key builders: the
 // string-returning ResidualKey (one allocation per call) against
 // AppendResidualKey into a reused buffer (zero steady-state allocations).

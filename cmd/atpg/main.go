@@ -12,6 +12,7 @@
 //	     [-retry-tiers N] [-retry-backoff F] [-mem-soft-limit BYTES]
 //	     [-checkpoint FILE] [-resume] [-checkpoint-sync] [-checkpoint-every DUR]
 //	     [-metrics-addr ADDR] [-trace FILE] [-progress DUR] [-json]
+//	     [-effort-log FILE] [-effort-width]
 //	     [-decompose] [-vectors] [-dimacs DIR] [-v]
 //
 // Generated circuit names (NAME): ripple<N>, cla<N>, mult<N>, alu<N>,
@@ -51,7 +52,14 @@
 // -progress prints a live progress line (faults done, coverage, ETA) to
 // stderr on the given period; -json replaces the human summary on stdout
 // with a machine-readable JSON document (schema atpgeasy/run-summary/v1,
-// documented in README.md).
+// documented in README.md). With -trace, the event stream also carries
+// hierarchical spans (run → phase → dispatch chunk/RPT batch/retry tier →
+// fault). -effort-log streams one structured record per fault verdict —
+// structural features joined with solver effort, schema
+// atpgeasy/effort/v1 — for cmd/atpgreport; -effort-width additionally
+// estimates each fault's sub-circuit cut-width (slower: one MLA layout
+// per fault). A crash or interrupt dumps the engine's flight-recorder
+// ring (most recent dispatch/solve/commit events) to stderr.
 package main
 
 import (
@@ -112,7 +120,9 @@ func main() {
 	dimacsDir := flag.String("dimacs", "", "dump every ATPG-SAT instance as DIMACS CNF into this directory")
 	verbose := flag.Bool("v", false, "print per-fault results")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port for the duration of the run (port 0 picks one)")
-	traceFile := flag.String("trace", "", "write a per-fault JSONL event trace to this file")
+	traceFile := flag.String("trace", "", "write a per-fault JSONL event trace (with hierarchical spans) to this file")
+	effortLog := flag.String("effort-log", "", "stream per-fault effort records (features + solver effort, JSONL) to this file")
+	effortWidth := flag.Bool("effort-width", false, "include estimated sub-circuit cut-width in effort records (runs the MLA heuristic per fault)")
 	progressEvery := flag.Duration("progress", 0, "print a live progress line to stderr on this period (0 = off)")
 	jsonOut := flag.Bool("json", false, "print a machine-readable JSON run summary to stdout (human report moves to stderr)")
 	flag.Parse()
@@ -171,6 +181,15 @@ func main() {
 		fail(err)
 	}
 
+	// The flight recorder is always on: it is a fixed-size ring, costs a
+	// few atomics per event, and is the only record of the engine's recent
+	// dispatch/solve/commit activity when a run is interrupted.
+	ring := obs.NewRing(obs.DefaultRingSize)
+	if tel == nil {
+		tel = &atpg.Telemetry{}
+	}
+	tel.Ring = ring
+
 	opt := atpg.RunOptions{
 		DropDetected:   *drop,
 		RPTBatches:     *rptBatches,
@@ -182,6 +201,14 @@ func main() {
 		RetryTiers:     *retryTiers,
 		RetryBackoff:   *retryBackoff,
 		MemSoftLimit:   *memSoftLimit,
+		EffortWidth:    *effortWidth,
+	}
+	if *effortLog != "" {
+		el, err := atpg.CreateEffortLog(*effortLog)
+		if err != nil {
+			fail(err)
+		}
+		opt.EffortLog = el
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -200,7 +227,7 @@ func main() {
 				*ckptPath, len(opt.Resume.Faults), len(faults))
 		}
 	}
-	stopSyncer := startCheckpointSyncer(ctx, journal, *ckptEvery)
+	stopSyncer := startCheckpointSyncer(ctx, journal, *ckptEvery, tel.Spans)
 
 	sum, err := eng.RunFaults(ctx, c, faults, opt)
 
@@ -218,6 +245,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "atpg: checkpoint journal: %v\n", cerr)
 		}
 	}
+	if opt.EffortLog != nil {
+		if cerr := opt.EffortLog.Close(); cerr != nil {
+			// Like the journal: a degraded effort log never fails the run.
+			fmt.Fprintf(os.Stderr, "atpg: effort log: %v\n", cerr)
+		} else {
+			fmt.Fprintf(info, "effort log: %d records to %s\n", opt.EffortLog.Records()-1, *effortLog)
+		}
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fail(err)
@@ -227,6 +262,7 @@ func main() {
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "atpg: interrupted — partial results follow")
+		ring.Dump(os.Stderr, 32)
 	}
 	if *verbose {
 		for _, r := range sum.Results {
@@ -301,6 +337,7 @@ func setupTelemetry(metricsAddr, traceFile string, progressEvery time.Duration, 
 			return nil, nil, err
 		}
 		tel.Trace = tr
+		tel.Spans = obs.NewTracer(tr)
 		closers = append(closers, tr.Close)
 	}
 	if progressEvery > 0 {
@@ -488,12 +525,18 @@ func resumeState(st *checkpoint.State, c *logic.Circuit, faults []atpg.Fault) (*
 
 // startCheckpointSyncer fsyncs the journal on the given period and once
 // more when ctx is cancelled (SIGINT/SIGTERM), so a signal-drained run's
-// verdicts are durable even if the process is then killed hard. The
-// returned stop function waits for the goroutine to exit; it is a no-op
-// without a journal.
-func startCheckpointSyncer(ctx context.Context, j *checkpoint.Journal, every time.Duration) func() {
+// verdicts are durable even if the process is then killed hard. Each
+// flush is traced as a top-level "checkpoint" span (nil tracer = no-op).
+// The returned stop function waits for the goroutine to exit; it is a
+// no-op without a journal.
+func startCheckpointSyncer(ctx context.Context, j *checkpoint.Journal, every time.Duration, spans *obs.Tracer) func() {
 	if j == nil {
 		return func() {}
+	}
+	flush := func() {
+		sp := spans.Start("checkpoint", obs.SpanContext{})
+		j.Sync()
+		sp.End()
 	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -509,9 +552,9 @@ func startCheckpointSyncer(ctx context.Context, j *checkpoint.Journal, every tim
 		for {
 			select {
 			case <-tick:
-				j.Sync()
+				flush()
 			case <-ctx.Done():
-				j.Sync()
+				flush()
 				return
 			case <-done:
 				return

@@ -13,6 +13,13 @@
 // Rows measured on a single-CPU box (cpus < 2) are skipped with a note:
 // a speedup measured without parallel hardware says nothing about
 // scaling. CI runners have multiple cores, so the gate is live there.
+//
+// A second gate bounds the effort-log overhead: the
+// BenchmarkEffortLogOverhead off/on pair must stay within
+// -max-effort-overhead (default 1.03 — streaming per-fault effort
+// records may cost at most 3%). Missing rows or single-CPU measurements
+// are skipped with a note, like the scaling gate; -max-effort-overhead 0
+// disables the gate.
 package main
 
 import (
@@ -37,21 +44,79 @@ func main() {
 	bench := flag.String("bench", "BENCH_atpg.json", "path to the benchmark record file")
 	family := flag.String("family", "BenchmarkParallelATPG", "benchmark name prefix to gate on")
 	minSpeedup := flag.Float64("min-speedup", 1.25, "minimum workers-1 / workers-4 ns ratio")
+	effortFamily := flag.String("effort-family", "BenchmarkEffortLogOverhead", "off/on benchmark pair to gate effort-log overhead on")
+	maxOverhead := flag.Float64("max-effort-overhead", 1.03, "maximum on/off ns ratio for the effort-log pair (0 = skip the gate)")
 	flag.Parse()
 	if err := run(*bench, *family, *minSpeedup, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
 		os.Exit(1)
 	}
+	if *maxOverhead > 0 {
+		if err := runOverhead(*bench, *effortFamily, *maxOverhead, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(benchPath, family string, minSpeedup float64, out io.Writer) error {
+// loadRows reads and parses the benchmark record file.
+func loadRows(benchPath string) ([]row, error) {
 	buf, err := os.ReadFile(benchPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rows []row
 	if err := json.Unmarshal(buf, &rows); err != nil {
-		return fmt.Errorf("parsing %s: %w", benchPath, err)
+		return nil, fmt.Errorf("parsing %s: %w", benchPath, err)
+	}
+	return rows, nil
+}
+
+// runOverhead gates the effort-log overhead: the "<family>/on" row may
+// cost at most maxRatio× the "<family>/off" row. Rows that are missing
+// (the bench step did not run the pair) or measured on a single CPU are
+// skipped with a note rather than failed — absent evidence is not a
+// regression.
+func runOverhead(benchPath, family string, maxRatio float64, out io.Writer) error {
+	rows, err := loadRows(benchPath)
+	if err != nil {
+		return err
+	}
+	var off, on *row
+	for i := range rows {
+		switch rows[i].Name {
+		case family + "/off":
+			off = &rows[i]
+		case family + "/on":
+			on = &rows[i]
+		}
+	}
+	switch {
+	case off == nil || on == nil:
+		fmt.Fprintf(out, "skip %s: off/on pair not recorded\n", family)
+		return nil
+	case off.CPUs < 2 || on.CPUs < 2:
+		fmt.Fprintf(out, "skip %s: measured with %d CPU(s); overhead needs a parallel run\n",
+			family, min(off.CPUs, on.CPUs))
+		return nil
+	case off.NsPerOp <= 0 || on.NsPerOp <= 0:
+		return fmt.Errorf("%s: non-positive ns_per_op", family)
+	}
+	ratio := on.NsPerOp / off.NsPerOp
+	if ratio > maxRatio {
+		fmt.Fprintf(out, "FAIL %s: effort log costs %.1f%% (%.1fms -> %.1fms, cap %.1f%%)\n",
+			family, 100*(ratio-1), off.NsPerOp/1e6, on.NsPerOp/1e6, 100*(maxRatio-1))
+		return fmt.Errorf("effort-log overhead %.3fx exceeds %.3fx", ratio, maxRatio)
+	}
+	fmt.Fprintf(out, "ok   %s: effort log costs %.1f%% (%.1fms -> %.1fms, cap %.1f%%)\n",
+		family, 100*(ratio-1), off.NsPerOp/1e6, on.NsPerOp/1e6, 100*(maxRatio-1))
+	return nil
+}
+
+func run(benchPath, family string, minSpeedup float64, out io.Writer) error {
+	rows, err := loadRows(benchPath)
+	if err != nil {
+		return err
 	}
 
 	// Group "<fam>/workers-N" rows by fam, keeping the two endpoints the

@@ -119,3 +119,58 @@ func TestMissingAndMalformedFile(t *testing.T) {
 		t.Fatal("expected error for malformed JSON")
 	}
 }
+
+const effortFam = "BenchmarkEffortLogOverhead"
+
+func TestEffortOverheadWithinCap(t *testing.T) {
+	path := writeBench(t, `[
+		{"name": "BenchmarkEffortLogOverhead/off", "ns_per_op": 100e6, "workers": 4, "cpus": 4},
+		{"name": "BenchmarkEffortLogOverhead/on", "ns_per_op": 102e6, "workers": 4, "cpus": 4}
+	]`)
+	var out strings.Builder
+	if err := runOverhead(path, effortFam, 1.03, &out); err != nil {
+		t.Fatalf("2%% overhead must pass a 3%% cap: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2.0%") {
+		t.Fatalf("expected the measured overhead in output, got:\n%s", out.String())
+	}
+}
+
+func TestEffortOverheadExceedsCap(t *testing.T) {
+	path := writeBench(t, `[
+		{"name": "BenchmarkEffortLogOverhead/off", "ns_per_op": 100e6, "workers": 4, "cpus": 4},
+		{"name": "BenchmarkEffortLogOverhead/on", "ns_per_op": 110e6, "workers": 4, "cpus": 4}
+	]`)
+	err := runOverhead(path, effortFam, 1.03, &strings.Builder{})
+	if err == nil {
+		t.Fatal("10% overhead must fail a 3% cap")
+	}
+	if !strings.Contains(err.Error(), "overhead") {
+		t.Fatalf("error %v does not name the overhead gate", err)
+	}
+}
+
+func TestEffortOverheadSkips(t *testing.T) {
+	// Missing rows and single-CPU measurements are notes, not failures.
+	missing := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4}
+	]`)
+	var out strings.Builder
+	if err := runOverhead(missing, effortFam, 1.03, &out); err != nil {
+		t.Fatalf("missing pair must be skipped: %v", err)
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("expected a skip note, got:\n%s", out.String())
+	}
+	oneCPU := writeBench(t, `[
+		{"name": "BenchmarkEffortLogOverhead/off", "ns_per_op": 100e6, "workers": 4, "cpus": 1},
+		{"name": "BenchmarkEffortLogOverhead/on", "ns_per_op": 150e6, "workers": 4, "cpus": 1}
+	]`)
+	out.Reset()
+	if err := runOverhead(oneCPU, effortFam, 1.03, &out); err != nil {
+		t.Fatalf("single-CPU pair must be skipped: %v", err)
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("expected a skip note, got:\n%s", out.String())
+	}
+}

@@ -120,6 +120,11 @@ type chunkClaimer struct {
 	n       int
 	workers int
 	lo, hi  int // reserved, not yet popped
+	// onChunk, when set, observes each successful chunk reservation
+	// (positions [lo, hi)) — the observability hook feeding the flight
+	// recorder and dispatch-chunk spans. Called on the claiming worker's
+	// goroutine, outside any lock.
+	onChunk func(lo, hi int)
 }
 
 // next returns the next reserved position, or -1 at exhaustion. Lock-free:
@@ -146,6 +151,9 @@ func (cl *chunkClaimer) next() int {
 		}
 		if cl.cursor.CompareAndSwap(cur, cur+int64(chunk)) {
 			cl.lo, cl.hi = int(cur), int(cur)+chunk
+			if cl.onChunk != nil {
+				cl.onChunk(cl.lo, cl.hi)
+			}
 		}
 	}
 	p := cl.lo

@@ -1,0 +1,304 @@
+package atpg
+
+// The per-fault effort log: one append-only JSONL stream joining each
+// fault's cheap structural features (features.go) with the effort its
+// decision actually took — which phase decided it, solver search
+// counters, wall time, retry tier, wasted-solve flag. The stream is the
+// dataset the source paper's Figure 1 plots, and the training data the
+// ROADMAP's cut-width-guided fault router needs. Schema-versioned like
+// the checkpoint journal; cmd/atpgreport consumes it.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"atpgeasy/internal/logic"
+)
+
+// EffortSchema versions the effort-log format. Bump on any incompatible
+// record change; readers reject unknown schemas instead of guessing.
+const EffortSchema = "atpgeasy/effort/v1"
+
+// EffortHeader is the first record of an effort log.
+type EffortHeader struct {
+	Kind    string `json:"kind"` // "header"
+	Schema  string `json:"schema"`
+	Circuit string `json:"circuit"`
+	Faults  int    `json:"faults"`
+	Workers int    `json:"workers"`
+	// Width records whether cut-width extraction (RunOptions.EffortWidth)
+	// was on — readers treat cut_width −1 as absent either way.
+	Width bool `json:"width"`
+}
+
+// EffortRecord is one fault's features-joined-with-outcome line. Exactly
+// one is emitted per fault that receives a verdict (RPT-detected,
+// solver-decided, retried or resumed); faults dropped by fault
+// simulation get a record only if a speculative solve was wasted on them
+// (Phase "dropped", Wasted true) — a clean drop costs no solver work and
+// therefore has no effort to report.
+type EffortRecord struct {
+	Kind string `json:"kind"` // "fault"
+	// Index is the fault-list index — the join key against spans, the
+	// checkpoint journal and Summary.Results.
+	Index int    `json:"i"`
+	Fault string `json:"fault"`
+	Net   int    `json:"net"`
+	SA    int    `json:"sa"` // stuck-at value, 0 or 1
+
+	FaultFeatures
+
+	// Phase names the pipeline stage that produced this verdict: "rpt",
+	// "sweep", "retry", "resume" or "dropped" (wasted speculative solve).
+	Phase  string `json:"phase"`
+	Status string `json:"status"` // detected|untestable|aborted|error|dropped
+	// Tier is the retry tier that decided the fault (0 = main sweep).
+	Tier   int  `json:"tier,omitempty"`
+	Worker int  `json:"worker"` // solving worker; −1 when no solver ran
+	Wasted bool `json:"wasted,omitempty"`
+
+	Vars    int   `json:"vars,omitempty"`
+	Clauses int   `json:"clauses,omitempty"`
+	BuildNS int64 `json:"build_ns,omitempty"`
+	SolveNS int64 `json:"solve_ns,omitempty"`
+
+	Nodes        int64 `json:"nodes,omitempty"`
+	Decisions    int64 `json:"decisions,omitempty"`
+	Propagations int64 `json:"propagations,omitempty"`
+	Conflicts    int64 `json:"conflicts,omitempty"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	// Effort is sat.Stats.SearchEffort — the log's canonical solver-work
+	// scalar, present (possibly 0) on every record.
+	Effort int64 `json:"effort"`
+}
+
+// EffortLog is the append-only JSONL sink for effort records. Emits from
+// concurrent workers are serialized; encoding happens outside the lock
+// in per-worker scratch buffers, so the critical section is one buffered
+// write. A nil *EffortLog discards records.
+type EffortLog struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer
+	err    error
+	n      atomic.Int64
+}
+
+// NewEffortLog wraps w in a buffered effort-record sink. If w is an
+// io.Closer, Close closes it after flushing.
+func NewEffortLog(w io.Writer) *EffortLog {
+	l := &EffortLog{bw: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		l.closer = c
+	}
+	return l
+}
+
+// CreateEffortLog opens (truncating) an effort log file at path.
+func CreateEffortLog(path string) (*EffortLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewEffortLog(f), nil
+}
+
+// Records returns the number of records written so far (header included).
+func (l *EffortLog) Records() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.n.Load()
+}
+
+// write appends one pre-encoded line (ending in '\n'). The first error
+// is retained and returned by every later call and by Close.
+func (l *EffortLog) write(line []byte) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if _, err := l.bw.Write(line); err != nil {
+		l.err = err
+		return err
+	}
+	l.n.Add(1)
+	return nil
+}
+
+// Close flushes the buffer and closes the underlying writer if it is a
+// Closer. It reports the first error seen over the log's lifetime.
+func (l *EffortLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.closer != nil {
+		if err := l.closer.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.closer = nil
+	}
+	return l.err
+}
+
+// effortEncoder is one worker's reusable record-encoding scratch: the
+// JSON bytes are built here, outside the log's lock.
+type effortEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+func (e *effortEncoder) encode(rec *EffortRecord) ([]byte, error) {
+	if e.enc == nil {
+		e.enc = json.NewEncoder(&e.buf)
+	}
+	e.buf.Reset()
+	if err := e.enc.Encode(rec); err != nil {
+		return nil, err
+	}
+	return e.buf.Bytes(), nil
+}
+
+// effortState is the engine side of an enabled effort log: the log, the
+// precomputed feature table, and a fallback encoder for call sites with
+// no worker scratch. Nil when RunOptions.EffortLog is nil, so the
+// disabled cost is one pointer check per fault.
+type effortState struct {
+	log   *EffortLog
+	feats []FaultFeatures
+
+	mu   sync.Mutex // guards fallback, used by scratch-less call sites
+	fall effortEncoder
+}
+
+// newEffortState precomputes every fault's features and writes the log
+// header. Runs before resume replay and the RPT pre-phase so all of
+// their records carry features too.
+func newEffortState(c *logic.Circuit, faults []Fault, opt RunOptions, workers int) (*effortState, error) {
+	es := &effortState{
+		log:   opt.EffortLog,
+		feats: computeFeatures(c, faults, opt.EffortWidth, workers),
+	}
+	hdr, err := json.Marshal(EffortHeader{
+		Kind: "header", Schema: EffortSchema, Circuit: c.Name,
+		Faults: len(faults), Workers: workers, Width: opt.EffortWidth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return es, es.log.write(append(hdr, '\n'))
+}
+
+// record emits one fault's effort record. ws supplies the per-worker
+// encoder scratch; call sites without one (resume replay, the RPT
+// coordinator with scratch reuse disabled) fall back to a shared locked
+// encoder. res may be nil for verdicts that never ran a solver
+// (RPT detections); any encoding or write error is sticky in the log and
+// surfaced at Close, never failing the run.
+func (st *runState) recordEffort(ws *workerScratch, i int, res *Result, phase string, status Status, tier, worker int, wasted bool) {
+	es := st.effort
+	f := st.faults[i]
+	rec := EffortRecord{
+		Kind: "fault", Index: i, Fault: f.Name(st.c), Net: f.Net,
+		FaultFeatures: es.feats[i],
+		Phase:         phase, Status: status.String(),
+		Tier: tier, Worker: worker, Wasted: wasted,
+	}
+	if f.StuckAt {
+		rec.SA = 1
+	}
+	if phase == "dropped" {
+		rec.Status = "dropped"
+	}
+	if res != nil {
+		rec.Vars, rec.Clauses = res.Vars, res.Clauses
+		rec.BuildNS = res.BuildElapsed.Nanoseconds()
+		rec.SolveNS = res.Elapsed.Nanoseconds()
+		ss := res.SolverStats
+		rec.Nodes, rec.Decisions, rec.Propagations = ss.Nodes, ss.Decisions, ss.Propagations
+		rec.Conflicts, rec.CacheHits = ss.Conflicts, ss.CacheHits
+		rec.Effort = ss.SearchEffort()
+	}
+	var line []byte
+	var err error
+	if ws != nil {
+		line, err = ws.eff.encode(&rec)
+		if err == nil {
+			err = es.log.write(line)
+		}
+	} else {
+		es.mu.Lock()
+		line, err = es.fall.encode(&rec)
+		if err == nil {
+			err = es.log.write(line)
+		}
+		es.mu.Unlock()
+	}
+	if err != nil {
+		// Sticky in the log; the run itself never fails on telemetry.
+		_ = err
+	}
+}
+
+// DecodeEffortLog parses an effort log stream into its header and
+// records, tolerating a truncated final line (a crashed run's log is
+// still analyzable). Returns an error for a missing or wrong-schema
+// header. Used by cmd/atpgreport and the round-trip tests.
+func DecodeEffortLog(r io.Reader) (EffortHeader, []EffortRecord, error) {
+	var hdr EffortHeader
+	var recs []EffortRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Kind != "header" {
+				return hdr, nil, errBadEffortHeader
+			}
+			if hdr.Schema != EffortSchema {
+				return hdr, nil, errBadEffortSchema(hdr.Schema)
+			}
+			continue
+		}
+		var rec EffortRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // truncated tail: keep what parsed
+		}
+		if rec.Kind == "fault" {
+			recs = append(recs, rec)
+		}
+	}
+	if first {
+		return hdr, nil, errBadEffortHeader
+	}
+	return hdr, recs, sc.Err()
+}
+
+type effortDecodeError string
+
+func (e effortDecodeError) Error() string { return string(e) }
+
+const errBadEffortHeader = effortDecodeError("atpg: effort log has no valid header record")
+
+func errBadEffortSchema(got string) error {
+	return effortDecodeError("atpg: effort log schema " + got + " is not " + EffortSchema)
+}

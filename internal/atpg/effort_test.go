@@ -1,0 +1,379 @@
+package atpg
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/obs"
+)
+
+// TestScoapGates pins the classic SCOAP recurrences on hand-checkable
+// gates (Goldstein's worked examples).
+func TestScoapGates(t *testing.T) {
+	b := logic.NewBuilder("scoap")
+	a := b.Input("a")
+	bb := b.Input("b")
+	and := b.Gate(logic.And, "and", a, bb)
+	b.MarkOutput(and)
+	c := b.MustBuild()
+	s := ComputeScoap(c)
+
+	if s.CC0[a] != 1 || s.CC1[a] != 1 {
+		t.Errorf("input CC = (%d,%d), want (1,1)", s.CC0[a], s.CC1[a])
+	}
+	// AND: CC0 = min(CC0 inputs)+1 = 2, CC1 = sum(CC1 inputs)+1 = 3.
+	if s.CC0[and] != 2 || s.CC1[and] != 3 {
+		t.Errorf("AND CC = (%d,%d), want (2,3)", s.CC0[and], s.CC1[and])
+	}
+	// Output observes itself for free; observing a costs CC1(b)+1.
+	if s.CO[and] != 0 {
+		t.Errorf("output CO = %d, want 0", s.CO[and])
+	}
+	if s.CO[a] != 2 {
+		t.Errorf("CO(a) through AND = %d, want 2", s.CO[a])
+	}
+}
+
+func TestScoapXorAndInversion(t *testing.T) {
+	b := logic.NewBuilder("scoap2")
+	a := b.Input("a")
+	bb := b.Input("b")
+	x := b.Gate(logic.Xor, "x", a, bb)
+	// g = AND(a, ¬b): the bubble swaps which controllability pin b pays.
+	g := b.GateN(logic.And, "g", []int{a, bb}, []bool{false, true})
+	n := b.Gate(logic.Not, "n", a)
+	b.MarkOutput(x)
+	b.MarkOutput(g)
+	b.MarkOutput(n)
+	c := b.MustBuild()
+	s := ComputeScoap(c)
+
+	// XOR parity DP over unit inputs: CC0 = CC1 = 3.
+	if s.CC0[x] != 3 || s.CC1[x] != 3 {
+		t.Errorf("XOR CC = (%d,%d), want (3,3)", s.CC0[x], s.CC1[x])
+	}
+	// AND with inverted b: CC1 = CC1(a)+CC0(b)+1 = 3, CC0 = min(CC0(a), CC1(b))+1 = 2.
+	if s.CC0[g] != 2 || s.CC1[g] != 3 {
+		t.Errorf("AND(a,¬b) CC = (%d,%d), want (2,3)", s.CC0[g], s.CC1[g])
+	}
+	// NOT swaps controllabilities and adds 1.
+	if s.CC0[n] != 2 || s.CC1[n] != 2 {
+		t.Errorf("NOT CC = (%d,%d), want (2,2)", s.CC0[n], s.CC1[n])
+	}
+	// a is observed cheapest through the NOT output (CO(n)=0, no side
+	// pins): CO(a) = 1; the XOR and AND paths cost 2 and lose the min.
+	if s.CO[a] != 1 {
+		t.Errorf("CO(a) = %d, want 1", s.CO[a])
+	}
+	// b's only paths are XOR (side cost min(CC0(a),CC1(a))=1) and the
+	// inverted AND pin (side cost CC1(a)=1): CO(b) = 2 either way.
+	if s.CO[bb] != 2 {
+		t.Errorf("CO(b) = %d, want 2", s.CO[bb])
+	}
+}
+
+func TestScoapConstSaturates(t *testing.T) {
+	b := logic.NewBuilder("scoap3")
+	x := b.Input("x")
+	one := b.Const("one", true)
+	g := b.Gate(logic.And, "g", x, one)
+	b.MarkOutput(g)
+	c := b.MustBuild()
+	s := ComputeScoap(c)
+	if s.CC1[one] != 0 || s.CC0[one] != scoapInf {
+		t.Errorf("const-1 CC = (%d,%d), want (inf,0)", s.CC0[one], s.CC1[one])
+	}
+	// Sums through the uncontrollable pin must saturate, never overflow.
+	if s.CC0[g] < 0 || s.CC1[g] < 0 || s.CC0[g] > scoapInf || s.CC1[g] > scoapInf {
+		t.Errorf("saturation broken: CC(g) = (%d,%d)", s.CC0[g], s.CC1[g])
+	}
+}
+
+// TestFaultFeatures pins the structural features on a 3-node chain
+// a → NOT b → NOT out.
+func TestFaultFeatures(t *testing.T) {
+	bld := logic.NewBuilder("chain")
+	a := bld.Input("a")
+	nb := bld.Gate(logic.Not, "b", a)
+	out := bld.Gate(logic.Not, "out", nb)
+	bld.MarkOutput(out)
+	c := bld.MustBuild()
+
+	faults := []Fault{{Net: a, StuckAt: false}, {Net: out, StuckAt: true}}
+	feats := computeFeatures(c, faults, false, 2)
+
+	fa := feats[0]
+	if fa.ConeSize != 3 || fa.ConeDepth != 3 {
+		t.Errorf("a: cone (size %d, depth %d), want (3, 3)", fa.ConeSize, fa.ConeDepth)
+	}
+	if fa.Gates != 2 {
+		t.Errorf("a: gates = %d, want 2", fa.Gates)
+	}
+	if fa.CutWidth != -1 {
+		t.Errorf("a: cut width = %d, want -1 when extraction is off", fa.CutWidth)
+	}
+	fo := feats[1]
+	if fo.ConeSize != 1 || fo.ConeDepth != 1 {
+		t.Errorf("out: cone (size %d, depth %d), want (1, 1)", fo.ConeSize, fo.ConeDepth)
+	}
+	// out's sub-circuit is its own fanin support: both NOT gates.
+	if fo.Gates != 2 {
+		t.Errorf("out: gates = %d, want 2", fo.Gates)
+	}
+
+	wide := computeFeatures(c, faults, true, 1)
+	if wide[0].CutWidth < 1 {
+		t.Errorf("cut width = %d, want >= 1 with extraction on", wide[0].CutWidth)
+	}
+}
+
+// TestEffortLogRoundTrip is the log's core invariant: exactly one
+// non-wasted record per fault that received a verdict, statuses joining
+// Summary.Results losslessly, under both serial and parallel runs.
+func TestEffortLogRoundTrip(t *testing.T) {
+	c := gen.ArrayMultiplier(4)
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		log := NewEffortLog(&buf)
+		eng := &Engine{Workers: workers}
+		sum, err := eng.Run(context.Background(), c, RunOptions{
+			Collapse: true, DropDetected: true,
+			RPTBatches: DefaultRPTBatches,
+			EffortLog:  log,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatalf("workers=%d: close: %v", workers, err)
+		}
+
+		hdr, recs, err := DecodeEffortLog(&buf)
+		if err != nil {
+			t.Fatalf("workers=%d: decode: %v", workers, err)
+		}
+		if hdr.Schema != EffortSchema || hdr.Circuit != c.Name || hdr.Faults != sum.Total || hdr.Workers != workers {
+			t.Fatalf("workers=%d: header %+v", workers, hdr)
+		}
+
+		// Every fault with a verdict gets exactly one non-wasted record;
+		// cleanly dropped faults get none.
+		byIdx := map[int]EffortRecord{}
+		wasted := 0
+		for _, r := range recs {
+			if r.Phase == "dropped" {
+				wasted++
+				if !r.Wasted || r.Status != "dropped" {
+					t.Errorf("workers=%d: dropped record not marked wasted: %+v", workers, r)
+				}
+				continue
+			}
+			if prev, dup := byIdx[r.Index]; dup {
+				t.Errorf("workers=%d: fault %d recorded twice: %+v / %+v", workers, r.Index, prev, r)
+			}
+			byIdx[r.Index] = r
+		}
+		want := sum.Total - sum.DroppedByFaultSim
+		if len(byIdx) != want {
+			t.Errorf("workers=%d: %d verdict records, want %d (total %d − dropped %d)",
+				workers, len(byIdx), want, sum.Total, sum.DroppedByFaultSim)
+		}
+		if wasted != sum.WastedSolves {
+			t.Errorf("workers=%d: %d wasted records, want %d", workers, wasted, sum.WastedSolves)
+		}
+		if sum.DetectedByRPT > 0 {
+			rpt := 0
+			for _, r := range byIdx {
+				if r.Phase == "rpt" {
+					rpt++
+				}
+			}
+			if rpt != sum.DetectedByRPT {
+				t.Errorf("workers=%d: %d rpt records, want %d", workers, rpt, sum.DetectedByRPT)
+			}
+		}
+
+		// Statuses and solver counters must join Summary.Results exactly.
+		byName := map[string]Result{}
+		for _, r := range sum.Results {
+			byName[r.Fault.Name(c)] = r
+		}
+		for _, r := range byIdx {
+			if r.ConeSize < 1 || r.Gates < 1 {
+				t.Errorf("workers=%d: empty features on %+v", workers, r)
+			}
+			if r.CutWidth != -1 {
+				t.Errorf("workers=%d: cut width %d recorded with extraction off", workers, r.CutWidth)
+			}
+			res, ok := byName[r.Fault]
+			if !ok {
+				if r.Phase != "rpt" {
+					t.Errorf("workers=%d: record %q (phase %s) has no summary result", workers, r.Fault, r.Phase)
+				}
+				continue
+			}
+			if r.Status != res.Status.String() {
+				t.Errorf("workers=%d: %q status %q, summary says %q", workers, r.Fault, r.Status, res.Status)
+			}
+			if r.Effort != res.SolverStats.SearchEffort() {
+				t.Errorf("workers=%d: %q effort %d, summary says %d", workers, r.Fault, r.Effort, res.SolverStats.SearchEffort())
+			}
+		}
+	}
+}
+
+// TestEffortLogSchemaRejected: wrong-schema and headerless streams must
+// be rejected, truncated tails tolerated.
+func TestEffortLogSchemaRejected(t *testing.T) {
+	if _, _, err := DecodeEffortLog(strings.NewReader(`{"kind":"fault"}`)); err == nil {
+		t.Error("headerless log accepted")
+	}
+	if _, _, err := DecodeEffortLog(strings.NewReader(`{"kind":"header","schema":"atpgeasy/effort/v0"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, _, err := DecodeEffortLog(strings.NewReader("")); err == nil {
+		t.Error("empty log accepted")
+	}
+	good := `{"kind":"header","schema":"atpgeasy/effort/v1","circuit":"x","faults":2}` + "\n" +
+		`{"kind":"fault","i":0,"fault":"a/0","phase":"sweep","status":"detected"}` + "\n" +
+		`{"kind":"fault","i":1,"fau` // torn mid-crash
+	hdr, recs, err := DecodeEffortLog(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("truncated log rejected: %v", err)
+	}
+	if hdr.Circuit != "x" || len(recs) != 1 || recs[0].Fault != "a/0" {
+		t.Errorf("truncated log parsed as %+v / %+v", hdr, recs)
+	}
+}
+
+// TestSpanTree: a traced run must emit a well-formed span forest — one
+// root "run" span, every other span's parent resolving to an emitted
+// span, and fault spans joining the effort log by fault name.
+func TestSpanTree(t *testing.T) {
+	c := gen.ArrayMultiplier(4)
+	var trace bytes.Buffer
+	tr := obs.NewTrace(&trace)
+	var effort bytes.Buffer
+	log := NewEffortLog(&effort)
+	eng := &Engine{Workers: 4}
+	sum, err := eng.Run(context.Background(), c, RunOptions{
+		Collapse: true, DropDetected: true,
+		RPTBatches: DefaultRPTBatches,
+		EffortLog:  log,
+		Telemetry:  &Telemetry{Trace: tr, Spans: obs.NewTracer(tr)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var spans []obs.SpanRecord
+	for _, line := range bytes.Split(trace.Bytes(), []byte("\n")) {
+		if !bytes.Contains(line, []byte(`"kind":"span"`)) {
+			continue
+		}
+		var sp obs.SpanRecord
+		if err := json.Unmarshal(line, &sp); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+
+	ids := map[uint64]obs.SpanRecord{}
+	var roots, faultsSpanned int
+	for _, sp := range spans {
+		if _, dup := ids[sp.ID]; dup {
+			t.Fatalf("span ID %d emitted twice", sp.ID)
+		}
+		ids[sp.ID] = sp
+		if sp.Parent == 0 {
+			roots++
+			if sp.Name != "run" {
+				t.Errorf("root span %q, want run", sp.Name)
+			}
+		}
+		if sp.DurNS < 0 || sp.StartNS < 0 {
+			t.Errorf("span %s has negative time: %+v", sp.Name, sp)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("%d root spans, want 1", roots)
+	}
+	names := map[string]int{}
+	for _, sp := range spans {
+		names[sp.Name]++
+		if sp.Parent != 0 {
+			if _, ok := ids[sp.Parent]; !ok {
+				t.Errorf("span %s parent %d never emitted", sp.Name, sp.Parent)
+			}
+		}
+		if sp.Name == "fault" {
+			faultsSpanned++
+			if sp.Detail == "" {
+				t.Errorf("fault span without a fault name: %+v", sp)
+			}
+		}
+	}
+	for _, want := range []string{"run", "sweep"} {
+		if names[want] == 0 {
+			t.Errorf("no %q span emitted (have %v)", want, names)
+		}
+	}
+	if sum.RPTBatches > 0 && names["rpt"] == 0 {
+		t.Errorf("RPT ran but no rpt span (have %v)", names)
+	}
+	if len(sum.Results) > 0 && names["dispatch-chunk"] == 0 {
+		t.Errorf("workers solved faults but no dispatch-chunk span (have %v)", names)
+	}
+
+	// Fault spans join the effort log by fault name: every solved fault's
+	// record has a span.
+	_, recs, err := DecodeEffortLog(&effort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spanned := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name == "fault" {
+			spanned[sp.Detail] = true
+		}
+	}
+	for _, r := range recs {
+		if r.Phase == "sweep" && !spanned[r.Fault] {
+			t.Errorf("solved fault %q has an effort record but no span", r.Fault)
+		}
+	}
+	if faultsSpanned < len(sum.Results) {
+		t.Errorf("%d fault spans for %d solved faults", faultsSpanned, len(sum.Results))
+	}
+}
+
+// TestRetryPendingETA: a progress snapshot taken after the main sweep but
+// before the retry tiers finish must still report remaining work.
+func TestRetryPendingETA(t *testing.T) {
+	p := Progress{Done: 10, Total: 10, RetryPending: 2, Elapsed: 10 * time.Second}
+	if eta := p.ETA(); eta <= 0 {
+		t.Errorf("ETA = %v with %d retries pending, want > 0", eta, p.RetryPending)
+	}
+	if !strings.Contains(p.String(), "retrying 2") {
+		t.Errorf("progress line %q does not mention pending retries", p.String())
+	}
+	done := Progress{Done: 10, Total: 10, Elapsed: 10 * time.Second}
+	if eta := done.ETA(); eta != 0 {
+		t.Errorf("ETA = %v on a finished run, want 0", eta)
+	}
+}

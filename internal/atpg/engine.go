@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -124,6 +125,9 @@ type workerScratch struct {
 	enc   *cnf.Encoder
 	pack  []uint64
 	sim   *faultsim.Simulator
+	// eff is the worker's effort-record encoding buffer, reused across
+	// faults so an enabled effort log adds no per-fault allocations.
+	eff effortEncoder
 }
 
 // newScratch returns a fresh per-worker scratch, or nil when reuse is
@@ -296,6 +300,13 @@ type PhaseTimes struct {
 	Solve time.Duration `json:"solve_ns"`
 	// FaultSim is the time spent batch-simulating vectors to drop faults.
 	FaultSim time.Duration `json:"faultsim_ns"`
+	// FrontierStall is commit-frontier stall time: how long the
+	// deterministic commit order sat blocked on one in-flight solve while
+	// later results waited published behind it. Unlike the phases above
+	// it is idle time, not work — it overlaps Solve rather than
+	// partitioning the run, and is 0 on a single worker (the frontier
+	// then only ever advances behind the worker's own publishes).
+	FrontierStall time.Duration `json:"frontier_stall_ns"`
 }
 
 // Coverage returns detected/(total-untestable): fault coverage over
@@ -381,6 +392,18 @@ type RunOptions struct {
 	// summary unchanged) and a journaled random-pattern pre-phase is
 	// restored instead of re-run, preserving the deterministic vector set.
 	Resume *ResumeState
+	// EffortLog, when non-nil, streams one structured effort record per
+	// decided fault — structural features joined with the solver work the
+	// verdict took (schema EffortSchema; see EffortRecord for the exact
+	// per-phase emission rule). Nil disables the log at the cost of one
+	// pointer check per fault.
+	EffortLog *EffortLog
+	// EffortWidth additionally computes each fault's sub-circuit
+	// cut-width (internal/hypergraph + internal/mla) as an effort-log
+	// feature — the source paper's Figure 8 predictor. Off by default:
+	// it runs a layout heuristic per fault, which dwarfs the other
+	// (two-DFS) features on large circuits.
+	EffortWidth bool
 }
 
 // dropBatch is the committed-vector count that triggers a fault-simulation
@@ -445,6 +468,37 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	st.applyResume(opt.Resume)
 	tel := opt.Telemetry
 	tel.begin(len(faults), workers)
+	st.ring = obs.NewRing(obs.DefaultRingSize)
+	if tel != nil && tel.Ring != nil {
+		st.ring = tel.Ring
+	}
+	if opt.EffortLog != nil {
+		es, err := newEffortState(c, faults, opt, workers)
+		if err != nil {
+			return nil, err
+		}
+		st.effort = es
+		// Verdicts replayed from a journal get their records now — they
+		// were decided by the resumed run, features and all, but this log
+		// must still join one record to every decided fault.
+		for i, r := range st.results {
+			if r != nil && st.resumed[i] {
+				st.recordEffort(nil, i, r, "resume", r.Status, 0, -1, false)
+			}
+		}
+		if st.rptRestored {
+			for _, i := range st.rptDetectedIdx {
+				st.recordEffort(nil, i, nil, "resume", Detected, 0, -1, false)
+			}
+		}
+	}
+	runSpan := tel.startSpan("run", obs.SpanContext{})
+	if runSpan.Active() {
+		runSpan.Detail = c.Name
+		runSpan.Items = int64(len(faults))
+	}
+	st.runSpan = runSpan.Context()
+	defer runSpan.End()
 	// Per-worker scratch arenas are created up front so the RPT pre-phase
 	// and the SAT workers share the same fault simulators and buffers.
 	scratches := make([]*workerScratch, workers)
@@ -457,7 +511,12 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		tel.observeProgress(st.progress())
 	})
 	if !st.rptRestored {
-		if err := e.runRPT(runCtx, st, scratches); err != nil {
+		rptSpan := tel.startSpan("rpt", st.runSpan)
+		st.rptSpan = rptSpan.Context()
+		err := e.runRPT(runCtx, st, scratches)
+		rptSpan.Items = int64(st.rptDetected)
+		rptSpan.End()
+		if err != nil {
 			rep.Stop()
 			return nil, err
 		}
@@ -468,6 +527,11 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	// The dispatch order covers exactly the faults still undecided after
 	// resume replay and the pre-phase.
 	st.order = effortOrder(c, faults, st.preDecided)
+	sweepSpan := tel.startSpan("sweep", st.runSpan)
+	if sweepSpan.Active() {
+		sweepSpan.Items = int64(len(st.order))
+	}
+	st.sweepSpan = sweepSpan.Context()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -488,6 +552,7 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	if err := st.kickCommit(scratches[0], 0); err != nil {
 		st.setErr(err)
 	}
+	sweepSpan.End()
 	retries := e.runRetryTiers(runCtx, st, scratches)
 	rep.Stop()
 	if st.err != nil {
@@ -532,6 +597,7 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	sum.Retries = retries
 	sum.Phases.RPT = time.Duration(st.rptNS)
 	sum.Phases.FaultSim = time.Duration(st.simNS.Load())
+	sum.Phases.FrontierStall = time.Duration(st.stallNS.Load())
 	sum.WallElapsed = time.Since(start)
 	return sum, ctx.Err()
 }
@@ -611,6 +677,47 @@ type runState struct {
 
 	// simNS accumulates fault-simulation flush time.
 	simNS atomic.Int64
+
+	// ring is the always-on flight recorder (Telemetry.Ring when set,
+	// otherwise a run-private DefaultRingSize ring); dumped once per run
+	// on the first fault panic or watchdog shrink.
+	ring       *obs.Ring
+	ringDumped atomic.Bool
+
+	// effort is the enabled effort log's run state (features + sink);
+	// nil when RunOptions.EffortLog is nil.
+	effort *effortState
+
+	// Span contexts of the run's phase spans, for attaching children.
+	// Zero (inert) unless Telemetry.Spans is set.
+	runSpan, rptSpan, sweepSpan obs.SpanContext
+
+	// Commit-frontier stall accounting, under commitMu: stallSince is
+	// when the frontier was first observed blocked at order position
+	// stallSlot (zero when not blocked); stallNS accumulates resolved
+	// stalls for Summary.Phases.FrontierStall.
+	stallSlot  int
+	stallSince time.Time
+	stallNS    atomic.Int64
+
+	// retryPending counts aborted faults still owed a retry tier (fed
+	// into Progress.RetryPending so the ETA covers the escalation phase).
+	retryPending atomic.Int64
+}
+
+// dumpRingOnce writes the flight recorder to the trace sink — and, for
+// hard failures (fault panics), to stderr — at most once per run: the
+// first trigger wins, so a burst of panics costs one dump. SIGINT dumps
+// are the CLI's own, from the ring it passes via Telemetry.Ring.
+func (st *runState) dumpRingOnce(reason string, toStderr bool) {
+	if st.ringDumped.Swap(true) {
+		return
+	}
+	if toStderr {
+		fmt.Fprintf(os.Stderr, "atpg: %s — dumping flight recorder\n", reason)
+		st.ring.Dump(os.Stderr, 64)
+	}
+	st.opt.Telemetry.observeRingDump(reason, st.ring)
 }
 
 // progress snapshots the run: worker-phase tallies from the commit
@@ -621,17 +728,18 @@ func (st *runState) progress() Progress {
 	st.mu.Unlock()
 	det := int(st.detN.Load())
 	return Progress{
-		Circuit:     st.c.Name,
-		Done:        int(st.doneN.Load()+st.droppedN.Load()) + rptDetected,
-		Total:       len(st.faults),
-		Detected:    det,
-		Untestable:  int(st.untN.Load()),
-		Aborted:     int(st.abtN.Load()),
-		Errors:      int(st.errsN.Load()),
-		Dropped:     int(st.droppedN.Load()),
-		RPTDetected: rptDetected,
-		Vectors:     det + rptVectors,
-		Elapsed:     time.Since(st.start),
+		Circuit:      st.c.Name,
+		Done:         int(st.doneN.Load()+st.droppedN.Load()) + rptDetected,
+		Total:        len(st.faults),
+		Detected:     det,
+		Untestable:   int(st.untN.Load()),
+		Aborted:      int(st.abtN.Load()),
+		Errors:       int(st.errsN.Load()),
+		Dropped:      int(st.droppedN.Load()),
+		RPTDetected:  rptDetected,
+		RetryPending: int(st.retryPending.Load()),
+		Vectors:      det + rptVectors,
+		Elapsed:      time.Since(st.start),
 	}
 }
 
@@ -706,6 +814,7 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 		masks   []uint64
 		n       int // live-array length at issue time; masks[:n] are valid
 		started time.Time
+		span    obs.Span // open from issue to consume (pipeline overlap shows as overlapping spans)
 		wg      sync.WaitGroup
 		errs    []error
 		sims    []*faultsim.Simulator
@@ -736,6 +845,7 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 
 	issue := func(br *batchRun) {
 		br.started = time.Now()
+		br.span = tel.startSpan("rpt-batch", st.rptSpan)
 		for i := range br.words {
 			br.words[i] = rng.Uint64()
 		}
@@ -784,7 +894,12 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 	// never counted or consumed.
 	drain := func() {
 		for consumed < issued {
-			bufs[consumed%2].wg.Wait()
+			br := bufs[consumed%2]
+			br.wg.Wait()
+			if br.span.Active() {
+				br.span.Detail = "discarded"
+				br.span.End()
+			}
 			consumed++
 		}
 	}
@@ -795,6 +910,8 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 			if compactPending {
 				// Pipeline bubble: nothing in flight references the live
 				// arrays, so compact them down to the survivors.
+				cspan := tel.startSpan("rpt-compact", st.rptSpan)
+				cspan.Items = int64(detSince)
 				nw := 0
 				for k := range live {
 					if det[k] {
@@ -807,6 +924,8 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 				live, nets, sas, det = live[:nw], nets[:nw], sas[:nw], det[:nw]
 				detSince = 0
 				compactPending = false
+				cspan.End()
+				st.ring.Record("rpt", -1, int64(nw), 0, 0)
 			}
 			if !canIssue() {
 				break
@@ -864,6 +983,7 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 				}
 			}
 		}
+		preDet := len(st.rptDetectedIdx)
 		st.mu.Lock()
 		for k := 0; k < br.n; k++ {
 			if !det[k] && masks[k] != 0 {
@@ -875,12 +995,22 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 		st.rptBatches++
 		st.rptVectors = append(st.rptVectors, newVecs...)
 		st.mu.Unlock()
+		if st.effort != nil {
+			// The coordinator is the only rptDetectedIdx writer, so the
+			// slice tail past preDet is exactly this batch's detections.
+			for _, i := range st.rptDetectedIdx[preDet:] {
+				st.recordEffort(scratches[0], i, nil, "rpt", Detected, 0, -1, false)
+			}
+		}
 		for k := 0; k < br.n; k++ {
 			if masks[k] != 0 {
 				det[k] = true
 			}
 		}
 		consumed++
+		st.ring.Record("rpt", -1, int64(detected), int64(len(newVecs)), time.Since(br.started).Nanoseconds())
+		br.span.Items = int64(detected)
+		br.span.End()
 		tel.observeRPTBatch(detected, len(newVecs), detectedNames, time.Since(br.started), time.Since(st.start))
 		if detected == 0 {
 			idle++
@@ -908,6 +1038,21 @@ func (e *Engine) runRPT(ctx context.Context, st *runState, scratches []*workerSc
 // reuse is disabled.
 func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *workerScratch) error {
 	cl := st.newClaimer()
+	tel := st.opt.Telemetry
+	// Each chunk reservation is one flight-recorder event and (under span
+	// tracing) rotates the worker's current dispatch-chunk span — the
+	// claim path itself stays lock-free either way.
+	var chunkSpan obs.Span
+	cl.ck.onChunk = func(lo, hi int) {
+		st.ring.Record("chunk", worker, int64(lo), int64(hi-lo), 0)
+		if tel.hasSpans() {
+			chunkSpan.End()
+			chunkSpan = tel.startSpan("dispatch-chunk", st.sweepSpan)
+			chunkSpan.Worker = worker
+			chunkSpan.Items = int64(hi - lo)
+		}
+	}
+	defer func() { chunkSpan.End() }()
 	var shrinkSeen int64
 	for {
 		if ctx.Err() != nil {
@@ -922,9 +1067,20 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 		if st.opt.PerFaultBudget > 0 {
 			lim.Deadline = time.Now().Add(st.opt.PerFaultBudget)
 		}
+		fspan := tel.startSpan("fault", chunkSpan.Context())
+		if fspan.Active() {
+			fspan.Worker = worker
+			fspan.Detail = st.faults[i].Name(st.c)
+		}
 		res, err := e.safeTestFault(st.c, st.faults[i], lim, ws, st.opt.CacheLimit)
+		fspan.Items = res.SolverStats.SearchEffort()
+		fspan.End()
+		st.ring.Record("solve", worker, int64(i), int64(res.Status), res.Elapsed.Nanoseconds())
 		if err != nil {
 			return err
+		}
+		if res.Status == Errored {
+			st.dumpRingOnce("fault panic recovered", true)
 		}
 		if ctx.Err() != nil {
 			// The abort is a draining artifact, not a verdict on the fault.
@@ -934,6 +1090,9 @@ func (e *Engine) runWorker(ctx context.Context, st *runState, worker int, ws *wo
 			// A flush dropped the fault while its solve was in flight; the
 			// official verdict is "dropped", so the solve is discarded.
 			st.countWasted(1)
+			if st.effort != nil {
+				st.recordEffort(ws, i, &res, "dropped", res.Status, 0, worker, true)
+			}
 			continue
 		}
 		st.published[i].Store(&specResult{res: res, worker: int32(worker)})
@@ -989,15 +1148,33 @@ func (st *runState) commitLocked(ws *workerScratch, worker int) error {
 	for st.frontier < len(st.order) {
 		i := int(st.order[st.frontier])
 		if st.droppedF.get(i) {
-			if st.published[i].Load() != nil {
+			if sr := st.published[i].Load(); sr != nil {
 				st.countWasted(1)
+				if st.effort != nil {
+					st.recordEffort(ws, i, &sr.res, "dropped", sr.res.Status, 0, int(sr.worker), true)
+				}
 			}
 			st.frontier++
 			continue
 		}
 		sr := st.published[i].Load()
 		if sr == nil {
-			return nil // frontier blocked on an in-flight solve
+			// Frontier blocked on an in-flight solve: start the stall clock
+			// on the first blocked observation of this slot.
+			if st.stallSlot != st.frontier || st.stallSince.IsZero() {
+				st.stallSlot, st.stallSince = st.frontier, time.Now()
+			}
+			return nil
+		}
+		if st.stallSlot == st.frontier && !st.stallSince.IsZero() {
+			stall := time.Since(st.stallSince)
+			st.stallSince = time.Time{}
+			st.stallNS.Add(stall.Nanoseconds())
+			st.ring.Record("stall", worker, int64(i), 0, stall.Nanoseconds())
+			tel.observeStall(stall)
+			if tel.hasSpans() {
+				tel.Spans.Observed("frontier-stall", st.sweepSpan, stall, worker)
+			}
 		}
 		st.frontier++
 		res := sr.res
@@ -1018,9 +1195,17 @@ func (st *runState) commitLocked(ws *workerScratch, worker int) error {
 		}
 		// An aborted fault headed for the retry queue is not final yet;
 		// journaling it now would make a resume skip a fault the retry
-		// tiers might still decide.
-		if st.opt.Journal != nil && (res.Status != Aborted || !retryable) {
-			st.opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
+		// tiers might still decide — and the effort log follows the same
+		// rule so each fault's single record carries its final verdict.
+		if res.Status == Aborted && retryable {
+			st.retryPending.Add(1)
+		} else {
+			if st.opt.Journal != nil {
+				st.opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
+			}
+			if st.effort != nil {
+				st.recordEffort(ws, i, &res, "sweep", res.Status, 0, int(sr.worker), false)
+			}
 		}
 		if res.Status == Detected && st.opt.DropDetected {
 			st.pendingVecs = append(st.pendingVecs, res.Vector)
@@ -1093,6 +1278,10 @@ func (st *runState) flushLocked(ws *workerScratch, worker int) error {
 	st.pendingVecs = st.pendingVecs[:0]
 	simTime := time.Since(simStart)
 	st.simNS.Add(simTime.Nanoseconds())
+	st.ring.Record("flush", worker, int64(len(batch)), int64(dropped), simTime.Nanoseconds())
+	if tel.hasSpans() {
+		tel.Spans.Observed("flush", st.sweepSpan, simTime, worker)
+	}
 	if tel != nil {
 		tel.observeFlush(worker, len(batch), dropped, droppedNames, simTime, time.Since(st.start))
 	}

@@ -174,7 +174,11 @@ func (st *runState) maybeShrink(ws *workerScratch, worker int, seen *int64) {
 	}
 	*seen = gen
 	newCap := ws.arena.Shrink()
+	st.ring.Record("shrink", worker, newCap, 0, 0)
 	st.opt.Telemetry.observeShrink(worker, newCap, time.Since(st.start))
+	// A shrink means memory pressure — worth a flight-recorder dump on
+	// the trace sink (not stderr: shrinking is degradation, not failure).
+	st.dumpRingOnce("memory watchdog shrink", false)
 }
 
 // startMemWatchdog arms the soft-memory watchdog when the run has a
@@ -254,6 +258,13 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 	for tier := 1; tier <= opt.RetryTiers && len(queue) > 0 && ctx.Err() == nil; tier++ {
 		budget = time.Duration(float64(budget) * backoff)
 		entry := RetryTier{Tier: tier, Budget: budget, Attempted: len(queue)}
+		tierSpan := tel.startSpan("retry-tier", st.runSpan)
+		if tierSpan.Active() {
+			tierSpan.Detail = fmt.Sprintf("tier-%d", tier)
+			tierSpan.Items = int64(len(queue))
+		}
+		tierCtx := tierSpan.Context()
+		st.ring.Record("tier", -1, int64(tier), int64(len(queue)), 0)
 		decided := make([]bool, len(queue)) // each slot written by one worker only
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
@@ -275,10 +286,21 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 					st.maybeShrink(ws, w, &shrinkSeen)
 					i := queue[k]
 					lim := sat.Limits{Cancel: ctx.Done(), Deadline: time.Now().Add(budget)}
+					fspan := tel.startSpan("fault", tierCtx)
+					if fspan.Active() {
+						fspan.Worker = w
+						fspan.Detail = st.faults[i].Name(st.c)
+					}
 					res, err := e.safeTestFault(st.c, st.faults[i], lim, ws, opt.CacheLimit)
+					fspan.Items = res.SolverStats.SearchEffort()
+					fspan.End()
+					st.ring.Record("solve", w, int64(i), int64(res.Status), res.Elapsed.Nanoseconds())
 					if err != nil {
 						st.setErr(err)
 						return
+					}
+					if res.Status == Errored {
+						st.dumpRingOnce("fault panic recovered", true)
 					}
 					if ctx.Err() != nil {
 						return
@@ -289,6 +311,7 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 					if res.Status != Aborted {
 						decided[k] = true
 						st.abtN.Add(-1)
+						st.retryPending.Add(-1)
 						switch res.Status {
 						case Detected:
 							st.detN.Add(1)
@@ -304,10 +327,14 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 					if opt.Journal != nil && res.Status != Aborted {
 						opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
 					}
+					if st.effort != nil && res.Status != Aborted {
+						st.recordEffort(ws, i, &res, "retry", res.Status, tier, w, false)
+					}
 				}
 			}()
 		}
 		wg.Wait()
+		tierSpan.End()
 		var still []int
 		for k, i := range queue {
 			if !decided[k] {
@@ -325,11 +352,19 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 		}
 	}
 	// Whatever is still queued is finally Aborted — journal it now, unless
-	// the run is draining (a later resume should get another shot).
-	if opt.Journal != nil && ctx.Err() == nil {
+	// the run is draining (a later resume should get another shot). The
+	// effort log gets the same finality: one "retry" record per survivor,
+	// carrying the last tier's solver stats.
+	if ctx.Err() == nil {
 		for _, i := range queue {
-			opt.Journal.RecordFault(i, Aborted.String(), nil, "")
+			if opt.Journal != nil {
+				opt.Journal.RecordFault(i, Aborted.String(), nil, "")
+			}
+			if st.effort != nil {
+				st.recordEffort(nil, i, st.results[i], "retry", Aborted, len(tiers), -1, false)
+			}
 		}
+		st.retryPending.Store(0)
 	}
 	return tiers
 }

@@ -18,11 +18,34 @@ type Telemetry struct {
 	// Trace receives one structured TraceEvent per fault (solved or
 	// dropped) plus one per fault-simulation flush.
 	Trace *obs.Trace
+	// Spans, when non-nil, mints hierarchical spans over the engine's
+	// control flow (run → phase → dispatch-chunk/RPT-batch/retry-tier →
+	// fault) and emits them to the tracer's sink as "kind":"span"
+	// records. Build one over the Trace sink with obs.NewTracer.
+	Spans *obs.Tracer
+	// Ring, when non-nil, replaces the engine's built-in flight recorder
+	// so the caller can dump it on its own signals (the CLI dumps on
+	// SIGINT). The engine always keeps a recorder — a nil Ring just makes
+	// it invisible outside panic/watchdog dumps.
+	Ring *obs.Ring
 	// ProgressEvery, when positive together with OnProgress, invokes
 	// OnProgress with a run snapshot on that period. Regardless of the
 	// period, OnProgress (if set) is called once more when the run ends.
 	ProgressEvery time.Duration
 	OnProgress    func(Progress)
+}
+
+// hasSpans reports whether span instrumentation is live — call sites use
+// it to skip work (fault-name formatting) that only feeds span records.
+func (t *Telemetry) hasSpans() bool { return t != nil && t.Spans != nil }
+
+// startSpan begins a span when span tracing is enabled; otherwise it
+// returns the inert zero Span.
+func (t *Telemetry) startSpan(name string, parent obs.SpanContext) obs.Span {
+	if t == nil || t.Spans == nil {
+		return obs.Span{}
+	}
+	return t.Spans.Start(name, parent)
 }
 
 // Progress is a point-in-time snapshot of a running RunFaults call.
@@ -38,8 +61,13 @@ type Progress struct {
 	Errors int
 	// RPTDetected counts faults detected by the random-pattern pre-phase.
 	RPTDetected int
-	Vectors     int
-	Elapsed     time.Duration
+	// RetryPending counts aborted faults still owed a retry tier: they
+	// are in Done (the sweep reported them aborted) but the run is not
+	// over until the escalation phase has re-solved them, so ETA counts
+	// them as remaining work.
+	RetryPending int
+	Vectors      int
+	Elapsed      time.Duration
 }
 
 // Coverage returns the running fault coverage over testable faults,
@@ -52,22 +80,29 @@ func (p Progress) Coverage() float64 {
 	return float64(p.Detected+p.Dropped+p.RPTDetected) / float64(testable)
 }
 
-// ETA linearly extrapolates the remaining wall time from the rate so far;
-// zero until at least one fault is done.
+// ETA linearly extrapolates the remaining wall time from the rate so
+// far; zero until at least one fault is done. Retry-pending faults count
+// as remaining work: the old Total−Done formula hit zero at the end of
+// the main sweep and then sat silent through the whole retry phase.
 func (p Progress) ETA() time.Duration {
-	if p.Done == 0 || p.Done >= p.Total {
+	remaining := p.Total - p.Done + p.RetryPending
+	if p.Done == 0 || remaining <= 0 {
 		return 0
 	}
 	per := float64(p.Elapsed) / float64(p.Done)
-	return time.Duration(per * float64(p.Total-p.Done)).Round(time.Millisecond)
+	return time.Duration(per * float64(remaining)).Round(time.Millisecond)
 }
 
 // String renders the standard one-line progress report.
 func (p Progress) String() string {
-	return fmt.Sprintf("%d/%d faults (%.1f%%)  detected %d  rpt %d  dropped %d  untestable %d  aborted %d  coverage %.1f%%  elapsed %v  eta %v",
+	s := fmt.Sprintf("%d/%d faults (%.1f%%)  detected %d  rpt %d  dropped %d  untestable %d  aborted %d  coverage %.1f%%  elapsed %v  eta %v",
 		p.Done, p.Total, 100*float64(p.Done)/float64(max(p.Total, 1)),
 		p.Detected, p.RPTDetected, p.Dropped, p.Untestable, p.Aborted,
 		100*p.Coverage(), p.Elapsed.Round(time.Millisecond), p.ETA())
+	if p.RetryPending > 0 {
+		s += fmt.Sprintf("  retrying %d", p.RetryPending)
+	}
+	return s
 }
 
 // Metrics is the engine's metric set over an obs.Registry. Counters are
@@ -90,6 +125,13 @@ type Metrics struct {
 	// SolvesWasted counts speculative solves discarded at commit because
 	// an earlier vector dropped the fault (see Summary.WastedSolves).
 	SolvesWasted *obs.Counter
+
+	// FrontierStallNS accumulates commit-frontier stall time: wall time
+	// the deterministic commit order spent blocked on one in-flight solve
+	// while later results sat published behind it (PR 6 left this dark).
+	// HistFrontierStall is the per-adoption stall distribution.
+	FrontierStallNS   *obs.Counter
+	HistFrontierStall *obs.Histogram
 
 	// Resilience counters: recovered per-fault panics, watchdog-driven
 	// cache halvings, and the retry escalation broken down by tier.
@@ -143,6 +185,9 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		RPTBatches:       reg.Counter("atpg_rpt_batches_total", "random-pattern batches simulated"),
 		Vectors:          reg.Counter("atpg_vectors_total", "test vectors generated"),
 		SolvesWasted:     reg.Counter("atpg_solves_wasted_total", "speculative solves discarded because the fault was dropped first"),
+
+		FrontierStallNS:   reg.Counter("atpg_frontier_stall_ns_total", "commit-frontier time blocked on an in-flight solve"),
+		HistFrontierStall: reg.Histogram("atpg_frontier_stall_ns", "per-adoption commit-frontier stall (log2 ns buckets)"),
 
 		FaultPanics:    reg.Counter("atpg_fault_panics_total", "per-fault panics recovered by the worker barrier"),
 		CacheShrinks:   reg.Counter("atpg_cache_shrinks_total", "solver cache halvings forced by the memory watchdog"),
@@ -312,6 +357,32 @@ func (t *Telemetry) observeRetry(worker int, name string, res *Result, tier int,
 			Error:  res.Err, Stack: res.Stack,
 		})
 	}
+}
+
+// observeStall records one resolved commit-frontier stall.
+func (t *Telemetry) observeStall(d time.Duration) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.FrontierStallNS.Add(d.Nanoseconds())
+	t.Metrics.HistFrontierStall.Observe(d.Nanoseconds())
+}
+
+// ringDump is the JSONL form of a flight-recorder dump on the trace
+// sink: the trigger and the surviving events in one record.
+type ringDump struct {
+	Kind   string          `json:"kind"` // "ring-dump"
+	Reason string          `json:"reason"`
+	Events []obs.RingEvent `json:"events"`
+}
+
+// observeRingDump writes the flight recorder's surviving events to the
+// trace sink, tagged with what triggered the dump.
+func (t *Telemetry) observeRingDump(reason string, r *obs.Ring) {
+	if t == nil || t.Trace == nil || r == nil {
+		return
+	}
+	_ = t.Trace.Emit(ringDump{Kind: "ring-dump", Reason: reason, Events: r.Snapshot()})
 }
 
 // observeShrink records one watchdog-forced cache halving.

@@ -355,6 +355,26 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
+// MetricInfo describes one registered metric — the introspection view
+// hygiene tests and tooling use to audit naming and help conventions.
+type MetricInfo struct {
+	Name string
+	Help string
+	// Type is the Prometheus type: "counter", "gauge" or "histogram".
+	Type string
+}
+
+// Metrics lists every registered metric in registration order.
+func (r *Registry) Metrics() []MetricInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricInfo, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = MetricInfo{Name: m.name, Help: m.help, Type: m.typ}
+	}
+	return out
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), in name order.
 func (r *Registry) WritePrometheus(w io.Writer) error {

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanEmitsRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tc := NewTracer(tr)
+
+	root := tc.Start("run", SpanContext{})
+	root.Items = 42
+	child := tc.Start("phase", root.Context())
+	child.Detail = "rpt"
+	child.Worker = 3
+	child.End()
+	child.End() // second End must not double-emit
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []SpanRecord
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Children end first, so the child record leads.
+	if recs[0].Kind != "span" || recs[0].Name != "phase" || recs[0].Detail != "rpt" || recs[0].Worker != 3 {
+		t.Errorf("child record mismatch: %+v", recs[0])
+	}
+	if recs[1].Name != "run" || recs[1].Parent != 0 || recs[1].Items != 42 {
+		t.Errorf("root record mismatch: %+v", recs[1])
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("child parent %d != root id %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[0].DurNS < 0 || recs[0].StartNS < recs[1].StartNS {
+		t.Errorf("child timing inconsistent: %+v vs root %+v", recs[0], recs[1])
+	}
+}
+
+func TestSpanZeroValueAndNilTracerInert(t *testing.T) {
+	var s Span
+	if s.Active() {
+		t.Error("zero Span reports Active")
+	}
+	s.End() // must not panic
+
+	var tc *Tracer
+	s2 := tc.Start("x", SpanContext{})
+	if s2.Active() {
+		t.Error("nil-tracer span reports Active")
+	}
+	s2.End()
+	if ctx := tc.Observed("y", SpanContext{}, 0, 0); ctx.ID != 0 {
+		t.Error("nil tracer minted an ID")
+	}
+}
+
+func TestTracerObserved(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tc := NewTracer(tr)
+	parent := tc.Start("run", SpanContext{})
+	ctx := tc.Observed("stall", parent.Context(), 1000, 2)
+	if ctx.ID == 0 || ctx.Parent != parent.Context().ID {
+		t.Fatalf("observed context %+v", ctx)
+	}
+	parent.End()
+	tr.Close()
+	var r SpanRecord
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "stall" || r.DurNS != 1000 || r.Worker != 2 {
+		t.Errorf("observed record %+v", r)
+	}
+}
+
+func TestTracerConcurrentIDsUnique(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tc := NewTracer(tr)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s := tc.Start("fault", SpanContext{})
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Close()
+	seen := make(map[uint64]bool)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad line: %v", err)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate span id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("got %d spans, want %d", len(seen), workers*per)
+	}
+}
+
+func TestRingRecordAndSnapshot(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 40; i++ {
+		r.Record("solve", i%4, int64(i), 1, 10)
+	}
+	if got := r.Recorded(); got != 40 {
+		t.Fatalf("Recorded = %d, want 40", got)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("snapshot kept %d events, want 16 (capacity)", len(evs))
+	}
+	for k := 1; k < len(evs); k++ {
+		if evs[k].Seq <= evs[k-1].Seq {
+			t.Fatalf("snapshot not seq-ordered at %d: %d <= %d", k, evs[k].Seq, evs[k-1].Seq)
+		}
+	}
+	// The survivors are the most recent claims.
+	if evs[len(evs)-1].A != 39 {
+		t.Errorf("newest event A = %d, want 39", evs[len(evs)-1].A)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Record("x", 0, 0, 0, 0)
+	if r.Snapshot() != nil || r.Recorded() != 0 {
+		t.Error("nil ring not inert")
+	}
+	r.Dump(&bytes.Buffer{}, 0)
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record("chunk", w, int64(i), 0, 0)
+				if i%64 == 0 {
+					r.Snapshot() // concurrent reads must not race writers
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Recorded(); got != workers*per {
+		t.Fatalf("Recorded = %d, want %d", got, workers*per)
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 || len(evs) > 64 {
+		t.Fatalf("snapshot size %d out of range", len(evs))
+	}
+}
+
+func TestRingDump(t *testing.T) {
+	r := NewRing(16)
+	r.Record("panic", 2, 7, 0, 1500)
+	var buf bytes.Buffer
+	r.Dump(&buf, 8)
+	out := buf.String()
+	if !strings.Contains(out, "flight recorder") || !strings.Contains(out, "panic") || !strings.Contains(out, "a=7") {
+		t.Errorf("dump output missing fields:\n%s", out)
+	}
+}

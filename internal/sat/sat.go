@@ -95,6 +95,17 @@ func (s *Stats) Add(o Stats) {
 	}
 }
 
+// SearchEffort collapses the search counters into one solver-agnostic
+// work scalar: the DPLL solver fills decisions/propagations/conflicts,
+// the backtrackers fill nodes, and summing all four orders faults by
+// search work regardless of which solver decided them. This is the
+// effort axis of the per-fault effort log (the y of the source paper's
+// Figure 1, in search steps instead of seconds — unlike wall time it is
+// deterministic and machine-independent).
+func (s Stats) SearchEffort() int64 {
+	return s.Nodes + s.Decisions + s.Propagations + s.Conflicts
+}
+
 // Solution is the result of a solve call. Model is valid only when Status
 // is Sat and then has one value per variable.
 type Solution struct {

@@ -178,3 +178,58 @@ func Scatter(xs, ys []float64, width, height int, title string) string {
 	fmt.Fprintf(&sb, "x: %.3g .. %.3g  (%d points)\n", xmin, xmax, len(xs))
 	return sb.String()
 }
+
+// Ranks returns the 1-based ranks of xs, assigning tied values their
+// average rank (the convention Spearman correlation requires: log2
+// solver-effort data is full of ties, and midranks keep the coefficient
+// unbiased where dense ranking would skew it).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation coefficient of the two
+// series: the Pearson correlation of their midrank transforms, robust to
+// the heavy-tailed, non-linear feature↔effort relationships the effort
+// report ranks features by. Returns 0 when either series is constant or
+// shorter than 2. It panics if xs and ys differ in length (consistent
+// with BinnedMeans).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: Spearman: %d xs vs %d ys", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx, ry := Ranks(xs), Ranks(ys)
+	mx, my := Mean(rx), Mean(ry)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := rx[i]-mx, ry[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

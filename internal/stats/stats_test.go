@@ -133,3 +133,46 @@ func TestMismatchedLengthsPanic(t *testing.T) {
 		t.Errorf("Scatter(nil, nil) = %q", got)
 	}
 }
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 8, 9, 100, 1000} // monotone increasing, non-linear
+	if got := Spearman(xs, up); got != 1 {
+		t.Errorf("Spearman(monotone up) = %g, want 1", got)
+	}
+	down := []float64{9, 7, 5, 3, 1}
+	if got := Spearman(xs, down); got != -1 {
+		t.Errorf("Spearman(monotone down) = %g, want -1", got)
+	}
+	if got := Spearman(xs, []float64{4, 4, 4, 4, 4}); got != 0 {
+		t.Errorf("Spearman(constant) = %g, want 0", got)
+	}
+	if got := Spearman(nil, nil); got != 0 {
+		t.Errorf("Spearman(empty) = %g, want 0", got)
+	}
+	// Ties in both series still land in [-1, 1] and stay positive for a
+	// broadly increasing relationship.
+	ty := []float64{1, 1, 2, 2, 3}
+	if got := Spearman(xs, ty); got <= 0.8 || got > 1 {
+		t.Errorf("Spearman(ties) = %g, want in (0.8, 1]", got)
+	}
+}
+
+func TestSpearmanMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Spearman([]float64{1, 2}, []float64{1})
+}
