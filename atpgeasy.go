@@ -96,6 +96,11 @@ const (
 	DefaultRPTIdleStop = atpg.DefaultRPTIdleStop
 )
 
+// DefaultGroupMax is the region-group size cap of incremental solving
+// (RunOptions.GroupMax of 0): at most this many collapsed faults share
+// one encoded region formula and one persistent solver instance.
+const DefaultGroupMax = atpg.DefaultGroupMax
+
 // Observability types: attach a Telemetry to RunOptions to get live
 // metrics, a per-fault JSONL trace and periodic progress callbacks out of
 // an engine run. All hooks are optional and nil-safe; a nil Telemetry (the
@@ -310,13 +315,16 @@ func RunATPG(c *Circuit) (*Summary, error) {
 // per-fault SAT budget (0 = unlimited), and a context whose cancellation
 // drains the run and returns the partial summary with ctx.Err().
 // Summary.Results and Vectors come back in fault-list order regardless of
-// worker completion order.
+// worker completion order. Solving is incremental (region-grouped, learned
+// clauses shared between a region's faults); set RunOptions.Incremental
+// yourself via Engine.Run to ablate it.
 func RunATPGParallel(ctx context.Context, c *Circuit, workers int, perFaultBudget time.Duration) (*Summary, error) {
 	eng := &atpg.Engine{VerifyTests: true, Workers: workers}
 	return eng.Run(ctx, c, atpg.RunOptions{
 		Collapse:       true,
 		Dominance:      true,
 		DropDetected:   true,
+		Incremental:    true,
 		RPTBatches:     atpg.DefaultRPTBatches,
 		Seed:           1,
 		PerFaultBudget: perFaultBudget,

@@ -30,6 +30,10 @@ type benchRecord struct {
 	// so a measured zero — RPT detected every fault — still serializes,
 	// while rows that do not measure it omit the field.
 	SATCalls *int `json:"sat_calls,omitempty"`
+	// Conflicts is filled by the incremental-CDCL A/B rows: total solver
+	// conflicts over the whole run. A pointer so a measured zero — the
+	// circuit never conflicted — still serializes.
+	Conflicts *int64 `json:"conflicts,omitempty"`
 	// SpeedupVsWorkers1 is filled post-merge on workers-N rows (N > 1)
 	// whose benchmark family also has a workers-1 row: the ratio of the
 	// workers-1 ns/op to this row's ns/op. cmd/scalecheck gates on it.
@@ -65,6 +69,13 @@ func recordBenchAllocs(b *testing.B, workers int, allocsPerOp float64) {
 // number.
 func recordBenchSAT(b *testing.B, workers, satCalls int) {
 	record(b, benchRecord{Workers: workers, SATCalls: &satCalls})
+}
+
+// recordBenchConflicts is recordBench for end-to-end benchmarks that
+// also counted total solver conflicts per run — the incremental-CDCL
+// ablation's headline number.
+func recordBenchConflicts(b *testing.B, workers int, conflicts int64) {
+	record(b, benchRecord{Workers: workers, Conflicts: &conflicts})
 }
 
 func record(b *testing.B, r benchRecord) {

@@ -497,6 +497,57 @@ func BenchmarkRPTPhase(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalCDCL is the tentpole A/B: region-grouped
+// incremental solving — one persistent CDCL instance per worker, learned
+// clauses alive across a fanout region's faults — against a fresh
+// instance per fault (GroupMax 1: cold Load, nothing retained) on the
+// same engine path. Both runs produce byte-identical vectors and solve
+// the identical fault set (RPT and dropping off, one worker), so the
+// rows are a pure knowledge-reuse comparison: ns/op is the full run,
+// conflicts the deterministic total search. cmd/scalecheck gates the
+// incremental/fresh ns ratio at 1.05; the committed rows must also show
+// no conflict increase.
+func BenchmarkIncrementalCDCL(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		c    *Circuit
+	}{
+		{"mult16", gen.ArrayMultiplier(16)},
+		{"rand200", gen.Random(gen.RandomParams{Inputs: 18, Gates: 200, Seed: 1})},
+	} {
+		run := func(b *testing.B, groupMax int) (conflicts int64) {
+			b.Helper()
+			eng := &atpg.Engine{Workers: 1}
+			for i := 0; i < b.N; i++ {
+				sum, err := eng.Run(context.Background(), tc.c, atpg.RunOptions{
+					Collapse: true, Incremental: true, GroupMax: groupMax,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Aborted != 0 || sum.Errors != 0 {
+					b.Fatalf("aborted %d, errors %d", sum.Aborted, sum.Errors)
+				}
+				conflicts = sum.SolverTotals.Conflicts
+			}
+			b.ReportMetric(float64(conflicts), "conflicts")
+			return conflicts
+		}
+		var freshConflicts int64
+		b.Run(tc.name+"/fresh", func(b *testing.B) {
+			freshConflicts = run(b, 1)
+			recordBenchConflicts(b, 1, freshConflicts)
+		})
+		b.Run(tc.name+"/incremental", func(b *testing.B) {
+			conflicts := run(b, 0)
+			if freshConflicts > 0 && conflicts > freshConflicts { // fresh may be filtered out by -bench
+				b.Fatalf("retention cost search: %d conflicts incremental, %d fresh", conflicts, freshConflicts)
+			}
+			recordBenchConflicts(b, 1, conflicts)
+		})
+	}
+}
+
 // BenchmarkEventDrivenFaultSim pits the event-driven simulator (fanout
 // cone only, lazy good-value reads) against the brute-force full-circuit
 // re-simulation it replaced, plus the early-exit query the fault-dropping

@@ -7,6 +7,7 @@
 //
 //	atpg -bench FILE | -blif FILE | -gen NAME
 //	     [-collapse] [-dominance] [-drop] [-solver dpll|caching|simple]
+//	     [-incremental] [-group-max N]
 //	     [-j WORKERS] [-budget DURATION] [-cache-limit BYTES]
 //	     [-rpt-batches N] [-rpt-idle N] [-seed N]
 //	     [-retry-tiers N] [-retry-backoff F] [-mem-soft-limit BYTES]
@@ -27,6 +28,15 @@
 // that many consecutive unproductive batches, and -seed makes the whole
 // run reproducible. -dominance adds dominance-based fault collapsing on
 // top of -collapse equivalence collapsing.
+//
+// With the default dpll solver the engine runs incrementally: faults
+// sharing a transitive-fanout region are grouped (at most -group-max per
+// group), encoded once with per-fault activation literals, and solved on
+// a persistent per-worker CDCL instance that keeps learned clauses alive
+// across the group — same verdicts and vectors as fresh-per-fault
+// solving, less repeated search. -incremental=false (or a non-dpll
+// -solver) restores fresh-per-fault solving; -group-max 1 keeps the
+// incremental core but gives every fault its own group.
 //
 // Faults are dispatched to -j parallel workers (default: GOMAXPROCS);
 // -budget bounds the SAT time per fault, reporting over-budget faults as
@@ -105,6 +115,8 @@ func main() {
 	rptIdle := flag.Int("rpt-idle", atpg.DefaultRPTIdleStop, "stop the pre-phase after this many consecutive batches detecting nothing new")
 	seed := flag.Int64("seed", 1, "random-pattern generator seed (same seed = same run)")
 	solver := flag.String("solver", "dpll", "SAT engine: dpll, caching or simple")
+	incremental := flag.Bool("incremental", true, "region-grouped incremental solving: keep learned clauses alive across a fanout region's faults (dpll solver only)")
+	groupMax := flag.Int("group-max", atpg.DefaultGroupMax, "max faults per region group in incremental mode (1 = fresh instance per fault)")
 	workers := flag.Int("j", 0, "parallel fault workers (0 = GOMAXPROCS)")
 	budget := flag.Duration("budget", 0, "per-fault SAT time budget (0 = none); over-budget faults abort")
 	cacheLimit := flag.Int64("cache-limit", 0, "caching solver's sub-formula cache bound per worker, in bytes (0 = 64 MiB default)")
@@ -202,6 +214,8 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		MemSoftLimit:   *memSoftLimit,
 		EffortWidth:    *effortWidth,
+		Incremental:    *incremental,
+		GroupMax:       *groupMax,
 	}
 	if *effortLog != "" {
 		el, err := atpg.CreateEffortLog(*effortLog)
@@ -284,8 +298,12 @@ func main() {
 		sum.Phases.RPT.Round(time.Microsecond),
 		sum.Phases.Build.Round(time.Microsecond), sum.Phases.Solve.Round(time.Microsecond),
 		sum.Phases.FaultSim.Round(time.Microsecond))
+	if sum.SolverTotals.LearnedKept > 0 || sum.SolverTotals.LearnedReused > 0 {
+		fmt.Fprintf(info, "incremental: learned clauses kept %d   reused %d   clause-db peak %d bytes\n",
+			sum.SolverTotals.LearnedKept, sum.SolverTotals.LearnedReused, sum.SolverTotals.ClauseDBBytes)
+	}
 	if *jsonOut {
-		doc := buildJSONSummary(sum, *solver, effectiveWorkers, *budget, interrupted)
+		doc := buildJSONSummary(sum, *solver, effectiveWorkers, *budget, *incremental, *groupMax, interrupted)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -365,6 +383,8 @@ type runSummaryJSON struct {
 	Circuit     string           `json:"circuit"`
 	Solver      string           `json:"solver"`
 	Workers     int              `json:"workers"`
+	Incremental bool             `json:"incremental,omitempty"`
+	GroupMax    int              `json:"group_max,omitempty"`
 	BudgetNS    int64            `json:"budget_ns,omitempty"`
 	Faults      faultCountsJSON  `json:"faults"`
 	Coverage    float64          `json:"coverage"`
@@ -395,12 +415,14 @@ type rptJSON struct {
 
 const summarySchema = "atpgeasy/run-summary/v1"
 
-func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time.Duration, interrupted bool) runSummaryJSON {
+func buildJSONSummary(sum *atpg.Summary, solver string, workers int, budget time.Duration, incremental bool, groupMax int, interrupted bool) runSummaryJSON {
 	return runSummaryJSON{
-		Schema:  summarySchema,
-		Circuit: sum.Circuit,
-		Solver:  solver,
-		Workers: workers,
+		Schema:      summarySchema,
+		Circuit:     sum.Circuit,
+		Solver:      solver,
+		Workers:     workers,
+		Incremental: incremental,
+		GroupMax:    groupMax,
 		BudgetNS: func() int64 {
 			if budget > 0 {
 				return budget.Nanoseconds()

@@ -111,7 +111,7 @@ func TestBuildJSONSummary(t *testing.T) {
 		},
 		SolverTotals: sat.Stats{Nodes: 42, Decisions: 7},
 	}
-	doc := buildJSONSummary(sum, "dpll", 4, 100*time.Millisecond, false)
+	doc := buildJSONSummary(sum, "dpll", 4, 100*time.Millisecond, true, 64, false)
 	raw, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)
@@ -177,6 +177,9 @@ func TestBuildJSONSummary(t *testing.T) {
 	}
 	if !strings.Contains(string(raw), `"workers":4`) {
 		t.Errorf("workers missing: %s", raw)
+	}
+	if m["incremental"] != true || m["group_max"] != float64(64) {
+		t.Errorf("incremental = %v, group_max = %v", m["incremental"], m["group_max"])
 	}
 }
 

@@ -168,6 +168,12 @@ type Report struct {
 	// Top lists the most expensive faults by solver effort, with their
 	// span chains when a trace was supplied.
 	Top []TopFault `json:"top"`
+
+	// Incremental summarizes region-grouped incremental solving when the
+	// log carries group records: how much learned-clause reuse the groups
+	// achieved and how reuse relates to search effort. Nil for a
+	// fresh-per-fault run.
+	Incremental *IncrementalReuse `json:"incremental,omitempty"`
 }
 
 type PhaseWall struct {
@@ -200,7 +206,23 @@ type TopFault struct {
 	Tier    int           `json:"tier,omitempty"`
 	Effort  int64         `json:"effort"`
 	SolveNS time.Duration `json:"solve_ns"`
+	Reused  int64         `json:"reused,omitempty"`
 	Chain   string        `json:"chain,omitempty"`
+}
+
+// IncrementalReuse is the report's incremental-solving section: group
+// shape, aggregate learned-clause reuse, and reuse-vs-effort tables over
+// the grouped solver-decided faults.
+type IncrementalReuse struct {
+	GroupedFaults int     `json:"grouped_faults"`
+	Groups        int     `json:"groups"`
+	MeanGroupSize float64 `json:"mean_group_size"`
+	LearnedReused int64   `json:"learned_reused"`
+	// Spearman rank-correlates per-fault learned-clause reuse against
+	// search effort: strongly positive means the hard faults are exactly
+	// the ones leaning on their region neighbors' clauses.
+	Spearman float64     `json:"spearman"`
+	Bins     []stats.Bin `json:"bins,omitempty"`
 }
 
 // solverPhases marks the phases whose records carry real solver search
@@ -266,7 +288,38 @@ func buildReport(hdr atpg.EffortHeader, recs []atpg.EffortRecord, spans []obs.Sp
 	})
 
 	rep.Top = topFaults(solver, spans, top)
+	rep.Incremental = incrementalReuse(solver, bins)
 	return rep
+}
+
+// incrementalReuse aggregates the grouped records' reuse-vs-effort
+// relationship, or nil when the run was fresh-per-fault.
+func incrementalReuse(solver []atpg.EffortRecord, bins int) *IncrementalReuse {
+	var grouped []atpg.EffortRecord
+	groups := map[int]bool{}
+	for _, r := range solver {
+		if r.Group > 0 {
+			grouped = append(grouped, r)
+			groups[r.Group] = true
+		}
+	}
+	if len(grouped) == 0 {
+		return nil
+	}
+	ir := &IncrementalReuse{GroupedFaults: len(grouped), Groups: len(groups)}
+	var sizeSum int64
+	reuse := make([]float64, len(grouped))
+	effort := make([]float64, len(grouped))
+	for i, r := range grouped {
+		sizeSum += int64(r.GroupSize)
+		ir.LearnedReused += r.LearnedReused
+		reuse[i] = float64(r.LearnedReused)
+		effort[i] = float64(r.Effort)
+	}
+	ir.MeanGroupSize = float64(sizeSum) / float64(len(grouped))
+	ir.Spearman = stats.Spearman(reuse, effort)
+	ir.Bins = stats.BinnedMeans(reuse, effort, bins)
+	return ir
 }
 
 // bestCurve returns the highest-R² curve family for ys over xs, or nil
@@ -341,6 +394,7 @@ func topFaults(solver []atpg.EffortRecord, spans []obs.SpanRecord, k int) []TopF
 		tf := TopFault{
 			Fault: r.Fault, Status: r.Status, Phase: r.Phase, Tier: r.Tier,
 			Effort: r.Effort, SolveNS: time.Duration(r.SolveNS),
+			Reused: r.LearnedReused,
 		}
 		if sp, ok := faultSpan[r.Fault]; ok {
 			var chain []string
@@ -406,10 +460,24 @@ func (rep *Report) Markdown() string {
 
 	if len(rep.Top) > 0 {
 		fmt.Fprintf(&b, "## Top %d most expensive faults\n\n", len(rep.Top))
-		fmt.Fprintf(&b, "| fault | status | phase | tier | effort | solve | span chain |\n|---|---|---|---|---|---|---|\n")
+		fmt.Fprintf(&b, "| fault | status | phase | tier | effort | solve | reused | span chain |\n|---|---|---|---|---|---|---|---|\n")
 		for _, t := range rep.Top {
-			fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %v | %s |\n",
-				t.Fault, t.Status, t.Phase, t.Tier, t.Effort, t.SolveNS.Round(time.Microsecond), t.Chain)
+			fmt.Fprintf(&b, "| %s | %s | %s | %d | %d | %v | %d | %s |\n",
+				t.Fault, t.Status, t.Phase, t.Tier, t.Effort, t.SolveNS.Round(time.Microsecond), t.Reused, t.Chain)
+		}
+		b.WriteByte('\n')
+	}
+
+	if ir := rep.Incremental; ir != nil {
+		fmt.Fprintf(&b, "## Incremental reuse vs effort\n\n")
+		fmt.Fprintf(&b, "%d faults solved in %d region groups (mean size %.1f); %d learned clauses reused in conflict analysis. Spearman(reuse, effort) = %+.3f.\n\n",
+			ir.GroupedFaults, ir.Groups, ir.MeanGroupSize, ir.LearnedReused, ir.Spearman)
+		fmt.Fprintf(&b, "| learned reused | faults | mean effort | max effort |\n|---|---|---|---|\n")
+		for _, bin := range ir.Bins {
+			if bin.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "| %.0f–%.0f | %d | %.1f | %.0f |\n", bin.XLo, bin.XHi, bin.Count, bin.MeanY, bin.MaxY)
 		}
 		b.WriteByte('\n')
 	}

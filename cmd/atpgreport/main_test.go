@@ -23,7 +23,7 @@ func runObserved(t *testing.T) (atpg.EffortHeader, []atpg.EffortRecord, []obs.Sp
 	// RPT off: on a circuit this small random patterns detect everything,
 	// and the report's interesting sections need solver-decided faults.
 	if _, err := eng.Run(context.Background(), c, atpg.RunOptions{
-		Collapse: true, DropDetected: true,
+		Collapse: true, DropDetected: true, Incremental: true,
 		EffortLog: log,
 		Telemetry: &atpg.Telemetry{Trace: tr, Spans: obs.NewTracer(tr)},
 	}); err != nil {
@@ -95,6 +95,34 @@ func TestBuildReport(t *testing.T) {
 	if !chained {
 		t.Error("no top fault resolved a span chain")
 	}
+	ir := rep.Incremental
+	if ir == nil {
+		t.Fatal("incremental run produced no reuse section")
+	}
+	if ir.GroupedFaults == 0 || ir.Groups == 0 || ir.MeanGroupSize < 1 {
+		t.Errorf("reuse section shape: %+v", ir)
+	}
+	if ir.GroupedFaults > rep.SolverFaults {
+		t.Errorf("grouped %d > solver-decided %d", ir.GroupedFaults, rep.SolverFaults)
+	}
+	if ir.Spearman < -1.0001 || ir.Spearman > 1.0001 {
+		t.Errorf("reuse spearman %v out of range", ir.Spearman)
+	}
+}
+
+func TestIncrementalSectionAbsentForFreshRun(t *testing.T) {
+	hdr := atpg.EffortHeader{Kind: "header", Schema: atpg.EffortSchema, Circuit: "fresh", Faults: 2}
+	recs := []atpg.EffortRecord{
+		{Kind: "fault", Fault: "a/0", Phase: "sweep", Status: "detected", Effort: 5},
+		{Kind: "fault", Fault: "b/1", Phase: "sweep", Status: "untestable", Effort: 9},
+	}
+	rep := buildReport(hdr, recs, nil, 3, 4)
+	if rep.Incremental != nil {
+		t.Errorf("fresh-per-fault log grew a reuse section: %+v", rep.Incremental)
+	}
+	if strings.Contains(rep.Markdown(), "Incremental reuse") {
+		t.Error("markdown renders a reuse section for a fresh run")
+	}
 }
 
 func TestMarkdownRender(t *testing.T) {
@@ -106,6 +134,7 @@ func TestMarkdownRender(t *testing.T) {
 		"cone_size", "gates", "cc0", "co",
 		"Per-phase wall time (from spans)",
 		"most expensive faults",
+		"Incremental reuse vs effort",
 	} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q", want)

@@ -20,6 +20,13 @@
 // records may cost at most 3%). Missing rows or single-CPU measurements
 // are skipped with a note, like the scaling gate; -max-effort-overhead 0
 // disables the gate.
+//
+// A third gate bounds incremental-solving regressions: every
+// BenchmarkIncrementalCDCL fresh/incremental pair must keep the
+// incremental ns/op within -max-incremental-regression of fresh
+// (default 1.05). Unlike the scaling gate this is a same-machine
+// single-worker ratio, so it is checked regardless of CPU count;
+// -max-incremental-regression 0 disables it.
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 1.25, "minimum workers-1 / workers-4 ns ratio")
 	effortFamily := flag.String("effort-family", "BenchmarkEffortLogOverhead", "off/on benchmark pair to gate effort-log overhead on")
 	maxOverhead := flag.Float64("max-effort-overhead", 1.03, "maximum on/off ns ratio for the effort-log pair (0 = skip the gate)")
+	incFamily := flag.String("incremental-family", "BenchmarkIncrementalCDCL", "fresh/incremental benchmark pairs to gate incremental solving on")
+	maxIncremental := flag.Float64("max-incremental-regression", 1.05, "maximum incremental/fresh ns ratio per pair (0 = skip the gate)")
 	flag.Parse()
 	if err := run(*bench, *family, *minSpeedup, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
@@ -53,6 +62,12 @@ func main() {
 	}
 	if *maxOverhead > 0 {
 		if err := runOverhead(*bench, *effortFamily, *maxOverhead, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *maxIncremental > 0 {
+		if err := runIncremental(*bench, *incFamily, *maxIncremental, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -110,6 +125,79 @@ func runOverhead(benchPath, family string, maxRatio float64, out io.Writer) erro
 	}
 	fmt.Fprintf(out, "ok   %s: effort log costs %.1f%% (%.1fms -> %.1fms, cap %.1f%%)\n",
 		family, 100*(ratio-1), off.NsPerOp/1e6, on.NsPerOp/1e6, 100*(maxRatio-1))
+	return nil
+}
+
+// runIncremental gates incremental solving: every "<family>/<circuit>"
+// pair of "/fresh" and "/incremental" rows must keep incremental ns/op
+// within maxRatio× fresh. The ratio compares two single-worker runs on
+// the same machine, so a single-CPU measurement is as valid as any —
+// there is no cpus skip. Missing pairs are skipped with a note; no pairs
+// at all is an error only when at least one row under family exists
+// (absent evidence is not a regression, a half-recorded pair is).
+func runIncremental(benchPath, family string, maxRatio float64, out io.Writer) error {
+	rows, err := loadRows(benchPath)
+	if err != nil {
+		return err
+	}
+	type pair struct {
+		fresh, inc *row
+	}
+	pairs := map[string]*pair{}
+	var order []string
+	for i := range rows {
+		name, ok := strings.CutPrefix(rows[i].Name, family+"/")
+		if !ok {
+			continue
+		}
+		var circ string
+		var fresh bool
+		switch {
+		case strings.HasSuffix(name, "/fresh"):
+			circ, fresh = strings.TrimSuffix(name, "/fresh"), true
+		case strings.HasSuffix(name, "/incremental"):
+			circ = strings.TrimSuffix(name, "/incremental")
+		default:
+			continue
+		}
+		p := pairs[circ]
+		if p == nil {
+			p = &pair{}
+			pairs[circ] = p
+			order = append(order, circ)
+		}
+		if fresh {
+			p.fresh = &rows[i]
+		} else {
+			p.inc = &rows[i]
+		}
+	}
+	if len(order) == 0 {
+		fmt.Fprintf(out, "skip %s: no fresh/incremental pairs recorded\n", family)
+		return nil
+	}
+	failed := 0
+	for _, circ := range order {
+		p := pairs[circ]
+		if p.fresh == nil || p.inc == nil {
+			return fmt.Errorf("%s/%s: half-recorded pair (fresh %v, incremental %v)",
+				family, circ, p.fresh != nil, p.inc != nil)
+		}
+		if p.fresh.NsPerOp <= 0 || p.inc.NsPerOp <= 0 {
+			return fmt.Errorf("%s/%s: non-positive ns_per_op", family, circ)
+		}
+		ratio := p.inc.NsPerOp / p.fresh.NsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "%-4s %s/%s: incremental %.2fx of fresh (%.1fms -> %.1fms, cap %.2fx)\n",
+			status, family, circ, ratio, p.fresh.NsPerOp/1e6, p.inc.NsPerOp/1e6, maxRatio)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d incremental pairs above %.2fx of fresh", failed, len(order), maxRatio)
+	}
 	return nil
 }
 

@@ -150,6 +150,66 @@ func TestEffortOverheadExceedsCap(t *testing.T) {
 	}
 }
 
+const incFam = "BenchmarkIncrementalCDCL"
+
+func TestIncrementalWithinCap(t *testing.T) {
+	// Incremental faster on one circuit, marginally slower on the other —
+	// both within the 1.05 cap. Single-CPU rows still gate: the ratio is a
+	// same-machine comparison.
+	path := writeBench(t, `[
+		{"name": "BenchmarkIncrementalCDCL/mult16/fresh", "ns_per_op": 100e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/mult16/incremental", "ns_per_op": 60e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/rand200/fresh", "ns_per_op": 50e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/rand200/incremental", "ns_per_op": 52e6, "workers": 1, "cpus": 1}
+	]`)
+	var out strings.Builder
+	if err := runIncremental(path, incFam, 1.05, &out); err != nil {
+		t.Fatalf("within-cap pairs must pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0.60x") || !strings.Contains(out.String(), "1.04x") {
+		t.Fatalf("expected recomputed ratios in output, got:\n%s", out.String())
+	}
+}
+
+func TestIncrementalExceedsCap(t *testing.T) {
+	// One healthy pair must not mask the regressed one.
+	path := writeBench(t, `[
+		{"name": "BenchmarkIncrementalCDCL/mult16/fresh", "ns_per_op": 100e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/mult16/incremental", "ns_per_op": 60e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/rand200/fresh", "ns_per_op": 50e6, "workers": 1, "cpus": 1},
+		{"name": "BenchmarkIncrementalCDCL/rand200/incremental", "ns_per_op": 60e6, "workers": 1, "cpus": 1}
+	]`)
+	err := runIncremental(path, incFam, 1.05, &strings.Builder{})
+	if err == nil {
+		t.Fatal("1.20x regression must fail a 1.05 cap")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("expected '1 of 2' pairs in error, got: %v", err)
+	}
+}
+
+func TestIncrementalSkipsAndHalfPairs(t *testing.T) {
+	// No pairs at all: a note, not a failure (the bench step may not have
+	// run the family).
+	missing := writeBench(t, `[
+		{"name": "BenchmarkParallelATPG/mult8/workers-1", "ns_per_op": 100e6, "workers": 1, "cpus": 4}
+	]`)
+	var out strings.Builder
+	if err := runIncremental(missing, incFam, 1.05, &out); err != nil {
+		t.Fatalf("absent family must be skipped: %v", err)
+	}
+	if !strings.Contains(out.String(), "skip") {
+		t.Fatalf("expected a skip note, got:\n%s", out.String())
+	}
+	// A half-recorded pair is a broken bench run, not absent evidence.
+	half := writeBench(t, `[
+		{"name": "BenchmarkIncrementalCDCL/mult16/fresh", "ns_per_op": 100e6, "workers": 1, "cpus": 1}
+	]`)
+	if err := runIncremental(half, incFam, 1.05, &strings.Builder{}); err == nil {
+		t.Fatal("half-recorded pair must fail")
+	}
+}
+
 func TestEffortOverheadSkips(t *testing.T) {
 	// Missing rows and single-CPU measurements are notes, not failures.
 	missing := writeBench(t, `[

@@ -56,39 +56,14 @@ func (b bitset) set(i int) bool {
 // run. skip marks faults already decided (RPT pre-phase or a resumed
 // journal); they get no dispatch slot at all.
 func effortOrder(c *logic.Circuit, faults []Fault, skip []bool) []int32 {
-	cone := make(map[int]int32) // net -> fanout-cone node count
-	mark := make([]int, len(c.Nodes))
-	stamp := 0
-	var stack []int
-	coneOf := func(net int) int32 {
-		if s, ok := cone[net]; ok {
-			return s
-		}
-		stamp++
-		stack = append(stack[:0], net)
-		mark[net] = stamp
-		size := int32(0)
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			size++
-			for _, f := range c.Nodes[n].Fanout {
-				if mark[f] != stamp {
-					mark[f] = stamp
-					stack = append(stack, f)
-				}
-			}
-		}
-		cone[net] = size
-		return size
-	}
+	sizer := newConeSizer(c)
 	effort := make([]int32, len(faults))
 	order := make([]int32, 0, len(faults))
 	for i, f := range faults {
 		if skip != nil && skip[i] {
 			continue
 		}
-		effort[i] = coneOf(f.Net)
+		effort[i] = sizer.coneOf(f.Net)
 		order = append(order, int32(i))
 	}
 	// Full tie-break on the fault index makes the order deterministic
@@ -100,6 +75,45 @@ func effortOrder(c *logic.Circuit, faults []Fault, skip []bool) []int32 {
 		return order[a] < order[b]
 	})
 	return order
+}
+
+// coneSizer memoizes fanout-cone node counts, the structural effort
+// proxy shared by the effort-ordered dispatch and the region grouping
+// (region.go): the miter is built from the fanin of the fanout cone,
+// so a bigger cone means a bigger ATPG-SAT instance.
+type coneSizer struct {
+	c     *logic.Circuit
+	cone  map[int]int32 // net -> fanout-cone node count
+	mark  []int
+	stamp int
+	stack []int
+}
+
+func newConeSizer(c *logic.Circuit) *coneSizer {
+	return &coneSizer{c: c, cone: make(map[int]int32), mark: make([]int, len(c.Nodes))}
+}
+
+func (s *coneSizer) coneOf(net int) int32 {
+	if sz, ok := s.cone[net]; ok {
+		return sz
+	}
+	s.stamp++
+	s.stack = append(s.stack[:0], net)
+	s.mark[net] = s.stamp
+	size := int32(0)
+	for len(s.stack) > 0 {
+		n := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		size++
+		for _, f := range s.c.Nodes[n].Fanout {
+			if s.mark[f] != s.stamp {
+				s.mark[f] = s.stamp
+				s.stack = append(s.stack, f)
+			}
+		}
+	}
+	s.cone[net] = size
+	return size
 }
 
 // Claim chunking: a worker reserves a small run of dispatch slots with

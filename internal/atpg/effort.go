@@ -75,6 +75,14 @@ type EffortRecord struct {
 	// Effort is sat.Stats.SearchEffort — the log's canonical solver-work
 	// scalar, present (possibly 0) on every record.
 	Effort int64 `json:"effort"`
+
+	// Incremental region-grouped solving (additive, absent on the fresh
+	// path): Group is the 1-based canonical region-group id, GroupSize
+	// its member count, and LearnedReused the retained learned clauses
+	// this fault's solve used in conflict analysis.
+	Group         int   `json:"group,omitempty"`
+	GroupSize     int   `json:"group_size,omitempty"`
+	LearnedReused int64 `json:"learned_reused,omitempty"`
 }
 
 // EffortLog is the append-only JSONL sink for effort records. Emits from
@@ -232,6 +240,8 @@ func (st *runState) recordEffort(ws *workerScratch, i int, res *Result, phase st
 		rec.Nodes, rec.Decisions, rec.Propagations = ss.Nodes, ss.Decisions, ss.Propagations
 		rec.Conflicts, rec.CacheHits = ss.Conflicts, ss.CacheHits
 		rec.Effort = ss.SearchEffort()
+		rec.Group, rec.GroupSize = res.Group, res.GroupSize
+		rec.LearnedReused = ss.LearnedReused
 	}
 	var line []byte
 	var err error

@@ -76,6 +76,13 @@ type Result struct {
 	BuildElapsed time.Duration
 	// SolverStats carries the solver's search counters.
 	SolverStats sat.Stats
+	// Group and GroupSize identify the incremental region group the fault
+	// was solved in: Group is the 1-based canonical group id (stable
+	// across worker counts; 0 means the fault was solved fresh) and
+	// GroupSize the group's member count. In grouped mode Vars/Clauses
+	// report the shared group formula, counted once per member.
+	Group     int
+	GroupSize int
 	// Err and Stack describe the recovered panic of an Errored fault: the
 	// panic value and the goroutine stack captured at recovery.
 	Err   string
@@ -398,6 +405,23 @@ type RunOptions struct {
 	// per-phase emission rule). Nil disables the log at the cost of one
 	// pointer check per fault.
 	EffortLog *EffortLog
+	// Incremental solves the faults of each fanout region as one group on
+	// a persistent per-worker CDCL instance under assumptions
+	// (sat.Incremental), so clauses learned for one fault prune the
+	// search for its region neighbors. Requires the DPLL solver family
+	// (a nil Engine.Solver or *sat.DPLL with learning enabled); other
+	// configurations silently fall back to fresh-per-fault solving.
+	// Verdicts and vectors are byte-identical to fresh-per-fault solving
+	// on the incremental path (GroupMax 1) at any worker count, but
+	// differ from the non-incremental path, whose solver does not use
+	// lex-first input branching — so a journal written by one mode is
+	// rejected by the other (see CheckpointFingerprint).
+	Incremental bool
+	// GroupMax caps the members per region group (0 = DefaultGroupMax,
+	// 1 = fresh-per-fault). Purely a knowledge-reuse knob: the dispatch
+	// order, drop set, verdicts and vectors are identical for every
+	// value.
+	GroupMax int
 	// EffortWidth additionally computes each fault's sub-circuit
 	// cut-width (internal/hypergraph + internal/mla) as an effort-log
 	// feature — the source paper's Figure 8 predictor. Off by default:
@@ -525,8 +549,16 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		}
 	}
 	// The dispatch order covers exactly the faults still undecided after
-	// resume replay and the pre-phase.
-	st.order = effortOrder(c, faults, st.preDecided)
+	// resume replay and the pre-phase. The incremental path groups the
+	// order by fanout region; its flattened order is canonical across
+	// group-size caps, so the commit frontier and drop set are too.
+	st.incremental = e.incrementalEnabled(opt)
+	if st.incremental {
+		st.order, st.groups = buildGroups(c, faults, st.preDecided, opt.GroupMax)
+		tel.observeGroups(st.groups)
+	} else {
+		st.order = effortOrder(c, faults, st.preDecided)
+	}
 	sweepSpan := tel.startSpan("sweep", st.runSpan)
 	if sweepSpan.Active() {
 		sweepSpan.Items = int64(len(st.order))
@@ -538,7 +570,11 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := e.runWorker(runCtx, st, w, scratches[w]); err != nil {
+			run := e.runWorker
+			if st.incremental {
+				run = e.runGroupWorker
+			}
+			if err := run(runCtx, st, w, scratches[w]); err != nil {
 				st.setErr(err)
 				cancel()
 			}
@@ -634,12 +670,17 @@ type runState struct {
 	start  time.Time
 	faults []Fault
 
-	workers    int
-	order      []int32 // dispatch order: undecided fault indices, biggest cone first
-	cursor     atomic.Int64
-	droppedF   bitset                       // officially dropped by a committed vector flush
-	preDecided []bool                       // decided before dispatch: RPT detection or resume replay
-	published  []atomic.Pointer[specResult] // speculative solves, one slot per fault
+	workers int
+	order   []int32 // dispatch order: undecided fault indices, biggest cone first
+	cursor  atomic.Int64
+	// Incremental region-grouped dispatch (nil/false on the fresh path):
+	// groups spans order, workers claim whole groups off groupCursor.
+	incremental bool
+	groups      []faultGroup
+	groupCursor atomic.Int64
+	droppedF    bitset                       // officially dropped by a committed vector flush
+	preDecided  []bool                       // decided before dispatch: RPT detection or resume replay
+	published   []atomic.Pointer[specResult] // speculative solves, one slot per fault
 
 	// Commit frontier state, all under commitMu.
 	commitMu    sync.Mutex

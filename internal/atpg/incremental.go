@@ -1,0 +1,296 @@
+package atpg
+
+// This file is the engine side of incremental region-grouped solving:
+// the gate deciding when the mode applies, the group worker that claims
+// whole region groups off an atomic cursor, and solveGroup, which
+// encodes one group formula and decides every member on a persistent
+// per-worker CDCL instance under assumptions. The retry tiers reuse
+// solveGroup over their own re-grouped queues (resilience.go), so a
+// retried fault also benefits from clauses learned by its region
+// neighbors in the same tier.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/obs"
+	"atpgeasy/internal/sat"
+)
+
+// incrementalEnabled reports whether the run uses the incremental
+// region-grouped path. It requires the DPLL solver family: the
+// incremental core is the DPLL engine plus assumptions and clause
+// retention, so any other configured solver (Simple, Caching, a custom
+// implementation) falls back to fresh-per-fault solving rather than
+// silently changing solvers. Learning-disabled ablation configurations
+// fall back too — retention without learning is a no-op.
+func (e *Engine) incrementalEnabled(opt RunOptions) bool {
+	if !opt.Incremental {
+		return false
+	}
+	switch s := e.Solver.(type) {
+	case nil:
+		return true
+	case *sat.DPLL:
+		return !s.DisableLearning
+	default:
+		return false
+	}
+}
+
+// incrementalFor returns the worker's persistent incremental instance —
+// the arena-held one when scratch reuse is on (so consecutive groups
+// reuse its buffers and Shrink reaches its learned DB), a fresh one per
+// group otherwise — configured with the engine solver's conflict bound.
+func (e *Engine) incrementalFor(ws *workerScratch) *sat.Incremental {
+	var inc *sat.Incremental
+	if ws != nil {
+		inc = ws.arena.Incremental()
+	} else {
+		inc = sat.NewIncremental()
+	}
+	if d, ok := e.Solver.(*sat.DPLL); ok {
+		inc.MaxConflicts = d.MaxConflicts
+	}
+	return inc
+}
+
+// groupEmit receives one member's decided result. The main sweep
+// publishes it to the speculative slot and offers to advance the commit
+// frontier; the retry tiers adopt it directly into the results array.
+// solveGroup calls it in group (dispatch) order, skipping members whose
+// drop bit was set before their solve.
+type groupEmit func(i int, res Result) error
+
+// runGroupWorker is runWorker for the incremental path: workers claim
+// whole region groups (one atomic add each — a group is already a
+// chunk) and solve every member on the worker's persistent instance.
+func (e *Engine) runGroupWorker(ctx context.Context, st *runState, worker int, ws *workerScratch) error {
+	var shrinkSeen int64
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		st.maybeShrink(ws, worker, &shrinkSeen)
+		gi := int(st.groupCursor.Add(1) - 1)
+		if gi >= len(st.groups) {
+			return nil
+		}
+		g := &st.groups[gi]
+		err := e.solveGroup(ctx, st, st.order, g, ws, worker, &shrinkSeen, st.sweepSpan, st.opt.PerFaultBudget, func(i int, res Result) error {
+			if res.Status == Errored {
+				st.dumpRingOnce("fault panic recovered", true)
+			}
+			if st.droppedF.get(i) {
+				// Dropped between the solve and the publish: the official
+				// verdict is "dropped", so the solve is discarded.
+				st.countWasted(1)
+				if st.effort != nil {
+					st.recordEffort(ws, i, &res, "dropped", res.Status, 0, worker, true)
+				}
+				return nil
+			}
+			st.published[i].Store(&specResult{res: res, worker: int32(worker)})
+			return st.kickCommit(ws, worker)
+		})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// solveGroup decides every undropped member of one region group on the
+// worker's incremental instance: one GroupMiter build, one formula
+// Load, then one SolveAssuming per member under its activation
+// assumptions. Members dropped before the build are excluded from the
+// encoding; members dropped after it are skipped without a solve —
+// both mirror the fresh path's claim-time drop check. A panic anywhere
+// in the group becomes Errored results for the members not yet emitted,
+// and the worker's arena is replaced (sticky shrink caps carried over)
+// so the next group starts clean.
+//
+// order is the dispatch array g's span indexes into; budget, when
+// positive, bounds each member's solve separately (the group shares
+// learned clauses, never a deadline). Verdicts and vectors are
+// independent of group size and timing: the solver's lex-first
+// branching over the region's input variables makes each member's first
+// model project to the lex-least input assignment, whatever clauses
+// retention has added — see sat.Incremental's determinism contract.
+func (e *Engine) solveGroup(ctx context.Context, st *runState, order []int32, g *faultGroup, ws *workerScratch, worker int, shrinkSeen *int64, parent obs.SpanContext, budget time.Duration, emit groupEmit) (err error) {
+	tel := st.opt.Telemetry
+	members := order[g.start:g.end]
+	emitted := make([]bool, len(members))
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ws != nil {
+			// The panic may have left the arena (and its incremental
+			// instance) mid-solve; replace it, carrying the watchdog's
+			// sticky caps so shrink state survives the swap.
+			prevCache, prevLearned := ws.arena.CacheCap(), ws.arena.LearnedCap()
+			ws.arena = sat.NewArena()
+			if prevCache > 0 {
+				for ws.arena.Shrink() > prevCache {
+				}
+			}
+			if prevLearned > 0 {
+				ws.arena.Incremental().LearnedLimit = prevLearned
+			}
+		}
+		msg := fmt.Sprintf("panic: %v", r)
+		stack := string(debug.Stack())
+		for k, idx := range members {
+			i := int(idx)
+			if emitted[k] || st.droppedF.get(i) {
+				continue
+			}
+			res := Result{
+				Fault: st.faults[i], Status: Errored, Err: msg, Stack: stack,
+				Group: g.id + 1, GroupSize: len(members),
+			}
+			if eerr := emit(i, res); eerr != nil && err == nil {
+				err = eerr
+			}
+		}
+	}()
+
+	gspan := tel.startSpan("group", parent)
+	if gspan.Active() {
+		gspan.Worker = worker
+		gspan.Detail = fmt.Sprintf("region-%d", g.region)
+		gspan.Items = int64(len(members))
+	}
+	defer gspan.End()
+	st.ring.Record("group", worker, int64(g.id), int64(len(members)), 0)
+
+	// Build the shared region formula over the members still live. The
+	// live set depends on flush timing, but neither verdicts nor vectors
+	// do: a member's deactivated clauses are satisfied by its negated
+	// selector, and absent inputs extract as false — exactly the value
+	// lex-first branching gives them when present.
+	buildStart := time.Now()
+	live := make([]Fault, 0, len(members))
+	liveAt := make([]int, len(members)) // member k -> index into live, or -1
+	for k, idx := range members {
+		i := int(idx)
+		if st.droppedF.get(i) {
+			liveAt[k] = -1
+			continue
+		}
+		liveAt[k] = len(live)
+		live = append(live, st.faults[i])
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	var (
+		gm            *GroupMiter
+		vars, clauses int
+		inc           *sat.Incremental
+	)
+	gm, err = NewGroupMiter(st.c, live)
+	if err != nil {
+		return err
+	}
+	if gm.Circuit != nil {
+		enc := ws.encoder()
+		var formula *cnf.Formula
+		formula, err = gm.EncodeWith(enc)
+		if err != nil {
+			return err
+		}
+		vars, clauses = formula.NumVars, formula.NumClauses()
+		inc = e.incrementalFor(ws)
+		inc.Load(formula, gm.Priority)
+	}
+	buildElapsed := time.Since(buildStart)
+
+	var assumps []cnf.Lit
+	for k, idx := range members {
+		i := int(idx)
+		mk := liveAt[k]
+		if mk < 0 || st.droppedF.get(i) {
+			// Dropped before (or since) the build: skipped without a
+			// solve, like a fresh-path fault dropped before its claim.
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		// Between members the instance is fully backtracked, so a
+		// watchdog-driven shrink can reduce the learned DB here — a
+		// 64-member group must not outrun the memory watchdog.
+		st.maybeShrink(ws, worker, shrinkSeen)
+		if e.testHookPanic != nil {
+			e.testHookPanic(st.faults[i])
+		}
+		res := Result{Fault: st.faults[i], Group: g.id + 1, GroupSize: len(members)}
+		if buildElapsed > 0 {
+			// The group build is attributed to its first emitted member,
+			// so summed phase times still account for it exactly once.
+			res.BuildElapsed = buildElapsed
+			buildElapsed = 0
+		}
+		if gm.Unobservable[mk] {
+			res.Status = Untestable
+			emitted[k] = true
+			if err = emit(i, res); err != nil {
+				return err
+			}
+			continue
+		}
+		lim := sat.Limits{Cancel: ctx.Done()}
+		if budget > 0 {
+			lim.Deadline = time.Now().Add(budget)
+		}
+		fspan := tel.startSpan("fault", gspan.Context())
+		if fspan.Active() {
+			fspan.Worker = worker
+			fspan.Detail = st.faults[i].Name(st.c)
+		}
+		res.Vars, res.Clauses = vars, clauses
+		start := time.Now()
+		assumps = gm.Assumptions(mk, assumps)
+		sol := inc.SolveAssuming(assumps, lim)
+		res.Elapsed = time.Since(start)
+		res.SolverStats = sol.Stats
+		fspan.Items = sol.Stats.SearchEffort()
+		fspan.End()
+		switch sol.Status {
+		case sat.Sat:
+			res.Status = Detected
+			res.Vector = gm.ExtractTest(st.c, sol.Model)
+			if e.VerifyTests && !VerifyTest(st.c, st.faults[i], res.Vector) {
+				return fmt.Errorf("atpg: generated vector fails to detect %s (pipeline bug)", st.faults[i].Name(st.c))
+			}
+		case sat.Unsat:
+			res.Status = Untestable
+		default:
+			res.Status = Aborted
+		}
+		st.ring.Record("solve", worker, int64(i), int64(res.Status), res.Elapsed.Nanoseconds())
+		if ctx.Err() != nil {
+			// The abort is a draining artifact, not a verdict.
+			return nil
+		}
+		emitted[k] = true
+		if err = emit(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encoder returns the scratch's reusable CNF encoder, or a fresh one
+// when scratch reuse is disabled.
+func (ws *workerScratch) encoder() *cnf.Encoder {
+	if ws != nil {
+		return ws.enc
+	}
+	return new(cnf.Encoder)
+}

@@ -1,0 +1,365 @@
+package atpg
+
+// Region-grouped incremental solving: collapsed faults whose miters
+// share a transitive-fanout region are encoded into one formula with
+// per-fault activation (selector) literals and solved on one
+// incremental CDCL instance under assumptions, so clauses learned for
+// one fault prune the search for its region neighbors (InF-ATPG's
+// fanout-region organization, PAPERS.md). This file holds the grouping
+// — region heads, the canonical group order — and the GroupMiter, the
+// multi-fault generalization of Miter.
+
+import (
+	"fmt"
+	"sort"
+
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/logic"
+)
+
+// DefaultGroupMax is the group-size cap when RunOptions.GroupMax is
+// zero: big enough that a fanout-free region's faults share one solver
+// instance, small enough that one group never monopolizes a worker.
+const DefaultGroupMax = 64
+
+// regionHeads computes, for every net, the head of its fanout region:
+// the first dominator at which its transitive fanout joins general
+// fanout. A net with exactly one distinct reader inherits that
+// reader's head (its fanout cone is {net} ∪ cone(reader), so its miter
+// support C_ψ^sub is identical); a fanout stem or sink is its own
+// head. Faults with equal heads have (near-)identical miter support
+// and are grouped onto one solver instance. Node IDs are topologically
+// ordered, so one reverse sweep suffices.
+func regionHeads(c *logic.Circuit) []int32 {
+	head := make([]int32, len(c.Nodes))
+	for id := len(c.Nodes) - 1; id >= 0; id-- {
+		reader := -1
+		multi := false
+		// Fanout has one entry per reading pin; a gate reading the net
+		// twice is still a single reader.
+		for _, fo := range c.Nodes[id].Fanout {
+			if reader == -1 {
+				reader = fo
+			} else if fo != reader {
+				multi = true
+				break
+			}
+		}
+		if reader >= 0 && !multi {
+			head[id] = head[reader]
+		} else {
+			head[id] = int32(id)
+		}
+	}
+	return head
+}
+
+// faultGroup is one unit of incremental dispatch: a consecutive span
+// of the dispatch order whose faults share a fanout region and are
+// solved on one incremental instance. id is the canonical group index
+// (stable across worker counts and group-size caps of the faults it
+// happens to contain; used by telemetry and effort records).
+type faultGroup struct {
+	id         int
+	region     int32 // head net of the shared fanout region
+	start, end int32 // span [start, end) of positions in the dispatch order
+}
+
+// buildGroups computes the incremental dispatch order and its group
+// spans. The order is canonical and independent of groupMax: regions
+// are sorted by (largest member cone first, smallest member index
+// among equals), members within a region by (cone, index) — the same
+// comparator as effortOrder — and groups are consecutive chunks of at
+// most groupMax members that never span regions. Because the flattened
+// fault order is identical for every groupMax, the engine's commit
+// frontier, flush points and drop decisions are too: group size is
+// purely a knowledge-reuse knob, with groupMax 1 degenerating to
+// fresh-per-fault solving.
+func buildGroups(c *logic.Circuit, faults []Fault, skip []bool, groupMax int) ([]int32, []faultGroup) {
+	if groupMax <= 0 {
+		groupMax = DefaultGroupMax
+	}
+	head := regionHeads(c)
+	sizer := newConeSizer(c)
+
+	type regionAgg struct {
+		maxCone int32
+		minIdx  int32
+		members []int32
+	}
+	cone := make([]int32, len(faults))
+	regs := make(map[int32]*regionAgg)
+	var regOrder []int32
+	for i, f := range faults {
+		if skip != nil && skip[i] {
+			continue
+		}
+		cone[i] = sizer.coneOf(f.Net)
+		r := head[f.Net]
+		agg := regs[r]
+		if agg == nil {
+			agg = &regionAgg{maxCone: cone[i], minIdx: int32(i)}
+			regs[r] = agg
+			regOrder = append(regOrder, r)
+		}
+		if cone[i] > agg.maxCone {
+			agg.maxCone = cone[i]
+		}
+		agg.members = append(agg.members, int32(i))
+	}
+	sort.Slice(regOrder, func(a, b int) bool {
+		ra, rb := regs[regOrder[a]], regs[regOrder[b]]
+		if ra.maxCone != rb.maxCone {
+			return ra.maxCone > rb.maxCone
+		}
+		return ra.minIdx < rb.minIdx
+	})
+
+	order := make([]int32, 0, len(faults))
+	var groups []faultGroup
+	for _, r := range regOrder {
+		m := regs[r].members
+		sort.Slice(m, func(a, b int) bool {
+			if cone[m[a]] != cone[m[b]] {
+				return cone[m[a]] > cone[m[b]]
+			}
+			return m[a] < m[b]
+		})
+		for lo := 0; lo < len(m); lo += groupMax {
+			hi := lo + groupMax
+			if hi > len(m) {
+				hi = len(m)
+			}
+			groups = append(groups, faultGroup{
+				id:     len(groups),
+				region: r,
+				start:  int32(len(order) + lo),
+				end:    int32(len(order) + hi),
+			})
+		}
+		order = append(order, m...)
+	}
+	return order, groups
+}
+
+// GroupMiter is the multi-fault generalization of Miter: one good copy
+// of the union of the members' C_ψ^sub supports, plus a faulty fanout
+// cone and per-output XORs for each member, with the member's fault
+// activation and observability clauses gated behind a selector
+// variable. Solving under assumptions that enable exactly one selector
+// is equivalent to solving that member's own miter — and every clause
+// the solver learns is implied by the shared formula alone, so it
+// stays valid for every member.
+type GroupMiter struct {
+	// Circuit is the shared region circuit. It has no marked outputs:
+	// the per-member observability clauses replace the global
+	// "some output differs" clause of the single-fault encoding.
+	Circuit *logic.Circuit
+	// Faults lists the member faults, in group order.
+	Faults []Fault
+	// GoodOf maps a parent node ID to its good-copy node, or -1.
+	GoodOf []int
+	// GoodFault[k] is the good copy of member k's fault net (-1 when
+	// the member is unobservable).
+	GoodFault []int
+	// Unobservable[k] reports that member k has no output in its
+	// fanout: trivially untestable, excluded from the encoding.
+	Unobservable []bool
+	// Priority lists the good-copy variables of the parent primary
+	// inputs present in the region, in parent input order. Handed to
+	// the incremental solver as the lex branching order, it makes the
+	// first model's input projection lex-least — the determinism
+	// anchor for byte-identical vectors at any group size.
+	Priority []int
+	// selVar[k] is member k's selector variable (-1 if unobservable),
+	// assigned by EncodeWith after the region circuit's variables.
+	selVar []int
+	// xorsOf[k] lists member k's XOR difference nets, in output order.
+	xorsOf [][]int
+}
+
+// NewGroupMiter builds the shared region miter for the given member
+// faults of circuit c. Members with no observable output get
+// Unobservable and take no part in the encoding; if every member is
+// unobservable the GroupMiter is still returned (with no formula
+// worth encoding) and the caller synthesizes untestable results.
+func NewGroupMiter(c *logic.Circuit, members []Fault) (*GroupMiter, error) {
+	g := &GroupMiter{
+		Faults:       members,
+		GoodOf:       make([]int, c.NumNodes()),
+		GoodFault:    make([]int, len(members)),
+		Unobservable: make([]bool, len(members)),
+		selVar:       make([]int, len(members)),
+	}
+	for i := range g.GoodOf {
+		g.GoodOf[i] = -1
+	}
+	for k := range members {
+		g.GoodFault[k] = -1
+		g.selVar[k] = -1
+	}
+
+	outSet := make(map[int]bool)
+	for _, o := range c.Outputs {
+		outSet[o] = true
+	}
+	foLists := make([][]int, len(members))
+	observable := make([][]int, len(members))
+	var allFO []int
+	for k, f := range members {
+		if f.Net < 0 || f.Net >= c.NumNodes() {
+			return nil, fmt.Errorf("atpg: fault net %d out of range", f.Net)
+		}
+		foLists[k] = c.TransitiveFanout(f.Net)
+		for _, id := range foLists[k] {
+			if outSet[id] {
+				observable[k] = append(observable[k], id)
+			}
+		}
+		if len(observable[k]) == 0 {
+			g.Unobservable[k] = true
+			continue
+		}
+		allFO = append(allFO, foLists[k]...)
+	}
+	if len(allFO) == 0 {
+		return g, nil // every member trivially untestable
+	}
+	subIDs := c.TransitiveFanin(allFO...)
+
+	b := logic.NewBuilder(fmt.Sprintf("%s_region_%d", c.Name, members[0].Net))
+	for _, id := range subIDs {
+		n := &c.Nodes[id]
+		switch n.Type {
+		case logic.Input:
+			g.GoodOf[id] = b.Input(n.Name)
+		case logic.Const0:
+			g.GoodOf[id] = b.Const(n.Name, false)
+		case logic.Const1:
+			g.GoodOf[id] = b.Const(n.Name, true)
+		default:
+			fanin := make([]int, len(n.Fanin))
+			for i, fi := range n.Fanin {
+				fanin[i] = g.GoodOf[fi]
+			}
+			g.GoodOf[id] = b.GateN(n.Type, n.Name, fanin, n.Neg)
+		}
+	}
+
+	// Per-member faulty cones and XOR difference nets, exactly as in
+	// NewMiter but with a member-unique name suffix and without
+	// marking outputs: activation and observability are per-member
+	// clauses added by EncodeWith, gated behind the member's selector.
+	g.xorsOf = make([][]int, len(members))
+	faultyOf := make([]int, c.NumNodes())
+	for k, f := range members {
+		if g.Unobservable[k] {
+			continue
+		}
+		inFO := make([]bool, c.NumNodes())
+		for _, id := range foLists[k] {
+			inFO[id] = true
+			faultyOf[id] = -1
+		}
+		suffix := fmt.Sprintf("~f%d", k)
+		for _, id := range foLists[k] {
+			n := &c.Nodes[id]
+			if id == f.Net {
+				faultyOf[id] = b.Const(n.Name+suffix, f.StuckAt)
+				continue
+			}
+			fanin := make([]int, len(n.Fanin))
+			for i, fi := range n.Fanin {
+				if inFO[fi] {
+					fanin[i] = faultyOf[fi]
+				} else {
+					fanin[i] = g.GoodOf[fi]
+				}
+			}
+			faultyOf[id] = b.GateN(n.Type, n.Name+suffix, fanin, n.Neg)
+		}
+		g.GoodFault[k] = g.GoodOf[f.Net]
+		for _, o := range observable[k] {
+			x := b.Gate(logic.Xor, c.Nodes[o].Name+suffix+"~xor", g.GoodOf[o], faultyOf[o])
+			g.xorsOf[k] = append(g.xorsOf[k], x)
+		}
+	}
+	mc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.Circuit = mc
+	for _, in := range c.Inputs {
+		if mid := g.GoodOf[in]; mid >= 0 {
+			g.Priority = append(g.Priority, mid)
+		}
+	}
+	return g, nil
+}
+
+// EncodeWith encodes the region circuit through a reusable encoder and
+// appends the gated per-member clauses: for each observable member k
+// with selector s_k,
+//
+//	¬s_k ∨ activation_k   (good fault net carries the complement of the stuck value)
+//	¬s_k ∨ xor_k,1 ∨ …    (some observable output pair differs)
+//
+// Assuming s_k (and ¬s_j for the other members) therefore reduces the
+// formula to member k's single-fault ATPG instance. The result aliases
+// encoder buffers and is valid only until the encoder's next Encode —
+// the incremental solver's Load copies it.
+func (g *GroupMiter) EncodeWith(enc *cnf.Encoder) (*cnf.Formula, error) {
+	f, err := enc.Encode(g.Circuit, nil)
+	if err != nil {
+		return nil, err
+	}
+	next := f.NumVars
+	for k := range g.Faults {
+		if g.Unobservable[k] {
+			continue
+		}
+		g.selVar[k] = next
+		next++
+		sel := cnf.NewLit(g.selVar[k], true) // ¬s_k
+		f.AddClause(sel, cnf.NewLit(g.GoodFault[k], g.Faults[k].StuckAt))
+		obs := make([]cnf.Lit, 0, len(g.xorsOf[k])+1)
+		obs = append(obs, sel)
+		for _, x := range g.xorsOf[k] {
+			obs = append(obs, cnf.NewLit(x, false))
+		}
+		f.AddClause(obs...)
+	}
+	return f, nil
+}
+
+// Assumptions appends member k's assumption literals to buf: its own
+// selector asserted, every other member's selector negated — the
+// negations keep the solver from wandering into other members'
+// activation clauses, and make UNSAT mean exactly "member k is
+// untestable".
+func (g *GroupMiter) Assumptions(k int, buf []cnf.Lit) []cnf.Lit {
+	buf = buf[:0]
+	buf = append(buf, cnf.NewLit(g.selVar[k], false))
+	for j := range g.Faults {
+		if j != k && g.selVar[j] >= 0 {
+			buf = append(buf, cnf.NewLit(g.selVar[j], true))
+		}
+	}
+	return buf
+}
+
+// ExtractTest converts a satisfying model under member k's assumptions
+// into a test vector over the parent circuit's primary inputs. Inputs
+// outside the region are don't-cares returned as false — and because
+// the solver branches lex-first over Priority, inputs inside the
+// region but irrelevant to member k come out false too, making the
+// vector identical to the one a fresh single-fault solve extracts.
+func (g *GroupMiter) ExtractTest(c *logic.Circuit, model []bool) []bool {
+	vec := make([]bool, len(c.Inputs))
+	for i, in := range c.Inputs {
+		if mid := g.GoodOf[in]; mid >= 0 {
+			vec[i] = model[mid]
+		}
+	}
+	return vec
+}

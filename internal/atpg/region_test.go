@@ -1,0 +1,484 @@
+package atpg
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"atpgeasy/internal/cnf"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/logic"
+	"atpgeasy/internal/obs"
+	"atpgeasy/internal/sat"
+)
+
+func regionTestCircuits() map[string]*logic.Circuit {
+	return map[string]*logic.Circuit{
+		"rand": gen.Random(gen.RandomParams{Inputs: 10, Gates: 60, Seed: 7}),
+		"cla":  gen.CarryLookaheadAdder(4),
+		"mult": gen.ArrayMultiplier(3),
+	}
+}
+
+// TestRegionHeads pins the region-head invariants: a net whose fanout
+// is read by exactly one distinct gate shares that gate's head, every
+// other net is its own head, and head assignment is idempotent (the
+// head of a head is itself).
+func TestRegionHeads(t *testing.T) {
+	for name, c := range regionTestCircuits() {
+		head := regionHeads(c)
+		for id := range c.Nodes {
+			reader := -1
+			multi := false
+			for _, fo := range c.Nodes[id].Fanout {
+				if reader == -1 {
+					reader = fo
+				} else if fo != reader {
+					multi = true
+					break
+				}
+			}
+			if reader >= 0 && !multi {
+				if head[id] != head[reader] {
+					t.Fatalf("%s: net %d has single reader %d but head %d != %d",
+						name, id, reader, head[id], head[reader])
+				}
+			} else if head[id] != int32(id) {
+				t.Fatalf("%s: fanout stem/sink %d has head %d, want itself", name, id, head[id])
+			}
+			if h := head[id]; head[h] != h {
+				t.Fatalf("%s: head %d of net %d is not its own head", name, h, id)
+			}
+		}
+	}
+}
+
+// TestBuildGroupsCanonicalOrder requires the flattened dispatch order to
+// be identical for every group-size cap — the property that makes the
+// commit frontier, flush points and drop set independent of GroupMax —
+// and the group spans to partition it without crossing regions or the
+// cap.
+func TestBuildGroupsCanonicalOrder(t *testing.T) {
+	for name, c := range regionTestCircuits() {
+		faults := Collapse(c, AllFaults(c))
+		head := regionHeads(c)
+		refOrder, _ := buildGroups(c, faults, nil, 1)
+		for _, max := range []int{2, 3, 7, DefaultGroupMax} {
+			order, groups := buildGroups(c, faults, nil, max)
+			if len(order) != len(refOrder) {
+				t.Fatalf("%s max=%d: order length %d vs %d", name, max, len(order), len(refOrder))
+			}
+			for i := range order {
+				if order[i] != refOrder[i] {
+					t.Fatalf("%s max=%d: order[%d] = %d, reference %d", name, max, i, order[i], refOrder[i])
+				}
+			}
+			next := int32(0)
+			for _, g := range groups {
+				if g.start != next {
+					t.Fatalf("%s max=%d: group %d starts at %d, want %d", name, max, g.id, g.start, next)
+				}
+				if n := g.end - g.start; n < 1 || int(n) > max {
+					t.Fatalf("%s max=%d: group %d has %d members", name, max, g.id, n)
+				}
+				for _, idx := range order[g.start:g.end] {
+					if h := head[faults[idx].Net]; h != g.region {
+						t.Fatalf("%s max=%d: fault net %d (head %d) in region-%d group",
+							name, max, faults[idx].Net, h, g.region)
+					}
+				}
+				next = g.end
+			}
+			if next != int32(len(order)) {
+				t.Fatalf("%s max=%d: groups cover %d of %d slots", name, max, next, len(order))
+			}
+		}
+	}
+}
+
+// TestGroupMiterMatchesMiter solves every fault of every region group
+// through the group encoding under assumptions on one incremental
+// instance, and requires member-by-member agreement with the fresh
+// single-fault miter: same verdict, and a group-extracted vector that
+// detects the fault and is byte-identical to the fresh one.
+func TestGroupMiterMatchesMiter(t *testing.T) {
+	for name, c := range regionTestCircuits() {
+		faults := Collapse(c, AllFaults(c))
+		order, groups := buildGroups(c, faults, nil, DefaultGroupMax)
+		eng := &Engine{}
+		fresh := make(map[int]Result, len(faults))
+		for _, idx := range order {
+			res, err := eng.TestFault(c, faults[idx])
+			if err != nil {
+				t.Fatalf("%s: fresh %s: %v", name, faults[idx].Name(c), err)
+			}
+			fresh[int(idx)] = res
+		}
+		// The fresh baseline for vectors must come from the same lex-first
+		// branching; re-solve each fault alone on the incremental path.
+		freshVec := make(map[int][]bool, len(faults))
+		for _, idx := range order {
+			gm, err := NewGroupMiter(c, []Fault{faults[idx]})
+			if err != nil {
+				t.Fatalf("%s: solo GroupMiter: %v", name, err)
+			}
+			if gm.Unobservable[0] {
+				continue
+			}
+			f, err := gm.EncodeWith(new(cnf.Encoder))
+			if err != nil {
+				t.Fatalf("%s: solo encode: %v", name, err)
+			}
+			inc := sat.NewIncremental()
+			inc.Load(f, gm.Priority)
+			sol := inc.SolveAssuming(gm.Assumptions(0, nil), sat.Limits{})
+			if sol.Status == sat.Sat {
+				freshVec[int(idx)] = gm.ExtractTest(c, sol.Model)
+			}
+		}
+		for _, g := range groups {
+			members := make([]Fault, 0, g.end-g.start)
+			for _, idx := range order[g.start:g.end] {
+				members = append(members, faults[idx])
+			}
+			gm, err := NewGroupMiter(c, members)
+			if err != nil {
+				t.Fatalf("%s: NewGroupMiter: %v", name, err)
+			}
+			var inc *sat.Incremental
+			if gm.Circuit != nil {
+				f, err := gm.EncodeWith(new(cnf.Encoder))
+				if err != nil {
+					t.Fatalf("%s: EncodeWith: %v", name, err)
+				}
+				inc = sat.NewIncremental()
+				inc.Load(f, gm.Priority)
+			}
+			for k := range members {
+				i := int(order[int(g.start)+k])
+				want := fresh[i]
+				if gm.Unobservable[k] {
+					if want.Status != Untestable {
+						t.Fatalf("%s: %s unobservable in group but %v fresh",
+							name, members[k].Name(c), want.Status)
+					}
+					continue
+				}
+				sol := inc.SolveAssuming(gm.Assumptions(k, nil), sat.Limits{})
+				switch sol.Status {
+				case sat.Sat:
+					if want.Status != Detected {
+						t.Fatalf("%s: %s SAT in group, %v fresh", name, members[k].Name(c), want.Status)
+					}
+					vec := gm.ExtractTest(c, sol.Model)
+					if !VerifyTest(c, members[k], vec) {
+						t.Fatalf("%s: group vector for %s does not detect it", name, members[k].Name(c))
+					}
+					solo := freshVec[i]
+					for b := range vec {
+						if vec[b] != solo[b] {
+							t.Fatalf("%s: %s group vector %v differs from solo %v",
+								name, members[k].Name(c), vec, solo)
+						}
+					}
+				case sat.Unsat:
+					if want.Status != Untestable {
+						t.Fatalf("%s: %s UNSAT in group, %v fresh", name, members[k].Name(c), want.Status)
+					}
+					if inc.Failed() {
+						t.Fatalf("%s: per-member UNSAT latched global Failed", name)
+					}
+				default:
+					t.Fatalf("%s: group solve of %s returned %v", name, members[k].Name(c), sol.Status)
+				}
+			}
+		}
+	}
+}
+
+// runIncremental is the equivalence harness: one incremental run with
+// the given group cap and worker count, full TEGUS options.
+func runIncremental(t *testing.T, c *logic.Circuit, groupMax, workers int) *Summary {
+	t.Helper()
+	eng := &Engine{VerifyTests: true, Workers: workers}
+	sum, err := eng.Run(context.Background(), c, RunOptions{
+		Collapse: true, DropDetected: true,
+		RPTBatches: DefaultRPTBatches, Seed: 42,
+		Incremental: true, GroupMax: groupMax,
+	})
+	if err != nil {
+		t.Fatalf("incremental run (groupMax=%d, workers=%d): %v", groupMax, workers, err)
+	}
+	return sum
+}
+
+// sameVectors requires byte-identical vector sets in order.
+func sameVectors(t *testing.T, name string, a, b [][]bool) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d vectors", name, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s: vector %d length %d vs %d", name, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("%s: vector %d bit %d differs", name, i, j)
+			}
+		}
+	}
+}
+
+// sameSummaries requires the deterministic parts of two summaries to be
+// byte-identical: vectors, per-fault statuses in order, tallies and
+// coverage. Solver statistics, instance sizes and timings are exempt —
+// they legitimately vary with grouping and learned-clause retention.
+func sameSummaries(t *testing.T, name string, a, b *Summary) {
+	t.Helper()
+	sameVectors(t, name, a.Vectors, b.Vectors)
+	if a.Detected != b.Detected || a.Untestable != b.Untestable ||
+		a.Aborted != b.Aborted || a.Errors != b.Errors ||
+		a.DroppedByFaultSim != b.DroppedByFaultSim ||
+		a.DetectedByRPT != b.DetectedByRPT {
+		t.Fatalf("%s: tallies differ: (D%d U%d A%d E%d drop%d rpt%d) vs (D%d U%d A%d E%d drop%d rpt%d)",
+			name,
+			a.Detected, a.Untestable, a.Aborted, a.Errors, a.DroppedByFaultSim, a.DetectedByRPT,
+			b.Detected, b.Untestable, b.Aborted, b.Errors, b.DroppedByFaultSim, b.DetectedByRPT)
+	}
+	if a.Coverage() != b.Coverage() {
+		t.Fatalf("%s: coverage %v vs %v", name, a.Coverage(), b.Coverage())
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("%s: %d vs %d results", name, len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i].Fault != b.Results[i].Fault || a.Results[i].Status != b.Results[i].Status {
+			t.Fatalf("%s: result %d: %v/%v vs %v/%v", name, i,
+				a.Results[i].Fault, a.Results[i].Status, b.Results[i].Fault, b.Results[i].Status)
+		}
+	}
+}
+
+// TestIncrementalEquivalence is the PR's acceptance property: region-
+// grouped incremental solving must produce byte-identical vectors and
+// summaries to fresh-per-fault solving (GroupMax 1 — a cold instance
+// per fault on the same lex-first path) at any worker count, under the
+// full TEGUS flow (collapse, RPT pre-phase, fault dropping).
+func TestIncrementalEquivalence(t *testing.T) {
+	for name, c := range regionTestCircuits() {
+		ref := runIncremental(t, c, 1, 1)
+		for _, cfg := range []struct {
+			groupMax, workers int
+		}{
+			{1, 4},
+			{DefaultGroupMax, 1},
+			{DefaultGroupMax, 4},
+			{3, 2},
+		} {
+			got := runIncremental(t, c, cfg.groupMax, cfg.workers)
+			label := name + "/" +
+				"max" + itoa(cfg.groupMax) + "w" + itoa(cfg.workers)
+			sameSummaries(t, label, ref, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestIncrementalUntestableIsolated builds a circuit with a redundant
+// gate (g = a∧b feeding out = a∨g, so g stuck-at-0 is untestable) and
+// requires the group instance to keep serving its neighbors after
+// proving the redundancy: the UNSAT-under-assumptions verdict must not
+// poison the instance or be recorded as global.
+func TestIncrementalUntestableIsolated(t *testing.T) {
+	b := logic.NewBuilder("redundant")
+	a := b.Input("a")
+	bb := b.Input("b")
+	g := b.Gate(logic.And, "g", a, bb)
+	out := b.Gate(logic.Or, "out", a, g)
+	b.MarkOutput(out)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := AllFaults(c)
+	eng := &Engine{VerifyTests: true, Workers: 1}
+	sum, err := eng.RunFaults(context.Background(), c, faults, RunOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Untestable == 0 {
+		t.Fatalf("redundant fault not reported untestable: %+v", sum)
+	}
+	if sum.Detected == 0 {
+		t.Fatalf("no detections after the untestable member: %+v", sum)
+	}
+	if sum.Detected+sum.Untestable != sum.Total {
+		t.Fatalf("faults unaccounted: D%d U%d of %d", sum.Detected, sum.Untestable, sum.Total)
+	}
+	fresh, err := eng.RunFaults(context.Background(), c, faults, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Detected != sum.Detected || fresh.Untestable != sum.Untestable {
+		t.Fatalf("incremental (D%d U%d) vs fresh (D%d U%d)",
+			sum.Detected, sum.Untestable, fresh.Detected, fresh.Untestable)
+	}
+}
+
+// TestIncrementalMemWatchdogShrinksLearnedDB runs incremental mode
+// under a 1-byte soft limit so every watchdog sample forces a shrink,
+// and requires the learned-clause budget to bottom out without
+// changing any verdict or vector.
+func TestIncrementalMemWatchdogShrinksLearnedDB(t *testing.T) {
+	// Uncollapsed multiplier faults, no pre-phase or dropping: every
+	// fault reaches the solver, so the run outlives many 1ms samples
+	// even on a single CPU (the watchdog goroutine needs the scheduler
+	// to preempt a busy worker before it can sample the heap).
+	c := gen.ArrayMultiplier(7)
+	refEng := &Engine{VerifyTests: true, Workers: 2}
+	ref, err := refEng.Run(context.Background(), c, RunOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, 2)
+	eng := &Engine{VerifyTests: true, Workers: 2, memCheckEvery: time.Millisecond}
+	sum, err := eng.Run(context.Background(), c, RunOptions{
+		Incremental:  true,
+		MemSoftLimit: 1,
+		Telemetry:    &Telemetry{Metrics: met},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSummaries(t, "shrunk-vs-ref", ref, sum)
+	if met.CacheShrinks.Value() == 0 {
+		t.Fatal("watchdog never fired under a 1-byte soft limit")
+	}
+	if db := met.ClauseDBBytes.Value(); db > sat.DefaultLearnedLimit {
+		t.Fatalf("clause DB gauge %d exceeds the default budget", db)
+	}
+}
+
+// TestIncrementalPanicIsolation injects a panic into one member's
+// processing: the run must survive, the victim (and any unemitted
+// group neighbors) report Errored with the panic message, and every
+// fault stays accounted for.
+func TestIncrementalPanicIsolation(t *testing.T) {
+	c := gen.CarryLookaheadAdder(4)
+	faults := Collapse(c, AllFaults(c))
+	victim := faults[len(faults)/2]
+	eng := &Engine{Workers: 2}
+	eng.testHookPanic = func(f Fault) {
+		if f == victim {
+			panic("injected region explosion")
+		}
+	}
+	sum, err := eng.RunFaults(context.Background(), c, faults, RunOptions{Incremental: true})
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if sum.Errors == 0 {
+		t.Fatal("no Errored results after an injected panic")
+	}
+	if got := sum.Detected + sum.Untestable + sum.Aborted + sum.Errors; got != sum.Total {
+		t.Fatalf("faults lost to the panic: %d accounted of %d", got, sum.Total)
+	}
+	var found bool
+	for i := range sum.Results {
+		if sum.Results[i].Status == Errored {
+			if !strings.Contains(sum.Results[i].Err, "injected region explosion") {
+				t.Fatalf("Result.Err = %q", sum.Results[i].Err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no Errored result in the summary")
+	}
+}
+
+// TestIncrementalRetryTiers forces aborts with a tiny budget and
+// requires the incremental retry path (re-grouped by region) to
+// recover them, matching the unlimited incremental run's verdicts.
+func TestIncrementalRetryTiers(t *testing.T) {
+	c := gen.ArrayMultiplier(3)
+	ref := runIncremental(t, c, DefaultGroupMax, 2)
+	eng := &Engine{VerifyTests: true, Workers: 2}
+	sum, err := eng.Run(context.Background(), c, RunOptions{
+		Collapse: true, DropDetected: true,
+		RPTBatches: DefaultRPTBatches, Seed: 42,
+		Incremental:    true,
+		PerFaultBudget: 50 * time.Microsecond,
+		RetryTiers:     8,
+		RetryBackoff:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Aborted > 0 {
+		t.Skipf("budget too tight even after retries on this machine (%d aborted)", sum.Aborted)
+	}
+	if sum.Detected+sum.DroppedByFaultSim != ref.Detected+ref.DroppedByFaultSim ||
+		sum.Untestable != ref.Untestable {
+		t.Fatalf("retried run (D%d+drop%d U%d) vs reference (D%d+drop%d U%d)",
+			sum.Detected, sum.DroppedByFaultSim, sum.Untestable,
+			ref.Detected, ref.DroppedByFaultSim, ref.Untestable)
+	}
+}
+
+// TestIncrementalTelemetryCounters checks the new counters flow: a
+// grouped run on a multi-fault region must report clauses kept across
+// calls and a positive clause-DB high-water mark.
+func TestIncrementalTelemetryCounters(t *testing.T) {
+	c := gen.ArrayMultiplier(3)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, 1)
+	eng := &Engine{Workers: 1}
+	sum, err := eng.Run(context.Background(), c, RunOptions{
+		Collapse: true, Incremental: true,
+		Telemetry: &Telemetry{Metrics: met},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SolverTotals.LearnedKept == 0 {
+		t.Fatal("no learned clauses survived across calls on a multiplier")
+	}
+	if met.LearnedKept.Value() != sum.SolverTotals.LearnedKept {
+		t.Fatalf("atpg_learned_kept_total = %d, summary %d",
+			met.LearnedKept.Value(), sum.SolverTotals.LearnedKept)
+	}
+	if met.LearnedReused.Value() != sum.SolverTotals.LearnedReused {
+		t.Fatalf("atpg_learned_reused_total = %d, summary %d",
+			met.LearnedReused.Value(), sum.SolverTotals.LearnedReused)
+	}
+	if met.ClauseDBBytes.Value() <= 0 {
+		t.Fatal("atpg_clause_db_bytes gauge never set")
+	}
+	var grouped bool
+	for _, r := range sum.Results {
+		if r.Group > 0 && r.GroupSize > 1 {
+			grouped = true
+		}
+	}
+	if !grouped {
+		t.Fatal("no multi-member group in the results")
+	}
+}

@@ -79,6 +79,13 @@ func CheckpointFingerprint(c *logic.Circuit, faults []Fault, opt RunOptions) uin
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%t|", c.Name, len(c.Inputs),
 		opt.Seed, opt.RPTBatches, opt.RPTIdleStop, opt.DropDetected)
+	if opt.Incremental {
+		// The incremental path's lex-first branching yields different (but
+		// equally deterministic) vectors than the fresh path, so journals
+		// don't transfer across the mode boundary. GroupMax is excluded:
+		// vectors and verdicts are identical for every group-size cap.
+		fmt.Fprint(h, "inc|")
+	}
 	for _, f := range faults {
 		fmt.Fprintf(h, "%d:%t;", f.Net, f.StuckAt)
 	}
@@ -265,7 +272,53 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 		}
 		tierCtx := tierSpan.Context()
 		st.ring.Record("tier", -1, int64(tier), int64(len(queue)), 0)
-		decided := make([]bool, len(queue)) // each slot written by one worker only
+		// Each fault's slot is written by the one worker that claimed it
+		// (or its group), so the writes are disjoint.
+		decidedF := make([]bool, len(st.results))
+		// adoptRetry is the tier's verdict bookkeeping, shared by the
+		// fresh per-fault loop and the incremental group emit.
+		adoptRetry := func(ws *workerScratch, w, i int, res Result) {
+			st.results[i] = &res
+			if res.Status != Aborted {
+				decidedF[i] = true
+				st.abtN.Add(-1)
+				st.retryPending.Add(-1)
+				switch res.Status {
+				case Detected:
+					st.detN.Add(1)
+				case Untestable:
+					st.untN.Add(1)
+				case Errored:
+					st.errsN.Add(1)
+				}
+			}
+			if tel != nil {
+				tel.observeRetry(w, st.faults[i].Name(st.c), &res, tier, time.Since(st.start))
+			}
+			if opt.Journal != nil && res.Status != Aborted {
+				opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
+			}
+			if st.effort != nil && res.Status != Aborted {
+				st.recordEffort(ws, i, &res, "retry", res.Status, tier, w, false)
+			}
+		}
+		// In incremental mode the tier re-groups its queue by fanout
+		// region, so a retried fault resumes on a shared region instance
+		// and reuses clauses learned by its neighbors in the same tier
+		// instead of cold-starting.
+		var retryOrder []int32
+		var retryGroups []faultGroup
+		if st.incremental {
+			inQueue := make([]bool, len(st.faults))
+			for _, i := range queue {
+				inQueue[i] = true
+			}
+			skip := make([]bool, len(st.faults))
+			for i := range skip {
+				skip[i] = !inQueue[i]
+			}
+			retryOrder, retryGroups = buildGroups(st.c, st.faults, skip, opt.GroupMax)
+		}
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := range scratches {
@@ -274,10 +327,33 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 			go func() {
 				defer wg.Done()
 				ws := scratches[w]
+				var shrinkSeen int64
+				if st.incremental {
+					for {
+						if ctx.Err() != nil {
+							return
+						}
+						st.maybeShrink(ws, w, &shrinkSeen)
+						gi := int(cursor.Add(1) - 1)
+						if gi >= len(retryGroups) {
+							return
+						}
+						err := e.solveGroup(ctx, st, retryOrder, &retryGroups[gi], ws, w, &shrinkSeen, tierCtx, budget, func(i int, res Result) error {
+							if res.Status == Errored {
+								st.dumpRingOnce("fault panic recovered", true)
+							}
+							adoptRetry(ws, w, i, res)
+							return nil
+						})
+						if err != nil {
+							st.setErr(err)
+							return
+						}
+					}
+				}
 				// The tier reuses the main sweep's chunked claim protocol
 				// over its own queue.
 				cl := chunkClaimer{cursor: &cursor, n: len(queue), workers: len(scratches)}
-				var shrinkSeen int64
 				for {
 					k := cl.next()
 					if k < 0 || ctx.Err() != nil {
@@ -305,39 +381,15 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 					if ctx.Err() != nil {
 						return
 					}
-					// Queue slots are claimed exclusively, so the result
-					// write is disjoint from every other worker's.
-					st.results[i] = &res
-					if res.Status != Aborted {
-						decided[k] = true
-						st.abtN.Add(-1)
-						st.retryPending.Add(-1)
-						switch res.Status {
-						case Detected:
-							st.detN.Add(1)
-						case Untestable:
-							st.untN.Add(1)
-						case Errored:
-							st.errsN.Add(1)
-						}
-					}
-					if tel != nil {
-						tel.observeRetry(w, st.faults[i].Name(st.c), &res, tier, time.Since(st.start))
-					}
-					if opt.Journal != nil && res.Status != Aborted {
-						opt.Journal.RecordFault(i, res.Status.String(), res.Vector, res.Err)
-					}
-					if st.effort != nil && res.Status != Aborted {
-						st.recordEffort(ws, i, &res, "retry", res.Status, tier, w, false)
-					}
+					adoptRetry(ws, w, i, res)
 				}
 			}()
 		}
 		wg.Wait()
 		tierSpan.End()
 		var still []int
-		for k, i := range queue {
-			if !decided[k] {
+		for _, i := range queue {
+			if !decidedF[i] {
 				still = append(still, i)
 			}
 		}

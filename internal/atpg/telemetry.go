@@ -157,6 +157,14 @@ type Metrics struct {
 	// footprint seen so far (a high-water mark, not a sum).
 	SolverCacheBytes *obs.Gauge
 
+	// Incremental region-grouped solving: clauses alive at call start,
+	// retained clauses used on conflict-analysis chains, and the largest
+	// per-worker learned-clause database (a high-water mark).
+	LearnedKept   *obs.ShardedCounter
+	LearnedReused *obs.ShardedCounter
+	ClauseDBBytes *obs.Gauge
+	HistGroupSize *obs.Histogram
+
 	HistSolveNS         *obs.Histogram
 	HistSolverNodes     *obs.Histogram
 	HistCacheHitPermill *obs.Histogram
@@ -208,6 +216,11 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		SolverCacheEvictions: reg.ShardedCounter("atpg_solver_cache_evictions_total", "sub-formula cache evictions", shards),
 
 		SolverCacheBytes: reg.Gauge("atpg_solver_cache_bytes", "largest per-worker sub-formula cache footprint, bytes"),
+
+		LearnedKept:   reg.ShardedCounter("atpg_learned_kept_total", "learned clauses alive at solver call start (incremental mode)", shards),
+		LearnedReused: reg.ShardedCounter("atpg_learned_reused_total", "retained learned clauses used by later conflict analyses", shards),
+		ClauseDBBytes: reg.Gauge("atpg_clause_db_bytes", "largest per-worker learned-clause database, bytes"),
+		HistGroupSize: reg.Histogram("atpg_group_size", "region-group member count (log2 buckets)"),
 
 		HistSolveNS:         reg.Histogram("atpg_fault_solve_ns", "per-fault SAT solve time (log2 ns buckets)"),
 		HistSolverNodes:     reg.Histogram("atpg_fault_solver_nodes", "per-fault solver nodes (log2 buckets)"),
@@ -320,6 +333,22 @@ func (t *Telemetry) observeSolverWork(worker int, res *Result) {
 	m.SolverCacheEvictions.Add(worker, st.CacheEvictions)
 	if st.CacheBytes > 0 {
 		m.SolverCacheBytes.SetMax(st.CacheBytes)
+	}
+	m.LearnedKept.Add(worker, st.LearnedKept)
+	m.LearnedReused.Add(worker, st.LearnedReused)
+	if st.ClauseDBBytes > 0 {
+		m.ClauseDBBytes.SetMax(st.ClauseDBBytes)
+	}
+}
+
+// observeGroups records the region-group size distribution of an
+// incremental dispatch order.
+func (t *Telemetry) observeGroups(groups []faultGroup) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	for i := range groups {
+		t.Metrics.HistGroupSize.Observe(int64(groups[i].end - groups[i].start))
 	}
 }
 

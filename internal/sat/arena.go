@@ -29,6 +29,13 @@ type Arena struct {
 	// table halved under memory pressure stays halved instead of being
 	// regrown by the next solve's reset.
 	cacheCap int64
+
+	// inc is the worker's incremental CDCL instance, created lazily by
+	// Incremental(). Holding it here extends the arena's buffer-reuse
+	// contract to the solver's own state: consecutive region groups
+	// reuse its trail/watch/clause buffers, and Shrink reaches its
+	// learned-clause database under memory pressure.
+	inc *Incremental
 }
 
 // NewArena returns an empty arena.
@@ -59,11 +66,35 @@ func (a *Arena) Shrink() int64 {
 	}
 	a.cacheCap = c
 	a.table.shrinkTo(c)
+	if a.inc != nil {
+		a.inc.ShrinkLearned()
+	}
 	return c
 }
 
 // CacheCap reports the sticky cache byte cap (0 = uncapped).
 func (a *Arena) CacheCap() int64 { return a.cacheCap }
+
+// Incremental returns the arena's incremental CDCL instance, creating
+// it on first use. Like every other arena buffer it must only be used
+// by the goroutine that owns the arena.
+func (a *Arena) Incremental() *Incremental {
+	if a.inc == nil {
+		a.inc = NewIncremental()
+	}
+	return a.inc
+}
+
+// LearnedCap reports the incremental instance's sticky learned-clause
+// budget (0 if no instance exists or it is unshrunk). The resilience
+// layer uses it to carry shrink state onto a replacement arena after a
+// worker panic.
+func (a *Arena) LearnedCap() int64 {
+	if a.inc == nil {
+		return 0
+	}
+	return a.inc.LearnedLimit
+}
 
 // CacheBytes reports the cache table's current accounted footprint.
 func (a *Arena) CacheBytes() int64 { return a.table.bytes() }

@@ -186,13 +186,31 @@ func (st *dpllState) propagate() int32 {
 
 func (st *dpllState) decisionLevel() int { return len(st.trailLim) }
 
+// Activity rescale parameters shared by the DPLL and Incremental
+// solvers: when any activity exceeds activityLimit, all activities and
+// the bump increment are scaled down together so their ratios — and
+// therefore the decision order — are preserved exactly.
+const (
+	activityLimit   = 1e100
+	activityRescale = 1e-100
+)
+
+// rescaleActivities scales every activity and the bump increment by
+// activityRescale. Scaling varInc alongside the activities is what
+// keeps future bumps proportionate: rescaling only the activity array
+// would make the next bumps 1e100 times too strong, collapsing the
+// decision order to recency and degrading long incremental runs.
+func rescaleActivities(activity []float64, varInc *float64) {
+	for i := range activity {
+		activity[i] *= activityRescale
+	}
+	*varInc *= activityRescale
+}
+
 func (st *dpllState) bumpVar(v int) {
 	st.activity[v] += st.varInc
-	if st.activity[v] > 1e100 {
-		for i := range st.activity {
-			st.activity[i] *= 1e-100
-		}
-		st.varInc *= 1e-100
+	if st.activity[v] > activityLimit {
+		rescaleActivities(st.activity, &st.varInc)
 	}
 	st.heap.update(v)
 }

@@ -1,0 +1,755 @@
+package sat
+
+import (
+	"sort"
+
+	"atpgeasy/internal/cnf"
+)
+
+// Incremental is an assumption-based CDCL solver whose learned clauses,
+// variable activities, and saved phases survive across calls. One
+// instance is Loaded with a formula once and then queried many times
+// with SolveAssuming — the MiniSat incremental interface. The ATPG
+// engine uses it to solve every fault of a fanout region on one
+// instance, so conflicts learned proving one fault untestable (or
+// finding its vector) prune the search for the region's other faults.
+//
+// Determinism contract: when Load is given a priority variable list,
+// every decision assigns the first unassigned priority variable to
+// false before any activity-ordered decision is considered. The first
+// model found then projects onto the priority variables as the
+// lexicographically least assignment among all models consistent with
+// the assumptions, regardless of which learned clauses happen to be in
+// the database. This is what keeps region-grouped solving
+// byte-identical to fresh-per-fault solving: both extract the same
+// lex-least test vector.
+//
+// An Incremental value is not safe for concurrent use; the ATPG engine
+// keeps one per worker, held by the worker's Arena.
+type Incremental struct {
+	// MaxConflicts bounds the conflicts of a single SolveAssuming call
+	// (0 = unbounded). The call returns Unknown when exhausted; the
+	// instance stays valid and a retry resumes with all learned
+	// clauses intact.
+	MaxConflicts int64
+
+	// LearnedLimit bounds the learned-clause database in bytes
+	// (0 = DefaultLearnedLimit). When learned storage exceeds the
+	// limit the database is reduced to half of it, worst clauses
+	// (high LBD, low activity) first.
+	LearnedLimit int64
+
+	st incState
+}
+
+// DefaultLearnedLimit is the learned-clause byte budget when
+// Incremental.LearnedLimit is zero.
+const DefaultLearnedLimit = 16 << 20
+
+// learnedShrinkFloor is the smallest budget ShrinkLearned imposes,
+// mirroring cacheShrinkFloor on the arena cache: shrinking degrades
+// clause reuse, it never disables the solver.
+const learnedShrinkFloor = 64 << 10
+
+// Activity rescale parameters shared with the DPLL solver (see
+// rescaleActivities in dpll.go).
+//
+// incState carries the persistent solver state between SolveAssuming
+// calls. The layout mirrors dpllState so the two solvers stay easy to
+// diff; the incremental additions are the clause slab (clauses must
+// outlive the encoder buffers Load copies them from), per-learned-
+// clause metadata (born call / LBD / activity), the priority branching
+// order, and the failed latch that distinguishes global UNSAT from
+// UNSAT-under-assumptions.
+type incState struct {
+	numVars  int
+	clauses  [][]cnf.Lit // problem clauses [0,nProblem) then learned
+	nProblem int
+	slab     []cnf.Lit // backing storage for problem clause literals
+
+	watches  [][]int32
+	assign   []cnf.Value
+	level    []int32
+	reason   []int32
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	heap     *varHeap
+	phase    []bool
+	seen     []bool
+
+	// priority holds the branching variables decided lex-first: every
+	// decision takes priority[prioCursor] (the first unassigned entry)
+	// and assigns it false before any heap decision is considered.
+	// prioCursor only moves forward within one decision sequence and
+	// resets on every backtrack.
+	priority   []int
+	prioCursor int
+
+	// Learned-clause metadata, parallel to clauses[nProblem:].
+	born         []int64 // SolveAssuming call number that learned it
+	lbd          []int32 // distinct decision levels at learn time (glue)
+	act          []float64
+	claInc       float64
+	learnedBytes int64
+
+	calls  int64 // SolveAssuming invocations since Load
+	failed bool  // conflict at level 0: UNSAT regardless of assumptions
+
+	stats Stats // per-call, reset by SolveAssuming
+}
+
+// NewIncremental returns an empty incremental solver; call Load before
+// SolveAssuming.
+func NewIncremental() *Incremental { return &Incremental{} }
+
+// clauseBytes approximates the heap footprint of one learned clause:
+// the literal array plus slice header and metadata entries.
+func clauseBytes(n int) int64 { return int64(16*n + 48) }
+
+func (s *Incremental) effectiveLearnedLimit() int64 {
+	if s.LearnedLimit > 0 {
+		return s.LearnedLimit
+	}
+	return DefaultLearnedLimit
+}
+
+// LearnedBytes reports the current learned-clause storage.
+func (s *Incremental) LearnedBytes() int64 { return s.st.learnedBytes }
+
+// NumLearned reports the learned clauses currently in the database.
+func (s *Incremental) NumLearned() int { return len(s.st.clauses) - s.st.nProblem }
+
+// ShrinkLearned halves the learned-clause budget (sticky, floored at
+// learnedShrinkFloor) and immediately reduces the database to fit.
+// Arena.Shrink calls it under memory pressure, between solves, when the
+// owning worker's arena holds an incremental instance. It returns the
+// new budget.
+func (s *Incremental) ShrinkLearned() int64 {
+	cur := s.effectiveLearnedLimit()
+	next := cur / 2
+	if next < learnedShrinkFloor {
+		next = learnedShrinkFloor
+	}
+	s.LearnedLimit = next
+	// Between calls the solver is fully backtracked, which reduceDB
+	// requires; if called mid-search (it should not be), the reduction
+	// waits for the next call boundary.
+	if len(s.st.trailLim) == 0 && s.st.learnedBytes > next {
+		s.reduceDB(next)
+	}
+	return next
+}
+
+// Failed reports whether the loaded formula is unsatisfiable
+// independent of any assumptions (a conflict was derived at decision
+// level 0). Only then may a caller record an Unsat result as global.
+func (s *Incremental) Failed() bool { return s.st.failed }
+
+// Load resets the instance to formula f with branching priority order
+// prio (may be nil for pure activity branching). The clause data is
+// copied: f may alias encoder buffers the caller will overwrite.
+// Learned clauses, activities, and phases from any previous Load are
+// discarded — Load is a cold start for a new formula; knowledge reuse
+// happens across SolveAssuming calls, not across Loads.
+func (s *Incremental) Load(f *cnf.Formula, prio []int) {
+	st := &s.st
+	n := f.NumVars
+	st.numVars = n
+	st.failed = false
+	st.calls = 0
+	st.qhead = 0
+	st.varInc = 1
+	st.claInc = 1
+	st.learnedBytes = 0
+	st.prioCursor = 0
+	st.trail = st.trail[:0]
+	st.trailLim = st.trailLim[:0]
+	st.born = st.born[:0]
+	st.lbd = st.lbd[:0]
+	st.act = st.act[:0]
+	st.clauses = st.clauses[:0]
+
+	st.assign = zeroed(st.assign, n) // Unassigned == 0
+	st.level = zeroed(st.level, n)
+	st.activity = zeroed(st.activity, n)
+	st.phase = zeroed(st.phase, n)
+	st.seen = zeroed(st.seen, n)
+	st.reason = sized(st.reason, n)
+	for i := range st.reason {
+		st.reason[i] = -1
+	}
+	st.watches = sized(st.watches, 2*n)
+	for i := range st.watches {
+		st.watches[i] = st.watches[i][:0]
+	}
+	st.priority = append(st.priority[:0], prio...)
+
+	// The heap aliases the activity slice, which zeroed may have
+	// reallocated; rebuild it from scratch.
+	st.heap = newVarHeap(st.activity)
+	for v := 0; v < n; v++ {
+		st.heap.push(v)
+	}
+
+	// Copy, normalize, and watch the problem clauses, mirroring
+	// newDPLLState so both solvers search the same clause set.
+	need := 0
+	for _, c := range f.Clauses {
+		need += len(c)
+	}
+	if cap(st.slab) < need {
+		st.slab = make([]cnf.Lit, 0, need)
+	}
+	st.slab = st.slab[:0]
+	for _, c := range f.Clauses {
+		norm, taut := append(cnf.Clause(nil), c...).Normalize()
+		if taut {
+			continue
+		}
+		switch len(norm) {
+		case 0:
+			st.failed = true
+		case 1:
+			if !s.enqueue(norm[0], -1) {
+				st.failed = true
+			}
+		default:
+			start := len(st.slab)
+			st.slab = append(st.slab, norm...)
+			cl := st.slab[start : start+len(norm) : start+len(norm)]
+			ci := int32(len(st.clauses))
+			st.clauses = append(st.clauses, cl)
+			st.watches[cl[0]] = append(st.watches[cl[0]], ci)
+			st.watches[cl[1]] = append(st.watches[cl[1]], ci)
+		}
+		for _, l := range norm {
+			st.activity[l.Var()] += 0.1
+		}
+	}
+	st.nProblem = len(st.clauses)
+	st.heap.rebuild(n)
+
+	if !st.failed && s.propagate() >= 0 {
+		st.failed = true
+	}
+}
+
+// Solve implements the Solver interface: one-shot solving without
+// assumptions or priority order, Loading f fresh.
+func (s *Incremental) Solve(f *cnf.Formula) Solution {
+	s.Load(f, nil)
+	return s.SolveAssuming(nil, Limits{})
+}
+
+// SolveAssuming searches for a model of the loaded formula under the
+// given assumption literals. Outcomes:
+//
+//   - Sat: Model is a satisfying assignment consistent with the
+//     assumptions; with a priority order its projection onto the
+//     priority variables is lex-least.
+//   - Unsat: no model under these assumptions. The formula itself may
+//     still be satisfiable under other assumptions unless Failed()
+//     reports true — callers must not record a plain Unsat as global.
+//   - Unknown: MaxConflicts or Limits exhausted; the instance remains
+//     valid and a retry resumes with all learned clauses intact.
+//
+// The solver is left fully backtracked on return, ready for the next
+// call. Per-call Stats report LearnedKept (clauses surviving from
+// earlier calls), LearnedReused (of those, ones that participated in
+// this call's conflict analyses), and ClauseDBBytes (learned storage
+// at call end).
+func (s *Incremental) SolveAssuming(assumps []cnf.Lit, lim Limits) Solution {
+	st := &s.st
+	st.calls++
+	st.stats = Stats{LearnedKept: int64(len(st.born))}
+	defer s.cancelUntil(0)
+
+	// finish backtracks, enforces the learned budget (reduction needs
+	// level 0, so call boundaries and restarts are where it runs), and
+	// snapshots the DB gauge. Models are extracted before finish.
+	finish := func(status Status, model []bool) Solution {
+		s.cancelUntil(0)
+		if st.learnedBytes > s.effectiveLearnedLimit() {
+			s.reduceDB(s.effectiveLearnedLimit())
+		}
+		st.stats.ClauseDBBytes = st.learnedBytes
+		return Solution{Status: status, Model: model, Stats: st.stats}
+	}
+
+	if st.failed {
+		return finish(Unsat, nil)
+	}
+	if lim.expired() {
+		return finish(Unknown, nil)
+	}
+	// A previous call may have left the database over a freshly
+	// shrunk budget; reduce before searching.
+	if st.learnedBytes > s.effectiveLearnedLimit() {
+		s.reduceDB(s.effectiveLearnedLimit())
+	}
+
+	restartLimit := int64(100)
+	var conflicts, conflictsAtRestart, steps int64
+	for {
+		steps++
+		if steps%limitCheck == 0 && lim.expired() {
+			return finish(Unknown, nil)
+		}
+		confl := s.propagate()
+		if confl >= 0 {
+			st.stats.Conflicts++
+			conflicts++
+			conflictsAtRestart++
+			if len(st.trailLim) == 0 {
+				// Conflict with no decisions or assumptions on the
+				// trail: globally UNSAT.
+				st.failed = true
+				return finish(Unsat, nil)
+			}
+			if len(st.trailLim) <= len(assumps) {
+				// Every decision level on the trail is an assumption
+				// level, so the conflict refutes the assumptions, not
+				// the formula: Unsat for this call only. If a clause
+				// learned in an earlier call delivered the refutation,
+				// credit the reuse counter — this is the common case
+				// where retention short-circuits a whole re-proof.
+				if li := int(confl) - st.nProblem; li >= 0 && st.born[li] < st.calls {
+					st.stats.LearnedReused++
+				}
+				return finish(Unsat, nil)
+			}
+			if s.MaxConflicts > 0 && conflicts > s.MaxConflicts {
+				return finish(Unknown, nil)
+			}
+			learnt, back := s.analyze(confl)
+			// Backjumping below the assumption prefix is allowed:
+			// the decision loop re-asserts popped assumptions. A unit
+			// learnt lands at level 0 and persists across calls — it
+			// is implied by the formula alone, since conflict analysis
+			// resolves only over clauses of the database.
+			s.cancelUntil(back)
+			if !s.learn(learnt) {
+				st.failed = true
+				return finish(Unsat, nil)
+			}
+			st.varInc /= 0.95
+			s.decayClauseActivity()
+			continue
+		}
+
+		if conflictsAtRestart >= restartLimit {
+			conflictsAtRestart = 0
+			restartLimit = restartLimit * 3 / 2
+			s.cancelUntil(0)
+			if st.learnedBytes > s.effectiveLearnedLimit() {
+				s.reduceDB(s.effectiveLearnedLimit())
+			}
+			continue
+		}
+
+		// Assert the next pending assumption, one decision level per
+		// assumption. An assumption already true still pushes a dummy
+		// level so trail levels map 1:1 onto assumption indices; an
+		// assumption already false contradicts the formula or an
+		// earlier assumption — Unsat for this call.
+		if lvl := len(st.trailLim); lvl < len(assumps) {
+			a := assumps[lvl]
+			switch s.litValue(a) {
+			case cnf.True:
+				st.trailLim = append(st.trailLim, len(st.trail))
+			case cnf.False:
+				return finish(Unsat, nil)
+			default:
+				st.stats.Decisions++
+				st.trailLim = append(st.trailLim, len(st.trail))
+				s.enqueue(a, -1)
+			}
+			continue
+		}
+
+		l := s.pickBranch()
+		if l == litUndef {
+			model := make([]bool, st.numVars)
+			for i := range model {
+				model[i] = st.assign[i] == cnf.True
+			}
+			return finish(Sat, model)
+		}
+		st.stats.Decisions++
+		if d := len(st.trailLim) + 1; d > st.stats.MaxDepth {
+			st.stats.MaxDepth = d
+		}
+		st.trailLim = append(st.trailLim, len(st.trail))
+		s.enqueue(l, -1)
+	}
+}
+
+func (s *Incremental) litValue(l cnf.Lit) cnf.Value {
+	v := s.st.assign[l.Var()]
+	if v == cnf.Unassigned {
+		return cnf.Unassigned
+	}
+	if (v == cnf.True) != l.IsNeg() {
+		return cnf.True
+	}
+	return cnf.False
+}
+
+// enqueue asserts literal l with the given reason clause index,
+// reporting false if l is already false.
+func (s *Incremental) enqueue(l cnf.Lit, reason int32) bool {
+	st := &s.st
+	switch s.litValue(l) {
+	case cnf.True:
+		return true
+	case cnf.False:
+		return false
+	}
+	v := l.Var()
+	st.assign[v] = cnf.ValueOf(!l.IsNeg())
+	st.level[v] = int32(len(st.trailLim))
+	st.reason[v] = reason
+	st.trail = append(st.trail, l)
+	return true
+}
+
+// propagate performs two-watched-literal unit propagation, returning
+// the index of a conflicting clause or -1. Structurally identical to
+// dpllState.propagate.
+func (s *Incremental) propagate() int32 {
+	st := &s.st
+	for st.qhead < len(st.trail) {
+		p := st.trail[st.qhead]
+		st.qhead++
+		st.stats.Propagations++
+		falseLit := p.Not()
+		ws := st.watches[falseLit]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := st.clauses[ci]
+			if c[0] == falseLit {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.litValue(c[0]) == cnf.True {
+				kept = append(kept, ci)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if s.litValue(c[k]) != cnf.False {
+					c[1], c[k] = c[k], c[1]
+					st.watches[c[1]] = append(st.watches[c[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, ci)
+			if !s.enqueue(c[0], ci) {
+				kept = append(kept, ws[wi+1:]...)
+				st.watches[falseLit] = kept
+				return ci
+			}
+		}
+		st.watches[falseLit] = kept
+	}
+	return -1
+}
+
+// bumpVar bumps a variable's VSIDS activity, rescaling activities and
+// varInc together on overflow via the helper shared with DPLL.
+func (s *Incremental) bumpVar(v int) {
+	st := &s.st
+	st.activity[v] += st.varInc
+	if st.activity[v] > activityLimit {
+		rescaleActivities(st.activity, &st.varInc)
+	}
+	st.heap.update(v)
+}
+
+// analyze derives the 1-UIP learned clause for conflict confl and the
+// backjump level, mirroring dpllState.analyze. It additionally bumps
+// the activity of every learned clause on the conflict chain and
+// counts toward Stats.LearnedReused the ones born in earlier calls —
+// the direct measure of cross-fault knowledge reuse.
+func (s *Incremental) analyze(confl int32) ([]cnf.Lit, int) {
+	st := &s.st
+	learnt := []cnf.Lit{litUndef}
+	counter := 0
+	p := litUndef
+	index := len(st.trail) - 1
+	for {
+		if li := int(confl) - st.nProblem; li >= 0 {
+			s.bumpClause(li)
+			if st.born[li] < st.calls {
+				st.stats.LearnedReused++
+			}
+		}
+		c := st.clauses[confl]
+		for _, q := range c {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if !st.seen[v] && st.level[v] > 0 {
+				st.seen[v] = true
+				s.bumpVar(v)
+				if int(st.level[v]) == len(st.trailLim) {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !st.seen[st.trail[index].Var()] {
+			index--
+		}
+		p = st.trail[index]
+		index--
+		st.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = st.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if int(st.level[learnt[i].Var()]) > back {
+			back = int(st.level[learnt[i].Var()])
+		}
+	}
+	for _, l := range learnt[1:] {
+		st.seen[l.Var()] = false
+	}
+	return learnt, back
+}
+
+// learn installs a freshly derived clause and asserts learnt[0],
+// recording born call, LBD, and activity for the reduction policy. It
+// reports false on a root-level contradiction (global UNSAT).
+func (s *Incremental) learn(learnt []cnf.Lit) bool {
+	st := &s.st
+	st.stats.Learned++
+	if len(learnt) == 1 {
+		return s.enqueue(learnt[0], -1)
+	}
+	cl := append([]cnf.Lit(nil), learnt...)
+	// Watch the asserting literal and a deepest-level literal so the
+	// clause stays correctly watched after the backjump.
+	deepest := 1
+	for i := 2; i < len(cl); i++ {
+		if st.level[cl[i].Var()] > st.level[cl[deepest].Var()] {
+			deepest = i
+		}
+	}
+	cl[1], cl[deepest] = cl[deepest], cl[1]
+	ci := int32(len(st.clauses))
+	st.clauses = append(st.clauses, cl)
+	st.watches[cl[0]] = append(st.watches[cl[0]], ci)
+	st.watches[cl[1]] = append(st.watches[cl[1]], ci)
+	st.born = append(st.born, st.calls)
+	st.lbd = append(st.lbd, s.computeLBD(cl))
+	st.act = append(st.act, st.claInc)
+	st.learnedBytes += clauseBytes(len(cl))
+	return s.enqueue(cl[0], ci)
+}
+
+// computeLBD counts distinct decision levels among the clause's
+// literals (the "glue" of glucose-style reduction). Clauses are short,
+// so the quadratic scan beats maintaining a per-level stamp array.
+func (s *Incremental) computeLBD(cl []cnf.Lit) int32 {
+	st := &s.st
+	var lbd int32
+	for i, l := range cl {
+		lv := st.level[l.Var()]
+		dup := false
+		for _, m := range cl[:i] {
+			if st.level[m.Var()] == lv {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lbd++
+		}
+	}
+	return lbd
+}
+
+// bumpClause bumps a learned clause's activity (li indexes the learned
+// tail), rescaling all clause activities on overflow.
+func (s *Incremental) bumpClause(li int) {
+	st := &s.st
+	st.act[li] += st.claInc
+	if st.act[li] > activityLimit {
+		for i := range st.act {
+			st.act[i] *= activityRescale
+		}
+		st.claInc *= activityRescale
+	}
+}
+
+func (s *Incremental) decayClauseActivity() {
+	st := &s.st
+	st.claInc /= 0.999
+	if st.claInc > activityLimit {
+		for i := range st.act {
+			st.act[i] *= activityRescale
+		}
+		st.claInc *= activityRescale
+	}
+}
+
+// cancelUntil backtracks to decision level lvl, saving phases. The
+// priority cursor resets: lex branching restarts from the first
+// priority variable after any backtrack.
+func (s *Incremental) cancelUntil(lvl int) {
+	st := &s.st
+	if len(st.trailLim) <= lvl {
+		return
+	}
+	bound := st.trailLim[lvl]
+	for i := len(st.trail) - 1; i >= bound; i-- {
+		v := st.trail[i].Var()
+		st.phase[v] = st.assign[v] == cnf.True
+		st.assign[v] = cnf.Unassigned
+		st.reason[v] = -1
+		if !st.heap.contains(v) {
+			st.heap.push(v)
+		}
+	}
+	st.trail = st.trail[:bound]
+	st.trailLim = st.trailLim[:lvl]
+	st.qhead = bound
+	st.prioCursor = 0
+}
+
+// pickBranch returns the next decision literal: the first unassigned
+// priority variable, always assigned false, else the highest-activity
+// unassigned variable with its saved phase. litUndef means every
+// variable is assigned (a model).
+func (s *Incremental) pickBranch() cnf.Lit {
+	st := &s.st
+	for st.prioCursor < len(st.priority) {
+		v := st.priority[st.prioCursor]
+		if st.assign[v] == cnf.Unassigned {
+			return cnf.NewLit(v, true)
+		}
+		st.prioCursor++
+	}
+	for st.heap.size() > 0 {
+		v := st.heap.pop()
+		if st.assign[v] == cnf.Unassigned {
+			return cnf.NewLit(v, !st.phase[v])
+		}
+	}
+	return litUndef
+}
+
+// reduceDB drops learned clauses, worst (high LBD, low activity)
+// first, until learned storage fits in half of budget. It requires
+// decision level 0: level-0 reasons are cleared (conflict analysis
+// never traverses level-0 variables, so they are never dereferenced)
+// and every watch list is rebuilt. Deleting learned clauses never
+// removes models, so the lex-least determinism contract is unaffected.
+func (s *Incremental) reduceDB(budget int64) {
+	st := &s.st
+	nLearned := len(st.clauses) - st.nProblem
+	if nLearned == 0 || len(st.trailLim) != 0 {
+		return
+	}
+	for i := range st.reason {
+		st.reason[i] = -1
+	}
+
+	// Rank learned clauses best-first with a stable index tiebreak so
+	// reduction is deterministic.
+	order := make([]int, nLearned)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if st.lbd[ia] != st.lbd[ib] {
+			return st.lbd[ia] < st.lbd[ib]
+		}
+		if st.act[ia] != st.act[ib] {
+			return st.act[ia] > st.act[ib]
+		}
+		return ia < ib
+	})
+	keep := make([]bool, nLearned)
+	var kept int64
+	target := budget / 2
+	for _, li := range order {
+		b := clauseBytes(len(st.clauses[st.nProblem+li]))
+		if kept+b > target {
+			continue
+		}
+		keep[li] = true
+		kept += b
+	}
+
+	// Compact the learned tail in place; problem clause indices are
+	// stable, so only learned indices change and those are re-derived
+	// by the watch rebuild below.
+	w := 0
+	for li := 0; li < nLearned; li++ {
+		if !keep[li] {
+			continue
+		}
+		st.clauses[st.nProblem+w] = st.clauses[st.nProblem+li]
+		st.born[w] = st.born[li]
+		st.lbd[w] = st.lbd[li]
+		st.act[w] = st.act[li]
+		w++
+	}
+	st.clauses = st.clauses[:st.nProblem+w]
+	st.born = st.born[:w]
+	st.lbd = st.lbd[:w]
+	st.act = st.act[:w]
+	st.learnedBytes = kept
+
+	// Rebuild every watch list, watching two non-false literals per
+	// clause. After complete level-0 propagation a clause has either
+	// two such literals or exactly one, which is then true on the
+	// trail (a level-0 implied literal) — watching it with any second
+	// literal is sound because the true watch short-circuits
+	// propagation.
+	for i := range st.watches {
+		st.watches[i] = st.watches[i][:0]
+	}
+	for ci, c := range st.clauses {
+		w0, w1 := -1, -1
+		for k, l := range c {
+			if s.litValue(l) != cnf.False {
+				if w0 < 0 {
+					w0 = k
+				} else {
+					w1 = k
+					break
+				}
+			}
+		}
+		if w0 > 0 {
+			c[0], c[w0] = c[w0], c[0]
+			if w1 == 0 {
+				w1 = w0
+			}
+		}
+		if w1 > 1 {
+			c[1], c[w1] = c[w1], c[1]
+		}
+		st.watches[c[0]] = append(st.watches[c[0]], int32(ci))
+		st.watches[c[1]] = append(st.watches[c[1]], int32(ci))
+	}
+}

@@ -1,0 +1,409 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"atpgeasy/internal/cnf"
+)
+
+// TestIncrementalAgreesWithBruteForce runs the incremental solver in
+// one-shot mode through the shared brute-force property, then re-solves
+// every formula on one persistent instance under empty assumptions to
+// check call-to-call independence of the verdict.
+func TestIncrementalAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewIncremental()
+	for i := 0; i < 300; i++ {
+		f := randomFormula(rng, 2+rng.Intn(8), 1+rng.Intn(20))
+		want := bruteForce(f)
+		sol := s.Solve(f) // Load + SolveAssuming(nil) on the reused instance
+		if sol.Status != want {
+			t.Fatalf("formula %d: incremental says %v, brute force %v\n%s", i, sol.Status, want, f)
+		}
+		if sol.Status == Sat {
+			if err := Verify(f, sol.Model); err != nil {
+				t.Fatalf("formula %d: %v", i, err)
+			}
+		}
+		// A second call on the same loaded instance must agree.
+		again := s.SolveAssuming(nil, Limits{})
+		if again.Status != want {
+			t.Fatalf("formula %d: repeat call says %v, want %v", i, again.Status, want)
+		}
+	}
+}
+
+// selectorFormula builds a formula with two "activation" selector
+// variables 0 and 1: selector 0 forces x2, selector 1 forces ¬x2, and
+// x3 must equal x2. Assuming both selectors is unsatisfiable; assuming
+// either alone is satisfiable. This is the shape of the region-grouped
+// ATPG encoding (per-fault activation literals on a shared formula).
+func selectorFormula() *cnf.Formula {
+	f := cnf.NewFormula(4)
+	s0 := cnf.NewLit(0, false)
+	s1 := cnf.NewLit(1, false)
+	x2 := cnf.NewLit(2, false)
+	x3 := cnf.NewLit(3, false)
+	f.AddClause(s0.Not(), x2)       // s0 -> x2
+	f.AddClause(s1.Not(), x2.Not()) // s1 -> ¬x2
+	f.AddClause(x2.Not(), x3)       // x2 -> x3
+	f.AddClause(x3.Not(), x2)       // x3 -> x2
+	return f
+}
+
+// TestSolveAssumingNotGlobal is the assumption-core soundness property:
+// UNSAT under one assumption set must not poison the instance — a later
+// call with compatible assumptions must still find a model, and
+// Failed() must stay false throughout. Only a genuine level-0 conflict
+// may latch Failed.
+func TestSolveAssumingNotGlobal(t *testing.T) {
+	s := NewIncremental()
+	s.Load(selectorFormula(), nil)
+
+	both := []cnf.Lit{cnf.NewLit(0, false), cnf.NewLit(1, false)}
+	if got := s.SolveAssuming(both, Limits{}); got.Status != Unsat {
+		t.Fatalf("both selectors: got %v, want UNSAT", got.Status)
+	}
+	if s.Failed() {
+		t.Fatal("UNSAT under assumptions latched Failed(); it must stay per-call")
+	}
+	only0 := []cnf.Lit{cnf.NewLit(0, false), cnf.NewLit(1, true)}
+	sol := s.SolveAssuming(only0, Limits{})
+	if sol.Status != Sat {
+		t.Fatalf("selector 0 alone: got %v, want SAT", sol.Status)
+	}
+	if !sol.Model[2] || !sol.Model[3] {
+		t.Fatalf("selector 0 alone: model %v, want x2 and x3 true", sol.Model)
+	}
+	if s.Failed() {
+		t.Fatal("SAT call latched Failed()")
+	}
+
+	// Genuine global UNSAT does latch: x ∧ ¬x.
+	g := cnf.NewFormula(1)
+	g.AddClause(cnf.NewLit(0, false))
+	g.AddClause(cnf.NewLit(0, true))
+	s.Load(g, nil)
+	if got := s.SolveAssuming(nil, Limits{}); got.Status != Unsat {
+		t.Fatalf("contradiction: got %v, want UNSAT", got.Status)
+	}
+	if !s.Failed() {
+		t.Fatal("level-0 conflict did not latch Failed()")
+	}
+}
+
+// TestSolveAssumingMatchesBruteForce cross-checks assumption solving
+// against brute force with the assumptions added as unit clauses, on a
+// persistent instance across many random assumption sets — learned
+// clauses from earlier calls must never change a verdict.
+func TestSolveAssumingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewIncremental()
+	for trial := 0; trial < 60; trial++ {
+		nVars := 4 + rng.Intn(6)
+		f := randomFormula(rng, nVars, 3+rng.Intn(25))
+		s.Load(f, nil)
+		if s.Failed() {
+			continue
+		}
+		for call := 0; call < 10; call++ {
+			var assumps []cnf.Lit
+			used := map[int]bool{}
+			for len(assumps) < 1+rng.Intn(3) {
+				v := rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				assumps = append(assumps, cnf.NewLit(v, rng.Intn(2) == 1))
+			}
+			withUnits := f.Clone()
+			for _, a := range assumps {
+				withUnits.AddClause(a)
+			}
+			want := bruteForce(withUnits)
+			sol := s.SolveAssuming(assumps, Limits{})
+			if sol.Status != want {
+				t.Fatalf("trial %d call %d: got %v, want %v (assumps %v)\n%s",
+					trial, call, sol.Status, want, assumps, f)
+			}
+			if sol.Status == Sat {
+				if err := Verify(withUnits, sol.Model); err != nil {
+					t.Fatalf("trial %d call %d: %v", trial, call, err)
+				}
+			}
+		}
+	}
+}
+
+// TestLexLeastModelInvariant is the determinism contract behind the
+// engine's byte-identical-vectors guarantee: with a priority branching
+// order, the model's projection onto the priority variables must be the
+// lex-least one consistent with the assumptions — and therefore
+// identical whether the instance is fresh or carries learned clauses
+// from earlier calls.
+func TestLexLeastModelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 5 + rng.Intn(6)
+		f := randomFormula(rng, nVars, 3+rng.Intn(20))
+		prio := rng.Perm(nVars)[:2+rng.Intn(nVars-2)]
+
+		// Warm instance: solve under several assumption sets first so
+		// the database holds learned clauses, then the probe call.
+		warm := NewIncremental()
+		warm.Load(f, prio)
+		if warm.Failed() {
+			continue
+		}
+		for k := 0; k < 6; k++ {
+			v := rng.Intn(nVars)
+			warm.SolveAssuming([]cnf.Lit{cnf.NewLit(v, k%2 == 0)}, Limits{})
+		}
+		fresh := NewIncremental()
+		fresh.Load(f, prio)
+
+		a := warm.SolveAssuming(nil, Limits{})
+		b := fresh.SolveAssuming(nil, Limits{})
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: warm %v fresh %v", trial, a.Status, b.Status)
+		}
+		if a.Status != Sat {
+			continue
+		}
+		for _, v := range prio {
+			if a.Model[v] != b.Model[v] {
+				t.Fatalf("trial %d: warm and fresh disagree on priority var %d\nwarm  %v\nfresh %v",
+					trial, v, a.Model, b.Model)
+			}
+		}
+		// And the projection really is lex-least over all models.
+		best := lexLeastModel(f, prio)
+		for i, v := range prio {
+			if a.Model[v] != best[i] {
+				t.Fatalf("trial %d: model not lex-least at priority slot %d (var %d)", trial, i, v)
+			}
+		}
+	}
+}
+
+// lexLeastModel enumerates all models of f and returns the lex-least
+// projection onto prio (false < true, earlier prio index more
+// significant). Panics if f is UNSAT — callers check first.
+func lexLeastModel(f *cnf.Formula, prio []int) []bool {
+	var best []bool
+	assign := make([]bool, f.NumVars)
+	for pat := 0; pat < 1<<uint(f.NumVars); pat++ {
+		for i := range assign {
+			assign[i] = pat>>uint(i)&1 == 1
+		}
+		if !f.Eval(assign) {
+			continue
+		}
+		proj := make([]bool, len(prio))
+		for i, v := range prio {
+			proj[i] = assign[v]
+		}
+		if best == nil || lexLess(proj, best) {
+			best = proj
+		}
+	}
+	if best == nil {
+		panic("lexLeastModel: UNSAT formula")
+	}
+	return best
+}
+
+func lexLess(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return !a[i]
+		}
+	}
+	return false
+}
+
+// TestLearnedDBBound drives a persistent instance through hard
+// instances with a tiny learned budget and checks the database stays
+// bounded, that ShrinkLearned halves stickily down to the floor, and
+// that reduction never changes verdicts.
+func TestLearnedDBBound(t *testing.T) {
+	s := NewIncremental()
+	s.LearnedLimit = 4 << 10
+	f := pigeonhole(7, 6) // UNSAT, conflict-heavy
+	s.Load(f, nil)
+	sol := s.SolveAssuming(nil, Limits{})
+	if sol.Status != Unsat {
+		t.Fatalf("pigeonhole: got %v, want UNSAT", sol.Status)
+	}
+	if got := s.LearnedBytes(); got > s.LearnedLimit {
+		t.Fatalf("learned DB %d bytes exceeds limit %d at call end", got, s.LearnedLimit)
+	}
+	if sol.Stats.ClauseDBBytes != s.LearnedBytes() {
+		t.Fatalf("ClauseDBBytes %d != LearnedBytes %d", sol.Stats.ClauseDBBytes, s.LearnedBytes())
+	}
+
+	// Sticky halving with floor.
+	s.LearnedLimit = 4 * learnedShrinkFloor
+	if got := s.ShrinkLearned(); got != 2*learnedShrinkFloor {
+		t.Fatalf("first shrink: got %d, want %d", got, 2*learnedShrinkFloor)
+	}
+	if got := s.ShrinkLearned(); got != learnedShrinkFloor {
+		t.Fatalf("second shrink: got %d, want %d", got, learnedShrinkFloor)
+	}
+	if got := s.ShrinkLearned(); got != learnedShrinkFloor {
+		t.Fatalf("shrink below floor: got %d, want floor %d", got, learnedShrinkFloor)
+	}
+	if s.LearnedBytes() > learnedShrinkFloor {
+		t.Fatalf("learned DB %d bytes exceeds shrunk budget %d", s.LearnedBytes(), learnedShrinkFloor)
+	}
+
+	// Arena.Shrink reaches the instance's DB too.
+	a := NewArena()
+	inc := a.Incremental()
+	if inc != a.Incremental() {
+		t.Fatal("Arena.Incremental not cached")
+	}
+	inc.Load(pigeonhole(6, 5), nil)
+	inc.SolveAssuming(nil, Limits{})
+	before := inc.effectiveLearnedLimit()
+	a.Shrink()
+	if after := inc.LearnedLimit; after >= before {
+		t.Fatalf("Arena.Shrink did not halve learned budget: %d -> %d", before, after)
+	}
+	if a.LearnedCap() != inc.LearnedLimit {
+		t.Fatalf("LearnedCap %d != LearnedLimit %d", a.LearnedCap(), inc.LearnedLimit)
+	}
+
+	// Verdicts survive aggressive reduction: re-solve a satisfiable
+	// series on the floor-budget instance.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		g := randomFormula(rng, 4+rng.Intn(6), 2+rng.Intn(15))
+		want := bruteForce(g)
+		if got := s.Solve(g); got.Status != want {
+			t.Fatalf("post-shrink formula %d: got %v, want %v", i, got.Status, want)
+		}
+	}
+}
+
+// TestLearnedReuseCounters checks the reuse telemetry: on a formula
+// hard enough to learn clauses, a second call under different
+// assumptions must report kept clauses, and reuse may only come from
+// kept clauses.
+func TestLearnedReuseCounters(t *testing.T) {
+	s := NewIncremental()
+	// Pigeonhole gated behind an activation selector, the shape of the
+	// region-grouped ATPG encoding: the formula is satisfiable (drop
+	// the selector and everything is free), but assuming the selector
+	// activates the UNSAT core — so the per-call refutation can never
+	// latch Failed, and the learned proof survives for the next call.
+	ph := pigeonhole(6, 5)
+	f := cnf.NewFormula(ph.NumVars + 1)
+	sel := ph.NumVars
+	for _, c := range ph.Clauses {
+		gated := append(append(cnf.Clause(nil), c...), cnf.NewLit(sel, true))
+		f.AddClause(gated...)
+	}
+	s.Load(f, nil)
+
+	assume := []cnf.Lit{cnf.NewLit(sel, false)}
+	first := s.SolveAssuming(assume, Limits{})
+	if first.Status != Unsat {
+		t.Fatalf("first call: got %v", first.Status)
+	}
+	if s.Failed() {
+		t.Fatal("gated pigeonhole latched Failed(); refutation depends on the assumption")
+	}
+	if first.Stats.LearnedKept != 0 {
+		t.Fatalf("first call reports %d kept clauses on a fresh Load", first.Stats.LearnedKept)
+	}
+	if first.Stats.Learned == 0 {
+		t.Fatal("pigeonhole solved without learning — test premise broken")
+	}
+	second := s.SolveAssuming(assume, Limits{})
+	if second.Status != Unsat {
+		t.Fatalf("second call: got %v", second.Status)
+	}
+	if second.Stats.LearnedKept == 0 {
+		t.Fatal("second call kept no learned clauses from the first")
+	}
+	// Retention must show: either kept clauses participate in the new
+	// proof (reuse counter) or they short-circuit it outright (far
+	// fewer conflicts than the cold proof).
+	if second.Stats.LearnedReused == 0 && second.Stats.Conflicts >= first.Stats.Conflicts {
+		t.Fatalf("retention did not help: first %d conflicts, second %d with 0 reuse",
+			first.Stats.Conflicts, second.Stats.Conflicts)
+	}
+	// And the instance is still live for other assumptions.
+	free := s.SolveAssuming([]cnf.Lit{cnf.NewLit(sel, true)}, Limits{})
+	if free.Status != Sat {
+		t.Fatalf("deactivated selector: got %v, want SAT", free.Status)
+	}
+}
+
+// TestIncrementalMaxConflictsResume checks the Unknown-and-resume
+// contract: a call aborted by MaxConflicts leaves the instance valid,
+// and re-calling with a bigger budget completes using the learned
+// clauses already banked.
+func TestIncrementalMaxConflictsResume(t *testing.T) {
+	s := NewIncremental()
+	s.MaxConflicts = 5
+	s.Load(pigeonhole(7, 6), nil)
+	sol := s.SolveAssuming(nil, Limits{})
+	if sol.Status != Unknown {
+		t.Fatalf("tiny budget: got %v, want UNKNOWN", sol.Status)
+	}
+	s.MaxConflicts = 0
+	resumed := s.SolveAssuming(nil, Limits{})
+	if resumed.Status != Unsat {
+		t.Fatalf("resume: got %v, want UNSAT", resumed.Status)
+	}
+	if resumed.Stats.LearnedKept == 0 {
+		t.Fatal("resume started from zero learned clauses")
+	}
+}
+
+// TestActivityRescalePreservesOrder is the long-run regression test for
+// the shared activity rescale: after the rescale triggers, the relative
+// order of variable activities and the activity/varInc ratio must be
+// exactly preserved, so decision quality does not decay over long
+// incremental runs.
+func TestActivityRescalePreservesOrder(t *testing.T) {
+	activity := []float64{3e99, 1e100, 5e98, 7e99}
+	varInc := 2e99
+	ratios := make([]float64, len(activity))
+	for i, a := range activity {
+		ratios[i] = a / varInc
+	}
+	// Simulate the overflow bump that triggers the rescale.
+	activity[1] += varInc
+	rescaleActivities(activity, &varInc)
+	for i, a := range activity {
+		if a > activityLimit {
+			t.Fatalf("activity[%d] = %g still above limit", i, a)
+		}
+		want := ratios[i]
+		if i == 1 {
+			want += 1 // the bump that overflowed
+		}
+		got := a / varInc
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("activity[%d]/varInc = %g, want %g: rescale skewed the ratio", i, got, want)
+		}
+	}
+
+	// End-to-end: a long run on one instance must keep making
+	// activity-ordered decisions (finite and correct) well past the
+	// point where activities would overflow without varInc rescaling.
+	s := NewIncremental()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		f := randomFormula(rng, 6+rng.Intn(5), 10+rng.Intn(20))
+		want := bruteForce(f)
+		if got := s.Solve(f); got.Status != want {
+			t.Fatalf("long-run formula %d: got %v, want %v", i, got.Status, want)
+		}
+	}
+}

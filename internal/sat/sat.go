@@ -70,6 +70,17 @@ type Stats struct {
 	// arena would multiply-count one allocation.
 	CacheBytes int64 `json:"cache_bytes"`
 	MaxDepth   int   `json:"max_depth"`
+	// Incremental-solver counters (zero for the one-shot solvers).
+	// LearnedKept counts learned clauses alive at call start that were
+	// born in earlier SolveAssuming calls; LearnedReused counts how
+	// many learned-clause uses in this call's conflict analyses came
+	// from clauses born in earlier calls — the direct measure of
+	// cross-fault knowledge reuse. ClauseDBBytes is the learned
+	// database footprint at call end: a gauge, so Add takes the
+	// maximum like CacheBytes.
+	LearnedKept   int64 `json:"learned_kept,omitempty"`
+	LearnedReused int64 `json:"learned_reused,omitempty"`
+	ClauseDBBytes int64 `json:"clause_db_bytes,omitempty"`
 }
 
 // Add accumulates o into s field-wise; MaxDepth and CacheBytes take the
@@ -87,8 +98,13 @@ func (s *Stats) Add(o Stats) {
 	s.CacheEntries += o.CacheEntries
 	s.CacheEvictions += o.CacheEvictions
 	s.CacheCollisions += o.CacheCollisions
+	s.LearnedKept += o.LearnedKept
+	s.LearnedReused += o.LearnedReused
 	if o.CacheBytes > s.CacheBytes {
 		s.CacheBytes = o.CacheBytes
+	}
+	if o.ClauseDBBytes > s.ClauseDBBytes {
+		s.ClauseDBBytes = o.ClauseDBBytes
 	}
 	if o.MaxDepth > s.MaxDepth {
 		s.MaxDepth = o.MaxDepth
