@@ -38,10 +38,14 @@ type EffortHeader struct {
 
 // EffortRecord is one fault's features-joined-with-outcome line. Exactly
 // one is emitted per fault that receives a verdict (RPT-detected,
-// solver-decided, retried or resumed); faults dropped by fault
-// simulation get a record only if a speculative solve was wasted on them
-// (Phase "dropped", Wasted true) — a clean drop costs no solver work and
-// therefore has no effort to report.
+// solver-decided, retried or resumed). On unrouted runs, faults dropped
+// by fault simulation get a record only if a speculative solve was
+// wasted on them (Phase "dropped", Wasted true) — a clean drop costs no
+// solver work and therefore has no effort to report. On routed runs
+// every decided fault gets exactly one record, clean drops included
+// (Phase "dropped", Wasted false, Backend "faultsim"): the router
+// predicted a class for the fault, and the accuracy join needs the
+// outcome even when no solver ran.
 type EffortRecord struct {
 	Kind string `json:"kind"` // "fault"
 	// Index is the fault-list index — the join key against spans, the
@@ -83,6 +87,14 @@ type EffortRecord struct {
 	Group         int   `json:"group,omitempty"`
 	GroupSize     int   `json:"group_size,omitempty"`
 	LearnedReused int64 `json:"learned_reused,omitempty"`
+
+	// Routed portfolio dispatch (additive, absent on unrouted runs):
+	// PredictedClass is the router's effort class for this fault
+	// ("trivial", "low-width", "structural", "hard") and Backend the
+	// engine that actually decided it ("podem", "caching", "cdcl",
+	// "faultsim"). The pair is the router-accuracy dataset.
+	PredictedClass string `json:"predicted_class,omitempty"`
+	Backend        string `json:"backend,omitempty"`
 }
 
 // EffortLog is the append-only JSONL sink for effort records. Emits from
@@ -231,6 +243,14 @@ func (st *runState) recordEffort(ws *workerScratch, i int, res *Result, phase st
 	}
 	if phase == "dropped" {
 		rec.Status = "dropped"
+	}
+	if st.route != nil {
+		rec.PredictedClass = st.route.class[i].String()
+		if res != nil && res.Backend != "" {
+			rec.Backend = res.Backend
+		} else if phase == "dropped" && res == nil {
+			rec.Backend = backendFaultSim
+		}
 	}
 	if res != nil {
 		rec.Vars, rec.Clauses = res.Vars, res.Clauses

@@ -377,3 +377,76 @@ func TestRetryPendingETA(t *testing.T) {
 		t.Errorf("ETA = %v on a finished run, want 0", eta)
 	}
 }
+
+// TestEffortLogRoutedInvariant: on a routed run every live fault emits
+// exactly one non-wasted effort record carrying the router's predicted
+// class — even faults no solver ever touched. Cleanly dropped faults
+// get a backend "faultsim" record (Phase "dropped", not wasted); solved
+// faults a record naming the backend that decided them; wasted
+// speculative solves stay extra records marked Wasted.
+func TestEffortLogRoutedInvariant(t *testing.T) {
+	c := gen.ArrayMultiplier(4)
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		log := NewEffortLog(&buf)
+		eng := &Engine{Workers: workers}
+		sum, err := eng.Run(context.Background(), c, RunOptions{
+			Collapse: true, Incremental: true, Route: true,
+			DropDetected: true, EffortLog: log,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatalf("workers=%d: close: %v", workers, err)
+		}
+		_, recs, err := DecodeEffortLog(&buf)
+		if err != nil {
+			t.Fatalf("workers=%d: decode: %v", workers, err)
+		}
+
+		byIdx := map[int]EffortRecord{}
+		wasted := 0
+		for _, r := range recs {
+			if r.Wasted {
+				wasted++
+				if r.Phase != "dropped" {
+					t.Errorf("workers=%d: wasted record in phase %q: %+v", workers, r.Phase, r)
+				}
+				continue
+			}
+			if prev, dup := byIdx[r.Index]; dup {
+				t.Errorf("workers=%d: fault %d recorded twice: %+v / %+v", workers, r.Index, prev, r)
+			}
+			byIdx[r.Index] = r
+		}
+		// Exactly one non-wasted record per live fault: solved or dropped.
+		if len(byIdx) != sum.Total {
+			t.Errorf("workers=%d: %d verdict records, want %d", workers, len(byIdx), sum.Total)
+		}
+		if wasted != sum.WastedSolves {
+			t.Errorf("workers=%d: %d wasted records, want %d", workers, wasted, sum.WastedSolves)
+		}
+		drops := 0
+		for _, r := range byIdx {
+			if r.PredictedClass == "" {
+				t.Errorf("workers=%d: record without predicted class: %+v", workers, r)
+			}
+			if r.Backend == "" {
+				t.Errorf("workers=%d: record without backend: %+v", workers, r)
+			}
+			if r.Phase == "dropped" {
+				drops++
+				if r.Backend != "faultsim" {
+					t.Errorf("workers=%d: clean drop on backend %q: %+v", workers, r.Backend, r)
+				}
+				if r.SolveNS != 0 || r.Effort != 0 {
+					t.Errorf("workers=%d: clean drop with solver work: %+v", workers, r)
+				}
+			}
+		}
+		if drops != sum.DroppedByFaultSim {
+			t.Errorf("workers=%d: %d clean-drop records, want %d", workers, drops, sum.DroppedByFaultSim)
+		}
+	}
+}

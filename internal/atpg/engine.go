@@ -87,6 +87,9 @@ type Result struct {
 	// panic value and the goroutine stack captured at recovery.
 	Err   string
 	Stack string
+	// Backend names the portfolio backend that produced this verdict on a
+	// routed run: "podem", "caching" or "cdcl". Empty on unrouted runs.
+	Backend string
 }
 
 // Engine generates tests fault by fault. The zero value uses the DPLL
@@ -191,6 +194,12 @@ func (e *Engine) TestFault(c *logic.Circuit, f Fault) (Result, error) {
 // cancellation surfaces as Status Aborted), optional per-worker scratch
 // reuse, and an optional sub-formula cache budget.
 func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *workerScratch, cacheLimit int64) (Result, error) {
+	return e.testFaultOn(c, f, ws, e.solverFor(lim, cacheLimit))
+}
+
+// testFaultOn is testFault on an explicit, already-limited solver — the
+// routed engine uses it to aim one fault at a specific backend.
+func (e *Engine) testFaultOn(c *logic.Circuit, f Fault, ws *workerScratch, solver sat.Solver) (Result, error) {
 	res := Result{Fault: f}
 	buildStart := time.Now()
 	m, err := NewMiter(c, f)
@@ -215,7 +224,6 @@ func (e *Engine) testFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *worker
 	res.Clauses = formula.NumClauses()
 	res.BuildElapsed = time.Since(buildStart)
 	start := time.Now()
-	solver := e.solverFor(lim, cacheLimit)
 	var sol sat.Solution
 	if as, ok := solver.(sat.ArenaSolver); ok && ws != nil {
 		sol = as.SolveArena(formula, ws.arena)
@@ -289,6 +297,9 @@ type Summary struct {
 	// Retries describes the escalating-budget retry phase, one entry per
 	// tier that ran (nil when retries were disabled or nothing aborted).
 	Retries []RetryTier
+	// Routed summarizes a routed run: live faults per predicted effort
+	// class and decided faults per backend. Nil on unrouted runs.
+	Routed *RouteSummary
 }
 
 // PhaseTimes is the per-phase work breakdown of a run. The phases
@@ -428,6 +439,31 @@ type RunOptions struct {
 	// it runs a layout heuristic per fault, which dwarfs the other
 	// (two-DFS) features on large circuits.
 	EffortWidth bool
+	// Route enables cut-width-guided fault routing: each fault is scored
+	// from its structural features plus a bounded cut-width estimate,
+	// classified (trivial / low-width / structural / hard), and
+	// dispatched to the cheapest backend likely to decide it — fault-sim
+	// scheduling, the caching backtracker, the PODEM structural engine,
+	// or incremental region-grouped CDCL (see router.go). Requires the
+	// DPLL solver family like Incremental; other solver configurations
+	// fall back to the unrouted path. Routed runs are byte-identical to
+	// themselves at any worker count but produce different (equally
+	// valid) vectors than unrouted runs, so journals don't transfer
+	// across the mode boundary. Routed dispatch supersedes Incremental's
+	// ordering; hard-class faults still solve incrementally.
+	Route bool
+	// RouteWidthMax bounds the sub-circuit node count the router may hand
+	// to the MLA layout heuristic when refining an ambiguous cut-width
+	// estimate; larger cones keep the O(pins) topological-order upper
+	// bound (0 = DefaultRouteWidthMax).
+	RouteWidthMax int
+	// RouteHardScale multiplies PerFaultBudget for hard-class faults
+	// (0 = DefaultRouteHardScale; values < 1 clamp to 1).
+	RouteHardScale float64
+	// PodemMaxBacktracks caps the PODEM backend's search per fault; a
+	// cap abort is deterministic and falls back to a CDCL solve
+	// (0 = DefaultPodemMaxBacktracks, negative = unbounded).
+	PodemMaxBacktracks int64
 }
 
 // dropBatch is the committed-vector count that triggers a fault-simulation
@@ -553,7 +589,24 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 	// order by fanout region; its flattened order is canonical across
 	// group-size caps, so the commit frontier and drop set are too.
 	st.incremental = e.incrementalEnabled(opt)
-	if st.incremental {
+	if e.routeEnabled(opt) {
+		// Routed portfolio dispatch: classify every live fault and order
+		// hard (grouped) → structural → low-width → trivial, so the cheap
+		// tail is mostly dropped by earlier backends' vectors before it is
+		// claimed. The router reuses the effort log's feature table when
+		// one was computed.
+		var feats []FaultFeatures
+		if st.effort != nil {
+			feats = st.effort.feats
+		} else {
+			feats = computeFeatures(c, faults, false, workers)
+		}
+		st.route = buildRoute(c, faults, st.preDecided, feats, opt.RouteWidthMax, opt.GroupMax, workers)
+		st.order = st.route.order
+		st.groups = st.route.groups
+		st.recordedF = newBitset(len(faults))
+		tel.observeGroups(st.groups)
+	} else if st.incremental {
 		st.order, st.groups = buildGroups(c, faults, st.preDecided, opt.GroupMax)
 		tel.observeGroups(st.groups)
 	} else {
@@ -571,7 +624,9 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		go func() {
 			defer wg.Done()
 			run := e.runWorker
-			if st.incremental {
+			if st.route != nil {
+				run = e.runRoutedWorker
+			} else if st.incremental {
 				run = e.runGroupWorker
 			}
 			if err := run(runCtx, st, w, scratches[w]); err != nil {
@@ -631,6 +686,18 @@ func (e *Engine) RunFaults(ctx context.Context, c *logic.Circuit, faults []Fault
 		}
 	}
 	sum.Retries = retries
+	if st.route != nil {
+		rs := st.route.summary()
+		for _, r := range st.results {
+			if r != nil && r.Backend != "" {
+				rs.Backends[r.Backend]++
+			}
+		}
+		if n := int(st.droppedN.Load()); n > 0 {
+			rs.Backends["faultsim"] = n
+		}
+		sum.Routed = rs
+	}
 	sum.Phases.RPT = time.Duration(st.rptNS)
 	sum.Phases.FaultSim = time.Duration(st.simNS.Load())
 	sum.Phases.FrontierStall = time.Duration(st.stallNS.Load())
@@ -678,9 +745,17 @@ type runState struct {
 	incremental bool
 	groups      []faultGroup
 	groupCursor atomic.Int64
-	droppedF    bitset                       // officially dropped by a committed vector flush
-	preDecided  []bool                       // decided before dispatch: RPT detection or resume replay
-	published   []atomic.Pointer[specResult] // speculative solves, one slot per fault
+	// Routed portfolio dispatch (nil on the unrouted paths): the plan
+	// carries per-fault classes and the class-ordered dispatch order;
+	// groups then covers only the hard-class prefix of order.
+	route *routePlan
+	// recordedF dedups effort records for routed drops: a fault whose
+	// speculative solve is discarded by the worker must not also get the
+	// commit frontier's clean-drop record. Nil on unrouted runs.
+	recordedF  bitset
+	droppedF   bitset                       // officially dropped by a committed vector flush
+	preDecided []bool                       // decided before dispatch: RPT detection or resume replay
+	published  []atomic.Pointer[specResult] // speculative solves, one slot per fault
 
 	// Commit frontier state, all under commitMu.
 	commitMu    sync.Mutex
@@ -1191,9 +1266,18 @@ func (st *runState) commitLocked(ws *workerScratch, worker int) error {
 		if st.droppedF.get(i) {
 			if sr := st.published[i].Load(); sr != nil {
 				st.countWasted(1)
-				if st.effort != nil {
+				if st.effort != nil && (st.route == nil || st.recordedF.set(i)) {
 					st.recordEffort(ws, i, &sr.res, "dropped", sr.res.Status, 0, int(sr.worker), true)
 				}
+			} else if st.route != nil && st.effort != nil && st.recordedF.set(i) {
+				// Routed runs record clean drops too: the router predicted a
+				// class for this fault and fault simulation decided it, so the
+				// accuracy join still gets exactly one record (backend
+				// "faultsim", no solver work, not wasted).
+				st.recordEffort(ws, i, nil, "dropped", Detected, 0, -1, false)
+			}
+			if st.route != nil {
+				tel.observeRouted(backendFaultSim, 0)
 			}
 			st.frontier++
 			continue
@@ -1233,6 +1317,9 @@ func (st *runState) commitLocked(ws *workerScratch, worker int) error {
 		}
 		if tel != nil {
 			tel.observeFault(int(sr.worker), st.faults[i].Name(st.c), &res, time.Since(st.start))
+		}
+		if st.route != nil && res.Backend != "" {
+			tel.observeRouted(res.Backend, res.Elapsed.Nanoseconds())
 		}
 		// An aborted fault headed for the retry queue is not final yet;
 		// journaling it now would make a resume skip a fault the retry

@@ -41,6 +41,26 @@ func (e *Engine) incrementalEnabled(opt RunOptions) bool {
 	}
 }
 
+// routeEnabled reports whether the run uses cut-width-guided portfolio
+// routing. Like incrementalEnabled it requires the DPLL solver family:
+// the hard class solves on the incremental CDCL core and the fallback
+// path behind PODEM is a CDCL solve, so any other configured solver
+// falls back to the unrouted engine rather than silently changing
+// solvers.
+func (e *Engine) routeEnabled(opt RunOptions) bool {
+	if !opt.Route {
+		return false
+	}
+	switch s := e.Solver.(type) {
+	case nil:
+		return true
+	case *sat.DPLL:
+		return !s.DisableLearning
+	default:
+		return false
+	}
+}
+
 // incrementalFor returns the worker's persistent incremental instance —
 // the arena-held one when scratch reuse is on (so consecutive groups
 // reuse its buffers and Shrink reaches its learned DB), a fresh one per

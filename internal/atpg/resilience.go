@@ -86,17 +86,30 @@ func CheckpointFingerprint(c *logic.Circuit, faults []Fault, opt RunOptions) uin
 		// vectors and verdicts are identical for every group-size cap.
 		fmt.Fprint(h, "inc|")
 	}
+	if opt.Route {
+		// Routed runs dispatch per-fault backends whose patterns differ
+		// from both unrouted modes (PODEM X-fill, the caching
+		// backtracker's variable-index order), so journals don't transfer
+		// either. The routing knobs that change which backend (and hence
+		// which deterministic vector) a fault gets are hashed too:
+		// RouteWidthMax moves faults between classes and
+		// PodemMaxBacktracks decides where the deterministic CDCL
+		// fallback kicks in. RouteHardScale is excluded — budgets only
+		// move faults between decided and aborted.
+		fmt.Fprintf(h, "route:%d:%d|", opt.RouteWidthMax, opt.PodemMaxBacktracks)
+	}
 	for _, f := range faults {
 		fmt.Fprintf(h, "%d:%t;", f.Net, f.StuckAt)
 	}
 	return h.Sum64()
 }
 
-// safeTestFault is testFault behind a recover barrier: a panic anywhere
-// in the per-fault pipeline (miter build, CNF encode, SAT search, vector
-// extraction) becomes an Errored result carrying the panic message and
-// stack, and the run continues with the next fault.
-func (e *Engine) safeTestFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *workerScratch, cacheLimit int64) (res Result, err error) {
+// safeSolve runs one fault's solve behind the per-fault recover barrier:
+// a panic anywhere in the pipeline (miter build, CNF encode, search,
+// vector extraction — any backend) becomes an Errored result carrying
+// the panic message and stack, and the run continues with the next
+// fault.
+func (e *Engine) safeSolve(f Fault, ws *workerScratch, solve func() (Result, error)) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{
@@ -123,7 +136,15 @@ func (e *Engine) safeTestFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *wo
 	if e.testHookPanic != nil {
 		e.testHookPanic(f)
 	}
-	return e.testFault(c, f, lim, ws, cacheLimit)
+	return solve()
+}
+
+// safeTestFault is testFault behind the recover barrier — the unrouted
+// engine's per-fault entry point.
+func (e *Engine) safeTestFault(c *logic.Circuit, f Fault, lim sat.Limits, ws *workerScratch, cacheLimit int64) (Result, error) {
+	return e.safeSolve(f, ws, func() (Result, error) {
+		return e.testFault(c, f, lim, ws, cacheLimit)
+	})
 }
 
 // applyResume pre-fills the run state with a previous run's journaled
@@ -305,10 +326,35 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 		// In incremental mode the tier re-groups its queue by fanout
 		// region, so a retried fault resumes on a shared region instance
 		// and reuses clauses learned by its neighbors in the same tier
-		// instead of cold-starting.
+		// instead of cold-starting. In routed mode each fault's class is
+		// first escalated one step toward hard per tier: hard-escalated
+		// faults re-group for the incremental CDCL backend, the rest
+		// re-solve on their escalated class's backend.
 		var retryOrder []int32
 		var retryGroups []faultGroup
-		if st.incremental {
+		var singleQ []int
+		var singleCls []EffortClass
+		if st.route != nil {
+			hardQ := make([]bool, len(st.faults))
+			anyHard := false
+			for _, i := range queue {
+				ecls := st.route.class[i].escalate(tier)
+				if ecls == ClassHard {
+					hardQ[i] = true
+					anyHard = true
+				} else {
+					singleQ = append(singleQ, i)
+					singleCls = append(singleCls, ecls)
+				}
+			}
+			if anyHard {
+				skip := make([]bool, len(st.faults))
+				for i := range skip {
+					skip[i] = !hardQ[i]
+				}
+				retryOrder, retryGroups = buildGroups(st.c, st.faults, skip, opt.GroupMax)
+			}
+		} else if st.incremental {
 			inQueue := make([]bool, len(st.faults))
 			for _, i := range queue {
 				inQueue[i] = true
@@ -319,7 +365,7 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 			}
 			retryOrder, retryGroups = buildGroups(st.c, st.faults, skip, opt.GroupMax)
 		}
-		var cursor atomic.Int64
+		var cursor, gcursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := range scratches {
 			w := w
@@ -328,17 +374,20 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 				defer wg.Done()
 				ws := scratches[w]
 				var shrinkSeen int64
-				if st.incremental {
+				if st.incremental || st.route != nil {
 					for {
 						if ctx.Err() != nil {
 							return
 						}
 						st.maybeShrink(ws, w, &shrinkSeen)
-						gi := int(cursor.Add(1) - 1)
+						gi := int(gcursor.Add(1) - 1)
 						if gi >= len(retryGroups) {
-							return
+							break
 						}
 						err := e.solveGroup(ctx, st, retryOrder, &retryGroups[gi], ws, w, &shrinkSeen, tierCtx, budget, func(i int, res Result) error {
+							if st.route != nil {
+								res.Backend = backendCDCL
+							}
 							if res.Status == Errored {
 								st.dumpRingOnce("fault panic recovered", true)
 							}
@@ -350,24 +399,38 @@ func (e *Engine) runRetryTiers(ctx context.Context, st *runState, scratches []*w
 							return
 						}
 					}
+					if st.route == nil {
+						return // incremental groups cover the whole queue
+					}
 				}
 				// The tier reuses the main sweep's chunked claim protocol
-				// over its own queue.
-				cl := chunkClaimer{cursor: &cursor, n: len(queue), workers: len(scratches)}
+				// over its own queue — in routed mode, over the non-hard
+				// remainder (hard-escalated faults went through the groups).
+				tail := queue
+				if st.route != nil {
+					tail = singleQ
+				}
+				cl := chunkClaimer{cursor: &cursor, n: len(tail), workers: len(scratches)}
 				for {
 					k := cl.next()
 					if k < 0 || ctx.Err() != nil {
 						return
 					}
 					st.maybeShrink(ws, w, &shrinkSeen)
-					i := queue[k]
-					lim := sat.Limits{Cancel: ctx.Done(), Deadline: time.Now().Add(budget)}
+					i := tail[k]
 					fspan := tel.startSpan("fault", tierCtx)
 					if fspan.Active() {
 						fspan.Worker = w
 						fspan.Detail = st.faults[i].Name(st.c)
 					}
-					res, err := e.safeTestFault(st.c, st.faults[i], lim, ws, opt.CacheLimit)
+					var res Result
+					var err error
+					if st.route != nil {
+						res, err = e.solveRouted(ctx, st, i, singleCls[k], ws, budget)
+					} else {
+						lim := sat.Limits{Cancel: ctx.Done(), Deadline: time.Now().Add(budget)}
+						res, err = e.safeTestFault(st.c, st.faults[i], lim, ws, opt.CacheLimit)
+					}
 					fspan.Items = res.SolverStats.SearchEffort()
 					fspan.End()
 					st.ring.Record("solve", w, int64(i), int64(res.Status), res.Elapsed.Nanoseconds())

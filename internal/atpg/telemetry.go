@@ -140,6 +140,12 @@ type Metrics struct {
 	RetryAttempts  *obs.LabeledCounter
 	RetryRecovered *obs.LabeledCounter
 
+	// Routed portfolio dispatch: faults decided per backend ("podem",
+	// "caching", "cdcl", "faultsim") and the per-backend solve wall,
+	// both counted at commit adoption so they are worker-count-stable.
+	RoutedTotal    *obs.LabeledCounter
+	BackendSolveNS *obs.LabeledCounter
+
 	PhaseRPTNS      *obs.Counter
 	PhaseBuildNS    *obs.Counter
 	PhaseSolveNS    *obs.Counter
@@ -201,6 +207,9 @@ func NewMetrics(reg *obs.Registry, shards int) *Metrics {
 		CacheShrinks:   reg.Counter("atpg_cache_shrinks_total", "solver cache halvings forced by the memory watchdog"),
 		RetryAttempts:  reg.LabeledCounter("atpg_retry_attempts_total", "aborted faults re-run by the retry phase", "tier"),
 		RetryRecovered: reg.LabeledCounter("atpg_retry_recovered_total", "faults decided by a retry tier", "tier"),
+
+		RoutedTotal:    reg.LabeledCounter("atpg_routed_total", "faults decided per portfolio backend (routed runs)", "backend"),
+		BackendSolveNS: reg.LabeledCounter("atpg_backend_solve_ns_total", "solve wall time per portfolio backend (routed runs)", "backend"),
 
 		PhaseRPTNS:      reg.Counter("atpg_phase_rpt_ns_total", "random-pattern pre-phase time"),
 		PhaseBuildNS:    reg.Counter("atpg_phase_build_ns_total", "miter construction + CNF encoding time"),
@@ -338,6 +347,22 @@ func (t *Telemetry) observeSolverWork(worker int, res *Result) {
 	m.LearnedReused.Add(worker, st.LearnedReused)
 	if st.ClauseDBBytes > 0 {
 		m.ClauseDBBytes.SetMax(st.ClauseDBBytes)
+	}
+}
+
+// backendFaultSim labels faults a routed run decided without any solver
+// — dropped by fault simulation of earlier committed vectors.
+const backendFaultSim = "faultsim"
+
+// observeRouted counts one routed verdict against its deciding backend
+// and accumulates that backend's solve wall time.
+func (t *Telemetry) observeRouted(backend string, solveNS int64) {
+	if t == nil || t.Metrics == nil {
+		return
+	}
+	t.Metrics.RoutedTotal.With(backend).Inc()
+	if solveNS > 0 {
+		t.Metrics.BackendSolveNS.With(backend).Add(solveNS)
 	}
 }
 

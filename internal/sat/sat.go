@@ -14,6 +14,26 @@
 //
 // All solvers consume cnf.Formula and return a Solution with a model on
 // SAT and search statistics.
+//
+// # Determinism contract
+//
+// Every solver in this package is a pure function of (formula, limits):
+// re-solving the same formula yields the same verdict, the same model,
+// and the same statistics, with no dependence on scheduling or timing.
+// Solvers that accept a priority variable list (DPLL, Incremental)
+// strengthen this to a lex-least guarantee: each decision assigns the
+// first unassigned priority variable to false before any
+// activity-ordered decision is considered, so the first model found
+// projects onto the priority variables as the lexicographically least
+// assignment among all models consistent with the assumptions — whatever
+// learned clauses happen to be in the database, and whatever was solved
+// on the instance before. Callers lean on this contract wherever results
+// must not depend on execution order: the ATPG engine's region-grouped
+// incremental solving extracts the same test vector a fresh solve would
+// (see Incremental), and the routed portfolio's backends can hand faults
+// to each other without perturbing any other fault's pattern. The
+// internal/podem package honors the same contract on the structural
+// side, resolving every search choice by smallest node ID.
 package sat
 
 import (
