@@ -114,6 +114,7 @@ import (
 	"atpgeasy/internal/logic"
 	"atpgeasy/internal/obs"
 	"atpgeasy/internal/sat"
+	"atpgeasy/internal/serve"
 )
 
 // dpllMaxConflicts bounds the CLI's DPLL solver so no fault can search
@@ -376,7 +377,13 @@ func setupTelemetry(metricsAddr, traceFile string, progressEvery time.Duration, 
 			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "atpg: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", srv.Addr())
-		closers = append(closers, srv.Close)
+		closers = append(closers, func() error {
+			// Let an in-flight scrape finish before the server goes away;
+			// past the deadline Shutdown falls back to a hard Close itself.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			return srv.Shutdown(ctx)
+		})
 	}
 	if traceFile != "" {
 		tr, err := obs.CreateTrace(traceFile)
@@ -500,95 +507,15 @@ func formatTally(m map[string]int) string {
 }
 
 // openCheckpoint opens (or, with resume, continues) the journal at path
-// and converts any replayed state into the engine's resume form. The
-// header binds the journal to this exact run — circuit, collapsed fault
-// list, seed and the deterministic run options — so a stale or foreign
-// journal is rejected instead of silently corrupting verdicts.
+// via the shared serve.OpenJournal logic, adding the CLI's
+// starting-fresh notice when a -resume finds no journal on disk.
 func openCheckpoint(path string, resume bool, c *logic.Circuit, faults []atpg.Fault, opt atpg.RunOptions, copt checkpoint.Options) (*checkpoint.Journal, *atpg.ResumeState, error) {
-	hdr := checkpoint.Header{
-		Circuit:   c.Name,
-		Faults:    len(faults),
-		FaultHash: atpg.CheckpointFingerprint(c, faults, opt),
-		Seed:      opt.Seed,
-	}
-	var prior *checkpoint.State
-	var rs *atpg.ResumeState
 	if resume {
-		st, err := checkpoint.Load(path)
-		switch {
-		case errors.Is(err, os.ErrNotExist):
+		if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintf(os.Stderr, "atpg: -resume: no journal at %s, starting fresh\n", path)
-		case err != nil:
-			return nil, nil, err
-		default:
-			if rs, err = resumeState(st, c, faults); err != nil {
-				return nil, nil, err
-			}
-			prior = st
 		}
 	}
-	j, err := checkpoint.New(path, hdr, prior, copt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return j, rs, nil
-}
-
-// resumeState converts a loaded journal into the engine's resume form,
-// validating every index and vector against the current circuit and
-// fault list (the header hash makes a mismatch unlikely, but journal
-// content is still external input).
-func resumeState(st *checkpoint.State, c *logic.Circuit, faults []atpg.Fault) (*atpg.ResumeState, error) {
-	decode := func(s string, what string) ([]bool, error) {
-		v, err := checkpoint.DecodeVector(s)
-		if err != nil {
-			return nil, err
-		}
-		if len(v) != len(c.Inputs) {
-			return nil, fmt.Errorf("checkpoint: %s vector has %d bits for %d inputs", what, len(v), len(c.Inputs))
-		}
-		return v, nil
-	}
-	rs := &atpg.ResumeState{Faults: make(map[int]atpg.Result, len(st.Faults))}
-	if st.RPT != nil {
-		rpt := &atpg.ResumeRPT{
-			Detected: append([]int(nil), st.RPT.Detected...),
-			Vectors:  make([][]bool, len(st.RPT.Vectors)),
-			Batches:  st.RPT.Batches,
-		}
-		for _, i := range rpt.Detected {
-			if i < 0 || i >= len(faults) {
-				return nil, fmt.Errorf("checkpoint: rpt-detected fault index %d out of range", i)
-			}
-		}
-		for i, s := range st.RPT.Vectors {
-			v, err := decode(s, "rpt")
-			if err != nil {
-				return nil, err
-			}
-			rpt.Vectors[i] = v
-		}
-		rs.RPT = rpt
-	}
-	for i, fv := range st.Faults {
-		if i < 0 || i >= len(faults) {
-			return nil, fmt.Errorf("checkpoint: fault index %d out of range", i)
-		}
-		status, ok := atpg.ParseStatus(fv.Status)
-		if !ok {
-			return nil, fmt.Errorf("checkpoint: fault %d has unknown status %q", i, fv.Status)
-		}
-		res := atpg.Result{Fault: faults[i], Status: status, Err: fv.Err}
-		if fv.Vector != "" {
-			v, err := decode(fv.Vector, "fault")
-			if err != nil {
-				return nil, err
-			}
-			res.Vector = v
-		}
-		rs.Faults[i] = res
-	}
-	return rs, nil
+	return serve.OpenJournal(path, resume, c, faults, opt, copt)
 }
 
 // startCheckpointSyncer fsyncs the journal on the given period and once

@@ -17,6 +17,7 @@ import (
 	"atpgeasy/internal/checkpoint"
 	"atpgeasy/internal/gen"
 	"atpgeasy/internal/sat"
+	"atpgeasy/internal/serve"
 )
 
 func TestGenerate(t *testing.T) {
@@ -236,7 +237,7 @@ func TestResumeState(t *testing.T) {
 			4: {Status: "error", Err: "panic: boom"},
 		},
 	}
-	rs, err := resumeState(good, c, faults)
+	rs, err := serve.ResumeStateFrom(good, c, faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestResumeState(t *testing.T) {
 		{RPT: &checkpoint.RPTState{Vectors: []string{"01x"}}},
 	}
 	for i, st := range bad {
-		if _, err := resumeState(st, c, faults); err == nil {
+		if _, err := serve.ResumeStateFrom(st, c, faults); err == nil {
 			t.Errorf("bad state %d accepted", i)
 		}
 	}

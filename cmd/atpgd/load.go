@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadBench is the valid submission body: small enough that a load run
+// is bounded by daemon mechanics, not SAT time.
+const loadBench = `# ISCAS85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// loadKind classifies one synthetic submission.
+type loadKind int
+
+const (
+	kindValid  loadKind = iota // must reach done
+	kindPoison                 // chaos-panic name: must fail alone (-chaos daemon)
+	kindBad                    // malformed netlist: must be rejected 400
+	kindHuge                   // oversized netlist: must be rejected 413
+)
+
+// loadStats tallies the run; every counter is an invariant the daemon
+// must uphold under pressure.
+type loadStats struct {
+	done, failedPoison         atomic.Int64
+	rejected400, rejected413   atomic.Int64
+	backpressure429, retries   atomic.Int64
+	unexpected                 atomic.Int64
+	sseStreams, sseSlowStreams atomic.Int64
+}
+
+// runLoad drives a running daemon with a mixed workload: valid jobs
+// across all priorities, poison jobs (worker panics under -chaos),
+// malformed and oversized submissions, SSE watchers including
+// deliberately slow readers — and verifies every submission lands in
+// exactly the state it must. Backpressure (429) is honored and retried,
+// never counted as a failure: shedding load IS the correct behavior.
+func runLoad(addr string, jobs, clients int, poisonFrac, garbageFrac float64) error {
+	base := "http://" + addr
+	if resp, err := http.Get(base + "/readyz"); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", addr, err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("daemon at %s not ready (status %d)", addr, resp.StatusCode)
+		}
+	}
+
+	// Deterministic interleaved mix: the same flags always produce the
+	// same workload.
+	kinds := make([]loadKind, jobs)
+	nPoison := int(poisonFrac * float64(jobs))
+	nGarbage := int(garbageFrac * float64(jobs))
+	for i := range kinds {
+		mixed := (i*2654435761 + 97) % jobs
+		switch {
+		case mixed < nPoison:
+			kinds[i] = kindPoison
+		case mixed < nPoison+nGarbage:
+			if mixed%2 == 0 {
+				kinds[i] = kindBad
+			} else {
+				kinds[i] = kindHuge
+			}
+		}
+	}
+
+	var stats loadStats
+	var wg sync.WaitGroup
+	work := make(chan int)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				loadOne(base, i, kinds[i], &stats)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	completed := stats.done.Load() + stats.failedPoison.Load()
+	fmt.Printf("atpgd load: %d submissions in %s (%.1f completed jobs/s, %d clients)\n",
+		jobs, wall.Round(time.Millisecond), float64(completed)/wall.Seconds(), clients)
+	fmt.Printf("  done %d, poison-failed %d, rejected 400 %d, rejected 413 %d\n",
+		stats.done.Load(), stats.failedPoison.Load(), stats.rejected400.Load(), stats.rejected413.Load())
+	fmt.Printf("  backpressure: %d×429 absorbed over %d retries\n", stats.backpressure429.Load(), stats.retries.Load())
+	fmt.Printf("  sse: %d streams (%d deliberately slow)\n", stats.sseStreams.Load(), stats.sseSlowStreams.Load())
+	if n := stats.unexpected.Load(); n > 0 {
+		return fmt.Errorf("%d submissions landed in an unexpected state", n)
+	}
+	fmt.Println("  all submissions landed in their required states")
+	return nil
+}
+
+// loadOne pushes one submission through its full lifecycle and checks
+// the outcome against what its kind requires.
+func loadOne(base string, i int, kind loadKind, stats *loadStats) {
+	name := fmt.Sprintf("load-%d", i)
+	body := loadBench
+	wantReject := 0
+	switch kind {
+	case kindPoison:
+		name = fmt.Sprintf("chaos-panic-%d", i)
+	case kindBad:
+		body = "10 = FROB(1, 2)\n"
+		wantReject = http.StatusBadRequest
+	case kindHuge:
+		body = loadBench + "# " + strings.Repeat("x", 9<<20) + "\n"
+		wantReject = http.StatusRequestEntityTooLarge
+	}
+	priority := [...]string{"high", "normal", "low"}[i%3]
+
+	var meta struct {
+		ID string `json:"id"`
+	}
+	status := 0
+	for attempt := 0; attempt < 50; attempt++ {
+		resp, err := http.Post(
+			fmt.Sprintf("%s/jobs?name=%s&priority=%s", base, name, priority),
+			"text/plain", strings.NewReader(body))
+		if err != nil {
+			stats.unexpected.Add(1)
+			fmt.Fprintf(os.Stderr, "atpgd load: %s: submit: %v\n", name, err)
+			return
+		}
+		status = resp.StatusCode
+		if status == http.StatusTooManyRequests {
+			stats.backpressure429.Add(1)
+			stats.retries.Add(1)
+			wait := 100 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = min(time.Duration(ra)*time.Second, time.Second)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(wait)
+			continue
+		}
+		if status == http.StatusCreated {
+			json.NewDecoder(resp.Body).Decode(&meta)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		break
+	}
+
+	if wantReject != 0 {
+		if status != wantReject {
+			stats.unexpected.Add(1)
+			fmt.Fprintf(os.Stderr, "atpgd load: %s: status %d, want %d\n", name, status, wantReject)
+			return
+		}
+		if kind == kindBad {
+			stats.rejected400.Add(1)
+		} else {
+			stats.rejected413.Add(1)
+		}
+		return
+	}
+	if status != http.StatusCreated || meta.ID == "" {
+		stats.unexpected.Add(1)
+		fmt.Fprintf(os.Stderr, "atpgd load: %s: submit status %d after retries\n", name, status)
+		return
+	}
+
+	// Every third job watches its own SSE stream; every ninth reads it
+	// deliberately slowly — a stalled consumer the daemon must tolerate.
+	if i%3 == 0 {
+		stats.sseStreams.Add(1)
+		slow := i%9 == 0
+		if slow {
+			stats.sseSlowStreams.Add(1)
+		}
+		go watchSSE(base, meta.ID, slow)
+	}
+
+	state, jobErr := pollTerminal(base, meta.ID, 2*time.Minute)
+	switch {
+	case kind == kindValid && state == "done":
+		stats.done.Add(1)
+	case kind == kindPoison && state == "failed" && strings.Contains(jobErr, "panic"):
+		stats.failedPoison.Add(1)
+	case kind == kindPoison && state == "done":
+		// Daemon running without -chaos: the poison name is inert.
+		stats.done.Add(1)
+	default:
+		stats.unexpected.Add(1)
+		fmt.Fprintf(os.Stderr, "atpgd load: %s: terminal state %q (error %q)\n", name, state, jobErr)
+	}
+}
+
+// pollTerminal waits for the job's terminal state.
+func pollTerminal(base, id string, timeout time.Duration) (state, jobErr string) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return "unreachable", err.Error()
+		}
+		var doc struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&doc)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch doc.State {
+		case "done", "failed", "canceled":
+			return doc.State, doc.Error
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "timeout", ""
+}
+
+// watchSSE consumes a job's event stream; slow readers trickle to
+// simulate a stalled consumer, then abandon the stream.
+func watchSSE(base, id string, slow bool) {
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if !slow {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := resp.Body.Read(buf); err != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,134 @@
+// Command atpgd runs the ATPG engine as a crash-safe, multi-tenant
+// HTTP/JSON daemon. Netlists (.bench or BLIF) are submitted over HTTP,
+// validated behind the parsers' recover barriers and the admission size
+// caps, queued on a bounded priority queue and run through the
+// deterministic engine with every final verdict journaled — a kill -9
+// of the daemon loses nothing: queued jobs re-enqueue on restart and
+// interrupted jobs resume byte-identically from their checkpoint
+// journals.
+//
+// Usage:
+//
+//	atpgd -data DIR [-addr HOST:PORT] [-queue-cap N] [-slots N]
+//	      [-j WORKERS] [-max-bytes N] [-max-line N]
+//	      [-drain-timeout DUR] [-addr-file FILE] [-chaos]
+//	atpgd -load [-addr HOST:PORT] [-load-jobs N] [-load-clients N]
+//	      [-load-poison F] [-load-garbage F]
+//
+// API:
+//
+//	POST   /jobs?name=N&format=bench|blif&priority=high|normal|low
+//	            [&budget=DUR][&deadline=DUR]    submit (body = netlist)
+//	GET    /jobs                                list jobs
+//	GET    /jobs/{id}                           meta + progress + result
+//	GET    /jobs/{id}/events                    SSE progress stream
+//	GET    /jobs/{id}/vectors                   test vectors, one per line
+//	DELETE /jobs/{id}                           cancel / remove
+//	GET    /healthz /readyz /metrics            liveness, drain state, Prometheus
+//
+// A full queue answers 429 with Retry-After. SIGTERM/SIGINT starts a
+// graceful drain: admissions stop, the running jobs get -drain-timeout
+// to finish, and past it they are checkpointed for the next start; a
+// second signal hard-stops immediately (journals are flushed per
+// record, so even that loses no decided verdict).
+//
+// -chaos arms the fault-injection hook: any job whose name contains
+// "chaos-panic" panics its runner mid-job, which must burn only that
+// job. -load turns the binary into a load/chaos client driving a
+// running daemon; see the -load-* flags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"atpgeasy/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8343", "listen address (serve) or daemon address (-load)")
+	dataDir := flag.String("data", "", "durable data directory (required to serve)")
+	queueCap := flag.Int("queue-cap", 64, "admission queue capacity (full queue = 429)")
+	slots := flag.Int("slots", 1, "jobs running concurrently")
+	workers := flag.Int("j", 0, "engine workers per job (0 = GOMAXPROCS)")
+	maxBytes := flag.Int64("max-bytes", 8<<20, "max netlist size in bytes (over = 413)")
+	maxLine := flag.Int("max-line", 1<<20, "max netlist line length in bytes (over = 413)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline for running jobs on SIGTERM")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (useful with :0)")
+	chaos := flag.Bool("chaos", false, "arm the fault-injection hook: jobs named *chaos-panic* panic their runner (testing only)")
+
+	load := flag.Bool("load", false, "run as a load/chaos client against -addr instead of serving")
+	loadJobs := flag.Int("load-jobs", 32, "-load: jobs to submit")
+	loadClients := flag.Int("load-clients", 4, "-load: concurrent submitting clients")
+	loadPoison := flag.Float64("load-poison", 0.1, "-load: fraction of jobs named chaos-panic-* (daemon must run -chaos to act on them)")
+	loadGarbage := flag.Float64("load-garbage", 0.2, "-load: fraction of malformed/oversized submissions (must be rejected 4xx)")
+	flag.Parse()
+
+	if *load {
+		if err := runLoad(*addr, *loadJobs, *loadClients, *loadPoison, *loadGarbage); err != nil {
+			fmt.Fprintf(os.Stderr, "atpgd: load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "atpgd: -data DIR is required (the durable job store)")
+		os.Exit(2)
+	}
+	cfg := serve.Config{
+		Addr:            *addr,
+		DataDir:         *dataDir,
+		QueueCap:        *queueCap,
+		RunningSlots:    *slots,
+		EngineWorkers:   *workers,
+		MaxNetlistBytes: *maxBytes,
+		MaxNetlistLine:  *maxLine,
+	}
+	if *chaos {
+		cfg.ChaosHook = func(name string) {
+			if strings.Contains(name, "chaos-panic") {
+				panic("chaos hook: injected worker panic for " + name)
+			}
+		}
+	}
+	s, err := serve.Start(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atpgd: %v\n", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "atpgd: write -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "atpgd: serving on http://%s (data in %s)\n", s.Addr(), *dataDir)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "atpgd: %s: draining (running jobs get %s; signal again to hard-stop)\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atpgd: drain deadline hit — running jobs checkpointed for the next start (%v)\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "atpgd: drained clean")
+		}
+	case sig = <-sigCh:
+		fmt.Fprintf(os.Stderr, "atpgd: %s: hard stop\n", sig)
+		s.Close()
+	}
+}

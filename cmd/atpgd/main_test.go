@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"atpgeasy/internal/bench"
+	"atpgeasy/internal/gen"
+)
+
+// buildDaemon compiles the atpgd binary once per test binary run.
+var (
+	daemonOnce sync.Once
+	daemonPath string
+	daemonErr  error
+)
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	daemonOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "atpgd-bin-*")
+		if err != nil {
+			daemonErr = err
+			return
+		}
+		daemonPath = filepath.Join(dir, "atpgd")
+		args := []string{"build"}
+		if raceEnabled {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", daemonPath, ".")
+		if out, err := exec.Command("go", args...).CombinedOutput(); err != nil {
+			daemonErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if daemonErr != nil {
+		t.Fatal(daemonErr)
+	}
+	return daemonPath
+}
+
+// startDaemon launches atpgd on a fresh port against dataDir and waits
+// for it to answer /healthz. The caller owns the process.
+func startDaemon(t *testing.T, dataDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	bin := buildDaemon(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile, "-data", dataDir,
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start atpgd: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(bytes.TrimSpace(data)) > 0 {
+			addr := string(bytes.TrimSpace(data))
+			if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+				resp.Body.Close()
+				return cmd, addr
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("atpgd never became healthy; stderr:\n%s", stderr.String())
+	return nil, ""
+}
+
+// jobView is the slice of GET /jobs/{id} these tests care about.
+type jobView struct {
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress *struct {
+		Done int `json:"done"`
+	} `json:"progress"`
+	Result *struct {
+		Coverage float64  `json:"coverage"`
+		Detected int      `json:"detected"`
+		Vectors  []string `json:"vectors"`
+		Resumed  int      `json:"resumed"`
+	} `json:"result"`
+}
+
+func getJobView(t *testing.T, addr, id string) jobView {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	return v
+}
+
+func submitNetlist(t *testing.T, addr, name, netlist string) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/jobs?name="+name, "text/plain", strings.NewReader(netlist))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var meta struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	return meta.ID
+}
+
+func waitDone(t *testing.T, addr, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJobView(t, addr, id)
+		switch v.State {
+		case "done":
+			return v
+		case "failed", "canceled":
+			t.Fatalf("job %s reached %q (error %q)", id, v.State, v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobView{}
+}
+
+// chaosNetlist is a random circuit big enough that a kill lands mid-run.
+func chaosNetlist(t *testing.T) string {
+	t.Helper()
+	c := gen.Random(gen.RandomParams{Inputs: 24, Gates: 700, Seed: 11})
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, c); err != nil {
+		t.Fatalf("bench.Write: %v", err)
+	}
+	return buf.String()
+}
+
+// TestDaemonKillNineMidJobResumes is the end-to-end crash contract at
+// the process level: SIGKILL the daemon mid-job, restart it on the same
+// data dir, and the finished job must match an uninterrupted run
+// vector-for-vector.
+func TestDaemonKillNineMidJobResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	netlist := chaosNetlist(t)
+
+	// Baseline: uninterrupted daemon run.
+	cmdA, addrA := startDaemon(t, t.TempDir())
+	baseID := submitNetlist(t, addrA, "chaos", netlist)
+	base := waitDone(t, addrA, baseID)
+	cmdA.Process.Kill()
+	cmdA.Wait()
+	if base.Result == nil || len(base.Result.Vectors) == 0 {
+		t.Fatal("baseline produced no vectors")
+	}
+
+	// Interrupted: SIGKILL mid-run — no drain, no journal close, nothing.
+	dataDir := t.TempDir()
+	cmdB, addrB := startDaemon(t, dataDir)
+	id := submitNetlist(t, addrB, "chaos", netlist)
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("job never got far enough to kill")
+		}
+		v := getJobView(t, addrB, id)
+		if v.State == "done" {
+			t.Fatal("job finished before the kill — enlarge the chaos circuit")
+		}
+		if v.State == "running" && v.Progress != nil && v.Progress.Done >= 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmdB.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmdB.Wait()
+
+	// Restart on the same data dir: the job must resume and finish with
+	// the baseline's exact vector set.
+	_, addrC := startDaemon(t, dataDir)
+	resumed := waitDone(t, addrC, id)
+	if !reflect.DeepEqual(resumed.Result.Vectors, base.Result.Vectors) {
+		t.Fatalf("resumed vectors diverge: %d vs baseline %d",
+			len(resumed.Result.Vectors), len(base.Result.Vectors))
+	}
+	if resumed.Result.Coverage != base.Result.Coverage {
+		t.Fatalf("resumed coverage %v, baseline %v", resumed.Result.Coverage, base.Result.Coverage)
+	}
+	if resumed.Result.Detected != base.Result.Detected {
+		t.Fatalf("resumed detected %d, baseline %d", resumed.Result.Detected, base.Result.Detected)
+	}
+}
+
+// TestDaemonSIGTERMDrains: SIGTERM must exit 0 after a clean drain.
+func TestDaemonSIGTERMDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	cmd, addr := startDaemon(t, t.TempDir(), "-drain-timeout", "60s")
+	id := submitNetlist(t, addr, "c17", loadBench)
+	waitDone(t, addr, id)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("atpgd exited with %v after SIGTERM", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("atpgd did not exit after SIGTERM")
+	}
+}
+
+// TestDaemonLoadMode drives a -chaos daemon with the built-in load
+// harness: mixed priorities, poison jobs, malformed and oversized
+// submissions, slow SSE readers — the client exits 0 only if every
+// submission landed in its required state.
+func TestDaemonLoadMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	_, addr := startDaemon(t, t.TempDir(), "-chaos", "-slots", "2", "-queue-cap", "4")
+	out, err := exec.Command(buildDaemon(t), "-load", "-addr", addr,
+		"-load-jobs", "18", "-load-clients", "6",
+		"-load-poison", "0.15", "-load-garbage", "0.2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("load run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all submissions landed in their required states") {
+		t.Fatalf("load run did not verify states:\n%s", out)
+	}
+	t.Logf("load summary:\n%s", out)
+}

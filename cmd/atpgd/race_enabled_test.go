@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the test binary's race detector into the atpgd
+// binary the tests build: a race-built test run exercises a race-built
+// daemon.
+const raceEnabled = true

@@ -1,0 +1,135 @@
+package atpg_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"atpgeasy/internal/atpg"
+	"atpgeasy/internal/checkpoint"
+	"atpgeasy/internal/gen"
+	"atpgeasy/internal/serve"
+)
+
+// quotaSink forwards verdicts to a real on-disk journal until its quota
+// is exhausted, then drops everything — the observable shape of a
+// journal whose writes started failing stickily mid-run (the checkpoint
+// layer degrades to a no-op after the first write error). Once dry it
+// cancels the run, modeling the operator killing a run whose
+// checkpointing has gone dark.
+type quotaSink struct {
+	mu     sync.Mutex
+	j      *checkpoint.Journal
+	quota  int
+	cancel context.CancelFunc
+}
+
+func (q *quotaSink) RecordRPT(detected []int, vectors [][]bool, batches int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.j.RecordRPT(detected, vectors, batches)
+}
+
+func (q *quotaSink) RecordFault(i int, status string, vector []bool, errMsg string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.quota <= 0 {
+		q.cancel()
+		return
+	}
+	q.quota--
+	q.j.RecordFault(i, status, vector, errMsg)
+}
+
+// TestStickyJournalLossThenResume drives the full durability stack —
+// engine, checkpoint file, serve's resume conversion — through a
+// journal that stops persisting mid-run: the verdicts that did land on
+// disk must replay, the lost tail must be re-solved, and the finished
+// run must match an uninterrupted one byte for byte. This is the
+// engine-level half of the daemon's crash contract, with the journal
+// (not the process) as the failing component.
+func TestStickyJournalLossThenResume(t *testing.T) {
+	c := gen.Random(gen.RandomParams{Inputs: 20, Gates: 200, Seed: 3})
+	faults := atpg.CollapseDominance(c, atpg.Collapse(c, atpg.AllFaults(c)))
+	opt := atpg.RunOptions{RPTBatches: atpg.DefaultRPTBatches, Seed: 42}
+
+	baseline, err := (&atpg.Engine{Workers: 4}).RunFaults(context.Background(), c, faults, opt)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	// Degraded run: the on-disk journal accepts only the first few fault
+	// verdicts, then goes dark and the run is cancelled.
+	path := filepath.Join(t.TempDir(), "ckpt")
+	journal, rs, err := serve.OpenJournal(path, false, c, faults, opt, checkpoint.Options{})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if rs != nil {
+		t.Fatal("fresh journal produced a resume state")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &quotaSink{j: journal, quota: 5, cancel: cancel}
+	iopt := opt
+	iopt.Journal = sink
+	if _, err := (&atpg.Engine{Workers: 4}).RunFaults(ctx, c, faults, iopt); err == nil {
+		t.Fatal("degraded run finished before its journal went dark")
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+
+	// Resume from what actually reached disk. The journal must replay
+	// the pre-phase plus exactly the quota of fault verdicts; the run
+	// must re-solve the rest and land on the baseline's vectors.
+	journal2, rs, err := serve.OpenJournal(path, true, c, faults, opt, checkpoint.Options{})
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	if rs == nil || rs.RPT == nil {
+		t.Fatal("resume state missing the journaled pre-phase")
+	}
+	if len(rs.Faults) != 5 {
+		t.Fatalf("journal replayed %d fault verdicts, want the 5 that landed", len(rs.Faults))
+	}
+	ropt := opt
+	ropt.Resume = rs
+	ropt.Journal = journal2
+	resumed, err := (&atpg.Engine{Workers: 4}).RunFaults(context.Background(), c, faults, ropt)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := journal2.Close(); err != nil {
+		t.Fatalf("close resumed journal: %v", err)
+	}
+
+	if !reflect.DeepEqual(resumed.Vectors, baseline.Vectors) {
+		t.Fatalf("resumed vectors diverge: %d vs baseline %d", len(resumed.Vectors), len(baseline.Vectors))
+	}
+	if resumed.Detected != baseline.Detected || resumed.Untestable != baseline.Untestable {
+		t.Fatalf("resumed counts detected=%d untestable=%d, baseline detected=%d untestable=%d",
+			resumed.Detected, resumed.Untestable, baseline.Detected, baseline.Untestable)
+	}
+
+	// The completed journal now holds every verdict: a further resume
+	// replays the whole run without touching a solver.
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatalf("load completed journal: %v", err)
+	}
+	full, err := serve.ResumeStateFrom(st, c, faults)
+	if err != nil {
+		t.Fatalf("convert completed journal: %v", err)
+	}
+	if len(full.Faults) != len(baseline.Results) {
+		t.Fatalf("completed journal has %d fault verdicts, run had %d solver results",
+			len(full.Faults), len(baseline.Results))
+	}
+	if len(full.Faults)+len(full.RPT.Detected) != len(faults) {
+		t.Fatalf("journal covers %d+%d faults, list has %d",
+			len(full.Faults), len(full.RPT.Detected), len(faults))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"atpgeasy/internal/ioguard"
 	"atpgeasy/internal/logic"
 )
 
@@ -55,10 +56,23 @@ func recoverParse(prefix string, err *error) {
 // offending line; it never panics.
 func Read(r io.Reader, name string) (c *logic.Circuit, err error) {
 	defer recoverParse("bench", &err)
-	return read(r, name)
+	return read(r, name, 0)
 }
 
-func read(r io.Reader, name string) (*logic.Circuit, error) {
+// ReadCapped is Read with explicit pre-parse input caps for untrusted
+// sources: input over maxBytes bytes is rejected with
+// ioguard.ErrTooLarge before the parser sees it, and any single line
+// over maxLine with ioguard.ErrLineTooLong (non-positive caps select
+// the Read defaults: no byte cap, ioguard.DefaultMaxLine). The caps
+// bound the parser's memory on pathological uploads — a multi-gigabyte
+// file or a single unbounded line — which a recover barrier alone
+// cannot.
+func ReadCapped(r io.Reader, name string, maxBytes int64, maxLine int) (c *logic.Circuit, err error) {
+	defer recoverParse("bench", &err)
+	return read(ioguard.CapBytes(r, maxBytes), name, maxLine)
+}
+
+func read(r io.Reader, name string, maxLine int) (*logic.Circuit, error) {
 	type gateLine struct {
 		out, fn string
 		ins     []string
@@ -66,8 +80,7 @@ func read(r io.Reader, name string) (*logic.Circuit, error) {
 	}
 	var gates []gateLine
 	var inputs, outputs []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sc := ioguard.Scanner(r, maxLine)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -114,7 +127,7 @@ func read(r io.Reader, name string) (*logic.Circuit, error) {
 			gates = append(gates, gateLine{out, fn, ins, lineNo})
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := ioguard.ScanErr("bench", sc.Err(), maxLine); err != nil {
 		return nil, err
 	}
 	b := logic.NewBuilder(name)

@@ -2,10 +2,13 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"atpgeasy/internal/ioguard"
 )
 
 // TestMalformedBenchErrors pins the parser's no-panic contract on the
@@ -27,6 +30,32 @@ func TestMalformedBenchErrors(t *testing.T) {
 	}
 }
 
+// TestReadCapped pins the pre-parse admission bounds: oversized input
+// and over-long lines are rejected with the ioguard sentinels before
+// the parser buffers them, and the same input passes with caps off.
+func TestReadCapped(t *testing.T) {
+	good := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	if _, err := ReadCapped(strings.NewReader(good), "t", 1<<10, 1<<10); err != nil {
+		t.Fatalf("capped read of valid netlist: %v", err)
+	}
+	// Exactly at the byte cap is accepted; one byte over is not.
+	if _, err := ReadCapped(strings.NewReader(good), "t", int64(len(good)), 0); err != nil {
+		t.Fatalf("read at exact byte cap: %v", err)
+	}
+	_, err := ReadCapped(strings.NewReader(good), "t", int64(len(good))-1, 0)
+	if !errors.Is(err, ioguard.ErrTooLarge) {
+		t.Fatalf("over byte cap: got %v, want ErrTooLarge", err)
+	}
+	long := "# " + strings.Repeat("x", 4096) + "\n" + good
+	_, err = ReadCapped(strings.NewReader(long), "t", 0, 256)
+	if !errors.Is(err, ioguard.ErrLineTooLong) {
+		t.Fatalf("over line cap: got %v, want ErrLineTooLong", err)
+	}
+	if _, err := ReadCapped(strings.NewReader(long), "t", 0, 0); err != nil {
+		t.Fatalf("uncapped read of long-comment netlist: %v", err)
+	}
+}
+
 // FuzzParseBench hunts for panics and round-trip breaks: any netlist the
 // parser accepts must re-emit and re-parse with the same interface.
 func FuzzParseBench(f *testing.F) {
@@ -44,8 +73,18 @@ func FuzzParseBench(f *testing.F) {
 	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
 	f.Add("y = AND()\n")
 	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n")
+	// Pathological shapes the ingestion caps exist for: one enormous
+	// line, an oversized body of comments, a gate with a huge fan-in
+	// list, and a net name that is itself most of the input.
+	f.Add("y = AND(" + strings.Repeat("a,", 1<<12) + "a)\n")
+	f.Add("# " + strings.Repeat("x", 1<<13) + "\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+	f.Add("INPUT(" + strings.Repeat("n", 1<<13) + ")\n")
+	f.Add(strings.Repeat("INPUT(a)\n", 1<<10))
 	f.Fuzz(func(t *testing.T, src string) {
-		c, err := Read(strings.NewReader(src), "fuzz")
+		// The capped entry point is the one servers use; generous caps
+		// keep real seeds parsing while pathological ones must reject
+		// cleanly, never panic or OOM.
+		c, err := ReadCapped(strings.NewReader(src), "fuzz", 1<<20, 1<<16)
 		if err != nil {
 			return // rejected cleanly — exactly what malformed input should get
 		}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"strings"
 
+	"atpgeasy/internal/ioguard"
 	"atpgeasy/internal/logic"
 )
 
@@ -36,12 +37,25 @@ func Read(r io.Reader) (c *logic.Circuit, err error) {
 			err = fmt.Errorf("blif: malformed model: %v", r)
 		}
 	}()
-	return read(r)
+	return read(r, 0)
 }
 
-func read(r io.Reader) (*logic.Circuit, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+// ReadCapped is Read with explicit pre-parse input caps for untrusted
+// sources: input over maxBytes bytes is rejected with
+// ioguard.ErrTooLarge before the parser sees it, and any single line
+// over maxLine with ioguard.ErrLineTooLong (non-positive caps select
+// the Read defaults: no byte cap, ioguard.DefaultMaxLine).
+func ReadCapped(r io.Reader, maxBytes int64, maxLine int) (c *logic.Circuit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("blif: malformed model: %v", r)
+		}
+	}()
+	return read(ioguard.CapBytes(r, maxBytes), maxLine)
+}
+
+func read(r io.Reader, maxLine int) (*logic.Circuit, error) {
+	sc := ioguard.Scanner(r, maxLine)
 	var model string
 	var inputs, outputs []string
 	var blocks []*namesBlock
@@ -145,7 +159,7 @@ func read(r io.Reader) (*logic.Circuit, error) {
 			cur.rows = append(cur.rows, inPart)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	if err := ioguard.ScanErr("blif", sc.Err(), maxLine); err != nil {
 		return nil, err
 	}
 	if model == "" {

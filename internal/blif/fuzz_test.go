@@ -2,12 +2,14 @@ package blif
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
 
+	"atpgeasy/internal/ioguard"
 	"atpgeasy/internal/logic"
 )
 
@@ -39,6 +41,23 @@ func interfaceNames(c *logic.Circuit, ids []int) []string {
 	return names
 }
 
+// TestReadCapped pins the pre-parse admission bounds for BLIF input.
+func TestReadCapped(t *testing.T) {
+	good := ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+	if _, err := ReadCapped(strings.NewReader(good), 1<<10, 1<<10); err != nil {
+		t.Fatalf("capped read of valid model: %v", err)
+	}
+	_, err := ReadCapped(strings.NewReader(good), int64(len(good))-1, 0)
+	if !errors.Is(err, ioguard.ErrTooLarge) {
+		t.Fatalf("over byte cap: got %v, want ErrTooLarge", err)
+	}
+	long := "# " + strings.Repeat("x", 4096) + "\n" + good
+	_, err = ReadCapped(strings.NewReader(long), 0, 256)
+	if !errors.Is(err, ioguard.ErrLineTooLong) {
+		t.Fatalf("over line cap: got %v, want ErrLineTooLong", err)
+	}
+}
+
 // FuzzParseBLIF hunts for panics and round-trip breaks: any model the
 // parser accepts must re-emit and re-parse with the same interface.
 func FuzzParseBLIF(f *testing.F) {
@@ -55,8 +74,17 @@ func FuzzParseBLIF(f *testing.F) {
 	}
 	f.Add(".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n")
 	f.Add(".model m\n.outputs y\n.names y\n1\n.end\n")
+	// Pathological shapes the ingestion caps exist for: a giant .inputs
+	// line, an unbounded line-continuation chain, a wide cover, and an
+	// oversized body.
+	f.Add(".model m\n.inputs " + strings.Repeat("a", 1<<13) + "\n.end\n")
+	f.Add(".model m\n.inputs a\n" + strings.Repeat("\\\n", 1<<12) + ".end\n")
+	f.Add(".model m\n.inputs a b\n.outputs y\n.names a b y\n" + strings.Repeat("11 1\n", 1<<10) + ".end\n")
 	f.Fuzz(func(t *testing.T, src string) {
-		c, err := Read(strings.NewReader(src))
+		// The capped entry point is the one servers use; generous caps
+		// keep real seeds parsing while pathological ones must reject
+		// cleanly, never panic or OOM.
+		c, err := ReadCapped(strings.NewReader(src), 1<<20, 1<<16)
 		if err != nil {
 			return // rejected cleanly
 		}

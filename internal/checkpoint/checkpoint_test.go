@@ -1,10 +1,13 @@
 package checkpoint
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -173,6 +176,116 @@ func TestRotationCompactsSupersededRecords(t *testing.T) {
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatalf("tmp segment left behind: %v", err)
+	}
+}
+
+// TestConcurrentRecordFaultRacesRotation hammers RecordFault from many
+// goroutines with a rotation threshold small enough that compactions
+// constantly interleave with appends — the exact write pattern of a
+// parallel engine run with worker-count > 1. Run under -race; the
+// correctness claim is that no verdict is lost across any rotation.
+func TestConcurrentRecordFaultRacesRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	hdr := testHeader()
+	const workers, perWorker = 8, 50
+	hdr.Faults = workers * perWorker
+	// ~60-byte records against a 512-byte segment: a rotation roughly
+	// every 8 appends, hundreds over the test.
+	j, err := New(path, hdr, nil, Options{RotateBytes: 512})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				i := w*perWorker + k
+				switch i % 3 {
+				case 0:
+					j.RecordFault(i, "detected", []bool{i%2 == 0, true}, "")
+				case 1:
+					j.RecordFault(i, "untestable", nil, "")
+				default:
+					j.RecordFault(i, "aborted", nil, "")
+				}
+				if k%16 == 0 {
+					j.Sync()
+					j.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(st.Faults) != workers*perWorker {
+		t.Fatalf("lost verdicts across rotations: %d/%d", len(st.Faults), workers*perWorker)
+	}
+	for i := 0; i < workers*perWorker; i++ {
+		fv, ok := st.Faults[i]
+		if !ok {
+			t.Fatalf("fault %d missing", i)
+		}
+		want := [...]string{"detected", "untestable", "aborted"}[i%3]
+		if fv.Status != want {
+			t.Fatalf("fault %d: status %q, want %q", i, fv.Status, want)
+		}
+		if want == "detected" {
+			if fv.Vector != EncodeVector([]bool{i%2 == 0, true}) {
+				t.Fatalf("fault %d: vector %q", i, fv.Vector)
+			}
+		}
+	}
+}
+
+// TestStickyWriteErrorDegrades: once a write fails, the journal must go
+// inert — Record calls keep working (no panic, no partial writes), Err
+// and Close report the first failure, and everything appended before
+// the failure is still loadable. This is the full-disk contract: the
+// run degrades to uncheckpointed instead of dying.
+func TestStickyWriteErrorDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	j, err := New(path, testHeader(), nil, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j.RecordFault(0, "detected", []bool{true}, "")
+	if err := j.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Inject the sticky failure exactly as a failed write would set it.
+	boom := fmt.Errorf("disk full")
+	j.mu.Lock()
+	j.err = boom
+	j.mu.Unlock()
+	j.RecordFault(1, "detected", []bool{false}, "")
+	j.RecordRPT([]int{1}, nil, 2)
+	if got := j.Err(); !errors.Is(got, boom) {
+		t.Fatalf("Err = %v, want the injected failure", got)
+	}
+	if got := j.Sync(); !errors.Is(got, boom) {
+		t.Fatalf("Sync = %v, want the injected failure", got)
+	}
+	if got := j.Close(); !errors.Is(got, boom) {
+		t.Fatalf("Close = %v, want the injected failure", got)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after sticky error: %v", err)
+	}
+	if _, ok := st.Faults[0]; !ok {
+		t.Fatalf("pre-error record lost: %+v", st.Faults)
+	}
+	if _, ok := st.Faults[1]; ok {
+		t.Fatal("post-error record reached disk despite sticky failure")
 	}
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -280,6 +281,100 @@ func TestServe(t *testing.T) {
 	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("/debug/pprof/cmdline: %d", code)
 	}
+}
+
+// TestShutdownCompletesInFlightScrape: a /metrics scrape already being
+// served when Shutdown starts must complete with its full body — the
+// graceful half of the drain contract.
+func TestShutdownCompletesInFlightScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drain_test_total", "").Add(42)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv, err := serve("127.0.0.1:0", r, func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			once.Do(func() { close(started) })
+			<-release
+			inner.ServeHTTP(w, req)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode, body: string(body)}
+	}()
+	<-started
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	// Shutdown must wait for the blocked request, not cut it off.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	res := <-got
+	if res.err != nil || res.code != 200 || !strings.Contains(res.body, "drain_test_total 42") {
+		t.Fatalf("in-flight scrape did not complete cleanly: %+v", res)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestShutdownDeadlineFallsBackToClose: a request that outlives the
+// drain deadline must not wedge Shutdown — it reports the deadline and
+// hard-closes so the caller gets its port back.
+func TestShutdownDeadlineFallsBackToClose(t *testing.T) {
+	r := NewRegistry()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	var once sync.Once
+	srv, err := serve("127.0.0.1:0", r, func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			once.Do(func() { close(started) })
+			<-release
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil despite a request past the deadline")
+	}
+	// The fallback Close must have freed the port.
+	srv2, err := Serve(srv.Addr(), r)
+	if err != nil {
+		t.Fatalf("port not released after fallback Close: %v", err)
+	}
+	srv2.Close()
 }
 
 // TestServeRebindsRegistry: a second Serve must route /debug/vars to the

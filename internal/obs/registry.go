@@ -331,6 +331,71 @@ func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
 	return c
 }
 
+// LabeledGauge is a family of gauges distinguished by one label — the
+// minimal form of a Prometheus gauge vector, used for small, bounded
+// label sets (e.g. per-job progress on a multi-tenant daemon). Series
+// are created lazily by With and removed by Forget once the labelled
+// entity is gone, keeping the exposition bounded.
+type LabeledGauge struct {
+	label string
+	mu    sync.Mutex
+	cells map[string]*Gauge
+}
+
+// With returns the gauge for the given label value, creating the series
+// on first use. Gauges are safe for concurrent use; With itself takes a
+// lock, so hot paths should hold on to the returned gauge.
+func (g *LabeledGauge) With(value string) *Gauge {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gg := g.cells[value]
+	if gg == nil {
+		gg = &Gauge{}
+		g.cells[value] = gg
+	}
+	return gg
+}
+
+// Forget drops the series for the given label value, so a retired
+// entity (a finished job) stops appearing on /metrics.
+func (g *LabeledGauge) Forget(value string) {
+	g.mu.Lock()
+	delete(g.cells, value)
+	g.mu.Unlock()
+}
+
+// Values returns the current value of every series keyed by label value.
+func (g *LabeledGauge) Values() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int64, len(g.cells))
+	for v, gg := range g.cells {
+		out[v] = gg.Value()
+	}
+	return out
+}
+
+// LabeledGauge registers and returns a one-label gauge family.
+func (r *Registry) LabeledGauge(name, help, label string) *LabeledGauge {
+	g := &LabeledGauge{label: label, cells: make(map[string]*Gauge)}
+	r.register(metric{
+		name: name, help: help, typ: "gauge",
+		prom: func(w io.Writer) {
+			vals := g.Values()
+			keys := make([]string, 0, len(vals))
+			for v := range vals {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			for _, v := range keys {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", name, g.label, v, vals[v])
+			}
+		},
+		value: func() any { return g.Values() },
+	})
+	return g
+}
+
 // Histogram registers and returns a new log2-bucketed histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	h := NewHistogram()

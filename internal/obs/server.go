@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -49,8 +50,14 @@ type Server struct {
 
 // Serve starts the observability endpoint on addr (host:port; port 0
 // picks a free port — read the result from Addr). The server runs until
-// Close.
+// Shutdown or Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return serve(addr, reg, nil)
+}
+
+// serve is Serve with an optional handler wrapper — a test seam letting
+// shutdown tests hold a request in flight deterministically.
+func serve(addr string, reg *Registry, wrap func(http.Handler) http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -74,7 +81,11 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	var h http.Handler = mux
+	if wrap != nil {
+		h = wrap(h)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -82,5 +93,18 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // Addr returns the server's listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Shutdown stops the listener and waits for in-flight requests — a
+// /metrics scrape racing a daemon drain, say — to complete, up to ctx's
+// deadline. Past the deadline it falls back to the hard Close so the
+// caller always gets its port back.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Close shuts the server down immediately, dropping in-flight requests
+// — the hard-stop fallback behind Shutdown.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Priority orders jobs in the admission queue. Within a priority the
+// queue is FIFO, so equal-priority tenants are served in arrival order.
+type Priority int
+
+const (
+	PriorityHigh Priority = iota
+	PriorityNormal
+	PriorityLow
+	numPriorities
+)
+
+// ParsePriority maps the wire form ("high", "normal", "low"; empty =
+// normal) to a Priority.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "high":
+		return PriorityHigh, nil
+	case "", "normal":
+		return PriorityNormal, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want high, normal or low)", s)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	}
+	return "normal"
+}
+
+// ErrQueueFull is the admission-control rejection: the queue is at
+// capacity and the server sheds the submission (HTTP 429 + Retry-After)
+// instead of buffering it unboundedly.
+var ErrQueueFull = errors.New("job queue full")
+
+// errQueueClosed wakes blocked poppers during drain.
+var errQueueClosed = errors.New("job queue closed")
+
+// jobQueue is the bounded multi-tenant admission queue: one FIFO lane
+// per priority under a single capacity shared across lanes, so a flood
+// of low-priority work cannot starve the queue of space any more than a
+// flood of high-priority work can — the cap is global, the ordering is
+// priority-then-FIFO.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [numPriorities][]*job
+	size   int
+	cap    int
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits j or rejects it with ErrQueueFull / errQueueClosed.
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	q.lanes[j.meta.Priority] = append(q.lanes[j.meta.Priority], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks for the next job in priority-then-FIFO order. A closed
+// queue stops dispensing immediately — jobs still in the lanes stay
+// there (and stay persisted on disk) so a draining daemon never starts
+// new work it would only have to interrupt.
+func (q *jobQueue) pop() (*job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil, errQueueClosed
+		}
+		for p := range q.lanes {
+			if len(q.lanes[p]) > 0 {
+				j := q.lanes[p][0]
+				q.lanes[p] = q.lanes[p][1:]
+				q.size--
+				return j, nil
+			}
+		}
+		q.cond.Wait()
+	}
+}
+
+// remove withdraws a queued job (cancellation before it ran). Reports
+// whether the job was found in the queue.
+func (q *jobQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for p := range q.lanes {
+		for i, j := range q.lanes[p] {
+			if j.meta.ID == id {
+				q.lanes[p] = append(q.lanes[p][:i:i], q.lanes[p][i+1:]...)
+				q.size--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// depth is the number of queued jobs across all priorities.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// close stops admissions and wakes every blocked pop. Queued jobs stay
+// queued (their on-disk state survives for the next start).
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"atpgeasy/internal/atpg"
+)
+
+// progressEvent is one SSE "progress" payload — a JSON rendering of the
+// engine's Progress snapshot plus the job's lifecycle state.
+type progressEvent struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Detected int     `json:"detected"`
+	Dropped  int     `json:"dropped,omitempty"`
+	Aborted  int     `json:"aborted,omitempty"`
+	Errors   int     `json:"errors,omitempty"`
+	Vectors  int     `json:"vectors"`
+	Coverage float64 `json:"coverage"`
+	Error    string  `json:"error,omitempty"`
+}
+
+func buildEvent(meta JobMeta, p atpg.Progress, hasProgress bool) progressEvent {
+	ev := progressEvent{ID: meta.ID, State: meta.State, Error: meta.Error}
+	if hasProgress {
+		ev.Done, ev.Total = p.Done, p.Total
+		ev.Detected, ev.Dropped = p.Detected+p.RPTDetected, p.Dropped
+		ev.Aborted, ev.Errors = p.Aborted, p.Errors
+		ev.Vectors = p.Vectors
+		ev.Coverage = p.Coverage()
+	}
+	return ev
+}
+
+// serveEvents streams a job's progress as server-sent events: one
+// "progress" event per engine snapshot or state change, heartbeat
+// comments in between, a final "end" event at the terminal state. The
+// stream also ends when the client disconnects (their loss only — the
+// job keeps running) or when the server drains. Slow readers are
+// bounded by a per-write deadline, so one stalled consumer can never
+// pin a connection through a drain.
+func (s *Server) serveEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeTimeout := s.cfg.SSEWriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 10 * time.Second
+	}
+	send := func(event string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	heartbeat := s.cfg.SSEHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+
+	for {
+		// Grab the change channel BEFORE snapshotting, so an update landing
+		// between snapshot and wait wakes us instead of being lost.
+		ch := j.changeCh()
+		meta, p, hasP := j.snapshot()
+		if !send("progress", buildEvent(meta, p, hasP)) {
+			return
+		}
+		if terminal(meta.State) {
+			send("end", buildEvent(meta, p, hasP))
+			return
+		}
+		select {
+		case <-ch:
+		case <-ticker.C:
+			_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			// Server draining: finish the stream cleanly so the HTTP
+			// shutdown sees an idle connection.
+			meta, p, hasP = j.snapshot()
+			send("end", buildEvent(meta, p, hasP))
+			return
+		}
+	}
+}
